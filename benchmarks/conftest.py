@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+The accuracy benchmarks (Table II / III, Fig. 3) train models on the
+laptop-scale synthetic FSCIL benchmark; training happens once per backbone
+and is cached for the whole benchmark session.  The scale of the runs can be
+adjusted through environment variables:
+
+* ``REPRO_BENCH_EPOCHS``  — pretraining epochs (default 20)
+* ``REPRO_BENCH_ML_ITERS`` — metalearning iterations (default 25)
+* ``REPRO_BENCH_PROFILE`` — FSCIL data profile for Table II (default "laptop")
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import (
+    MetalearnConfig,
+    OFSCIL,
+    OFSCILConfig,
+    PretrainConfig,
+    metalearn,
+    pretrain,
+)
+from repro.data import build_synthetic_fscil
+
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "20"))
+BENCH_ML_ITERS = int(os.environ.get("REPRO_BENCH_ML_ITERS", "25"))
+BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "laptop")
+
+
+def pretrain_config(seed: int = 0) -> PretrainConfig:
+    return PretrainConfig(epochs=BENCH_EPOCHS, batch_size=64, learning_rate=0.15,
+                          seed=seed)
+
+
+def metalearn_config(seed: int = 0) -> MetalearnConfig:
+    return MetalearnConfig(iterations=BENCH_ML_ITERS, meta_shots=5,
+                           queries_per_class=2, learning_rate=0.02, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def laptop_benchmark():
+    """Laptop-scale synthetic FSCIL benchmark (60 base + 8 x 5-way 5-shot)."""
+    return build_synthetic_fscil(BENCH_PROFILE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_models(laptop_benchmark):
+    """Cache of trained O-FSCIL models, keyed by backbone name."""
+    cache = {}
+
+    def get(backbone: str) -> OFSCIL:
+        if backbone not in cache:
+            model = OFSCIL.from_registry(backbone, OFSCILConfig(backbone=backbone),
+                                         seed=0)
+            pretrain(model.backbone, model.fcr, laptop_benchmark.base_train,
+                     num_classes=laptop_benchmark.protocol.base_classes,
+                     config=pretrain_config())
+            metalearn(model.backbone, model.fcr, laptop_benchmark.base_train,
+                      config=metalearn_config())
+            cache[backbone] = model
+        return cache[backbone]
+
+    return get

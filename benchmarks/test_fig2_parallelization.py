@@ -1,0 +1,49 @@
+"""Fig. 2 — MACs/cycle versus number of active cluster cores.
+
+Regenerates the three panels of Fig. 2: backbone inference (left), FCR
+inference (centre) and FCR backpropagation update (right) for 1/2/4/8 cores.
+"""
+
+import pytest
+
+from repro.hw import FIG2_CORE_COUNTS, GAP9Profiler
+from repro.report import format_table
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return GAP9Profiler()
+
+
+def test_fig2_macs_per_cycle_curves(benchmark, profiler):
+    curves = benchmark.pedantic(lambda: profiler.fig2_macs_per_cycle(),
+                                rounds=1, iterations=1)
+
+    rows = []
+    for backbone, series in curves["backbone"].items():
+        rows.append([f"backbone {backbone}"] + [round(v, 2) for v in series])
+    for backbone, series in curves["fcr"].items():
+        rows.append([f"FCR ({backbone})"] + [round(v, 2) for v in series])
+    for backbone, series in curves["finetune"].items():
+        rows.append([f"FCR finetune ({backbone})"] + [round(v, 2) for v in series])
+    print(format_table(["operation"] + [f"{c} cores" for c in FIG2_CORE_COUNTS], rows,
+                       title="\nFig. 2 — MACs/cycle vs active cores"))
+
+    backbone_curves = curves["backbone"]
+    # Left panel: every backbone speeds up with more cores; the x4 variant
+    # reaches ~6.5 MACs/cycle while the heavily strided x1 saturates low.
+    for series in backbone_curves.values():
+        assert all(b >= a - 1e-6 for a, b in zip(series, series[1:]))
+    assert backbone_curves["mobilenetv2_x4"][-1] == pytest.approx(6.5, rel=0.2)
+    assert backbone_curves["mobilenetv2"][-1] < 0.6 * backbone_curves["mobilenetv2_x4"][-1]
+    assert backbone_curves["mobilenetv2"][-1] < backbone_curves["mobilenetv2_x2"][-1]
+
+    # Centre panel: the FCR is memory bound — well below 1 MAC/cycle.
+    fcr_series = list(curves["fcr"].values())[0]
+    assert max(fcr_series) < 1.0
+
+    # Right panel: fine-tuning parallelizes better than FCR inference but far
+    # worse than the convolutional backbone.
+    finetune_series = list(curves["finetune"].values())[0]
+    assert finetune_series[-1] > max(fcr_series)
+    assert finetune_series[-1] < backbone_curves["mobilenetv2_x4"][-1]

@@ -1,0 +1,50 @@
+"""Fig. 3 — accuracy and EM memory footprint versus prototype bit precision.
+
+Learns the full FSCIL protocol once with a trained model, then requantizes
+the stored prototypes to 8/7/6/5/4/3/2/1 bits (right-shifted integer
+accumulators) and measures session-0 and final-session accuracy, together
+with the EM storage footprint for 100 classes at the paper's d_p = 256.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quant import FIG3_BIT_WIDTHS, format_precision_table, prototype_precision_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(trained_models, laptop_benchmark):
+    model = trained_models("mobilenetv2_x4_tiny")
+    return prototype_precision_sweep(model, laptop_benchmark,
+                                     bit_widths=FIG3_BIT_WIDTHS)
+
+
+def test_fig3_prototype_precision_sweep(benchmark, sweep_rows):
+    rows = benchmark.pedantic(lambda: sweep_rows, rounds=1, iterations=1)
+    print("\nFig. 3 — EM precision vs accuracy (and EM size @ 100 classes x 256 dims)")
+    print(format_precision_table(rows))
+
+    by_bits = {row.bits: row for row in rows}
+    reference = by_bits[32]
+
+    # Down to 3-bit prototypes the accuracy stays close to the float reference
+    # (the paper reports no drop until 3 bits).
+    for bits in (8, 7, 6, 5, 4, 3):
+        row = by_bits[bits]
+        assert row.session0_accuracy > reference.session0_accuracy - 0.05, bits
+        assert row.final_session_accuracy > reference.final_session_accuracy - 0.05, bits
+
+    # At 1 bit (sign-only prototypes) the representation cannot beat the
+    # 8-bit one by more than noise (the curve falls off at the very low end
+    # of Fig. 3).
+    assert by_bits[1].session0_accuracy <= by_bits[8].session0_accuracy + 0.02
+
+    # Memory accounting matches the paper: 9.6 kB at 3 bits, 102.4 kB at 32.
+    assert by_bits[3].paper_memory_kb == pytest.approx(9.6)
+    assert by_bits[32].paper_memory_kb == pytest.approx(102.4)
+    assert by_bits[8].paper_memory_kb == pytest.approx(25.6)
+
+
+def test_fig3_memory_monotone_in_bits(sweep_rows):
+    memories = [row.paper_memory_kb for row in sweep_rows]
+    assert all(a > b for a, b in zip(memories, memories[1:]))

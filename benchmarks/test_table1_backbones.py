@@ -1,0 +1,34 @@
+"""Table I — backbone complexity: stride plans, d_a / d_p, parameters, MACs.
+
+Regenerates the four columns of Table I from the model registry and compares
+the parameter / MAC counts against the values printed in the paper.
+"""
+
+import pytest
+
+from repro.models import table1_rows
+from repro.report import format_table, relative_error
+
+
+def compute_table1():
+    return table1_rows()
+
+
+def test_table1_backbone_complexity(benchmark):
+    rows = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+
+    table = format_table(
+        ["Backbone", "d_a", "d_p", "Params [M]", "paper", "MACs [M]", "paper"],
+        [[row["name"], row["d_a"], row["d_p"],
+          round(row["params_m"], 2), row["paper_params_m"],
+          round(row["macs_m"], 1), row["paper_macs_m"]] for row in rows],
+        title="\nTable I — proposed backbones (measured vs paper)")
+    print(table)
+
+    for row in rows:
+        assert abs(relative_error(row["params_m"], row["paper_params_m"])) < 0.05
+        assert abs(relative_error(row["macs_m"], row["paper_macs_m"])) < 0.05
+
+    # Ordering of computational cost across the four backbones.
+    macs = [row["macs_m"] for row in rows]
+    assert macs == sorted(macs)

@@ -1,0 +1,130 @@
+"""Table II — FSCIL session accuracy on the synthetic CIFAR100 stand-in.
+
+Trains O-FSCIL end to end on the laptop-scale profile (60 base classes, eight
+5-way 5-shot sessions) for two MobileNetV2 stride variants, evaluates the
+float and int8-quantized models as well as the optional FCR fine-tuning, and
+prints a Table II-shaped comparison (including the raw-pixel NCM floor and
+the paper's published averages for reference).
+
+Absolute accuracies are not expected to match the paper (the substrate is a
+width-reduced backbone on synthetic 16x16 images); the *shape* is what the
+assertions check: O-FSCIL beats the baselines, accuracy decays monotonically
+(on average) over sessions, int8 tracks fp32, and the larger x4 stride
+variant is at least as good as the x1 variant.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FinetuneConfig,
+    PAPER_TABLE2_REFERENCE,
+    evaluate_fscil,
+    format_session_table,
+    raw_pixel_ncm,
+)
+from repro.quant import QuantizationConfig, quantize_ofscil_model
+
+BACKBONES = {
+    "mobilenetv2_tiny": "MobileNetV2 (x1 strides)",
+    "mobilenetv2_x4_tiny": "MobileNetV2 x4 strides",
+}
+
+
+@pytest.fixture(scope="module")
+def table2_results(trained_models, laptop_benchmark):
+    """Train/evaluate every Table II configuration once for all tests."""
+    results = {}
+    for backbone in BACKBONES:
+        model = trained_models(backbone)
+        results[(backbone, "fp32")] = evaluate_fscil(
+            model, laptop_benchmark, method="O-FSCIL", backbone=backbone)
+
+    # Optional FCR fine-tuning on the larger variant ("+ FT" row).
+    ft_model = copy.deepcopy(trained_models("mobilenetv2_x4_tiny"))
+    results[("mobilenetv2_x4_tiny", "fp32+ft")] = evaluate_fscil(
+        ft_model, laptop_benchmark, method="O-FSCIL + FT",
+        backbone="mobilenetv2_x4_tiny",
+        finetune_config=FinetuneConfig(iterations=40, learning_rate=0.02, seed=0))
+
+    # Int8 deployment quantization of the larger variant.
+    quant_model = copy.deepcopy(trained_models("mobilenetv2_x4_tiny"))
+    quant_model.backbone.unfreeze()
+    quant_model.fcr.unfreeze()
+    quant_model, _ = quantize_ofscil_model(
+        quant_model, laptop_benchmark.base_train,
+        config=QuantizationConfig(qat_pretrain_epochs=1, qat_metalearn_iterations=5,
+                                  calibration_batches=4))
+    results[("mobilenetv2_x4_tiny", "int8")] = evaluate_fscil(
+        quant_model, laptop_benchmark, method="O-FSCIL [int8]",
+        backbone="mobilenetv2_x4_tiny")
+
+    results[("pixel", "ncm")] = raw_pixel_ncm(laptop_benchmark)
+    return results
+
+
+def test_table2_session_accuracy(benchmark, table2_results, laptop_benchmark):
+    results = benchmark.pedantic(lambda: table2_results, rounds=1, iterations=1)
+    ordered = [results[("pixel", "ncm")]]
+    ordered += [results[(backbone, "fp32")] for backbone in BACKBONES]
+    ordered += [results[("mobilenetv2_x4_tiny", "int8")],
+                results[("mobilenetv2_x4_tiny", "fp32+ft")]]
+    print("\nTable II — FSCIL session accuracy (synthetic CIFAR100 stand-in)")
+    print(format_session_table(ordered))
+    print("\nPaper reference averages (real CIFAR100): " +
+          ", ".join(f"{method}={record['average']:.2f}%"
+                    for method, record in PAPER_TABLE2_REFERENCE.items()))
+
+    x4 = results[("mobilenetv2_x4_tiny", "fp32")]
+    x1 = results[("mobilenetv2_tiny", "fp32")]
+    ncm = results[("pixel", "ncm")]
+
+    # O-FSCIL beats the raw-pixel floor by a wide margin (paper: learned
+    # features are the whole point of the method).
+    assert x4.average_accuracy > 1.5 * ncm.average_accuracy
+    # The x1 stride plan downsamples a 16x16 laptop-profile input to a 1x1
+    # feature map, so that variant trains poorly at this reduced scale (the
+    # paper's x1 < x2 < x4 ordering, taken to the extreme); it must still be
+    # above chance over the 100 classes.
+    assert x1.average_accuracy > 1.0 / laptop_benchmark.protocol.num_classes
+
+    # Session-0 accuracy is the highest and accuracy decays as classes
+    # accumulate (the Table II shape).
+    assert x4.base_accuracy == max(x4.session_accuracy)
+    assert x4.final_accuracy <= x4.base_accuracy
+
+    # Every session stays above chance for the number of seen classes.
+    protocol = laptop_benchmark.protocol
+    for session, accuracy in enumerate(x4.session_accuracy):
+        seen = len(protocol.seen_classes(session))
+        assert accuracy > 1.0 / seen
+
+
+def test_table2_int8_tracks_fp32(table2_results):
+    fp32 = table2_results[("mobilenetv2_x4_tiny", "fp32")]
+    int8 = table2_results[("mobilenetv2_x4_tiny", "int8")]
+    print(f"\nfp32 avg {100 * fp32.average_accuracy:.2f}% vs "
+          f"int8 avg {100 * int8.average_accuracy:.2f}%")
+    # The paper reports int8 within ~0.3 points of fp32; on the reduced
+    # substrate we allow a wider band but quantization must not collapse.
+    assert int8.average_accuracy > 0.7 * fp32.average_accuracy
+
+
+def test_table2_finetuning_does_not_hurt(table2_results):
+    fp32 = table2_results[("mobilenetv2_x4_tiny", "fp32")]
+    finetuned = table2_results[("mobilenetv2_x4_tiny", "fp32+ft")]
+    print(f"\nO-FSCIL avg {100 * fp32.average_accuracy:.2f}% vs "
+          f"+FT avg {100 * finetuned.average_accuracy:.2f}%")
+    # Paper: FT adds ~0.1-0.2 points.  Require it to stay within a small band
+    # of the plain result (it must not destroy the prototypes).
+    assert finetuned.average_accuracy > 0.85 * fp32.average_accuracy
+
+
+def test_table2_stride_variant_ordering(table2_results):
+    """The x4 variant (more spatial resolution, more MACs) should not be worse
+    than the x1 variant — the compute/accuracy trade-off of Table I/II."""
+    x1 = table2_results[("mobilenetv2_tiny", "fp32")]
+    x4 = table2_results[("mobilenetv2_x4_tiny", "fp32")]
+    assert x4.average_accuracy >= 0.9 * x1.average_accuracy

@@ -1,0 +1,49 @@
+"""Table IV — execution time, power and energy per class on GAP9.
+
+Regenerates every row of Table IV (FCR projection, backbone inference, EM
+update, FCR fine-tuning, for the three MobileNetV2 variants) from the GAP9
+simulator and compares against the paper's measurements.
+"""
+
+import pytest
+
+from repro.hw import GAP9Profiler, PAPER_TABLE4_REFERENCE, format_table4
+from repro.report import relative_error
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return GAP9Profiler()
+
+
+def test_table4_latency_power_energy(benchmark, profiler):
+    rows = benchmark.pedantic(lambda: profiler.table4(), rounds=1, iterations=1)
+    print("\nTable IV — time / power / energy per class (5-shot), GAP9 @ 240 MHz")
+    print(format_table4(rows))
+
+    for row in rows:
+        reference = PAPER_TABLE4_REFERENCE[row.operation]
+        paper = reference.get(row.backbone, reference.get("any"))
+        # Latency and energy within 25% of the measured silicon numbers,
+        # power within the 40-55 mW envelope.
+        assert abs(relative_error(row.time_ms, paper["time_ms"])) < 0.25, row.operation
+        assert abs(relative_error(row.energy_mj, paper["energy_mj"])) < 0.30, row.operation
+        assert 38.0 < row.power_mw < 58.0
+
+
+def test_table4_headline_12mj_per_class(profiler):
+    """The title claim: learning a new class costs ~12 mJ (EM update, MobileNetV2)."""
+    report = profiler.profile_em_update("mobilenetv2", shots=5)
+    print(f"\nEM update on MobileNetV2: {report.energy_mj:.2f} mJ per class "
+          f"({report.time_ms:.1f} ms @ {report.power_mw:.1f} mW) — paper: 11.35 mJ")
+    assert 8.0 < report.energy_mj < 16.0
+
+
+def test_table4_finetuning_cost_ratio(profiler):
+    """Fine-tuning draws roughly 25-30x the energy of the plain EM update."""
+    em = profiler.profile_em_update("mobilenetv2_x4", shots=5)
+    ft = profiler.profile_fcr_finetune("mobilenetv2_x4", epochs=100)
+    ratio = ft.energy_mj / em.energy_mj
+    paper_ratio = 321.75 / 22.75
+    print(f"\nFine-tune / EM-update energy ratio: {ratio:.1f} (paper {paper_ratio:.1f})")
+    assert ratio == pytest.approx(paper_ratio, rel=0.5)

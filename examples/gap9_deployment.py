@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Estimate the on-device cost of O-FSCIL on the GAP9 microcontroller.
+
+Uses the GAP9 simulator (memory hierarchy + cycle + power models calibrated
+against the paper's measurements) to answer the deployment questions of
+Section V / Table IV / Fig. 2:
+
+* How long does a backbone inference take, and at what energy?
+* How expensive is learning a new class online (the "EM update")?
+* What does the optional FCR fine-tuning cost in comparison?
+* How well does each operation parallelize over the 8 worker cores?
+* How much memory does the explicit memory need at reduced precision?
+
+Run:  python examples/gap9_deployment.py [--backbone mobilenetv2_x4] [--shots 5]
+"""
+
+import argparse
+
+from repro.hw import GAP9Profiler, format_table4
+from repro.models import get_config, table1_rows
+from repro.quant import em_memory_kb
+from repro.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backbone", default="mobilenetv2_x4",
+                        choices=("mobilenetv2", "mobilenetv2_x2", "mobilenetv2_x4"))
+    parser.add_argument("--shots", type=int, default=5)
+    parser.add_argument("--finetune-epochs", type=int, default=100)
+    parser.add_argument("--classes", type=int, default=100,
+                        help="number of classes stored in the explicit memory")
+    args = parser.parse_args()
+
+    profiler = GAP9Profiler()
+
+    print("=== Backbone complexity (Table I) ===")
+    rows = table1_rows()
+    print(format_table(
+        ["Backbone", "d_a", "d_p", "Params [M]", "MACs [M]"],
+        [[r["name"], r["d_a"], r["d_p"], round(r["params_m"], 2), round(r["macs_m"], 1)]
+         for r in rows]))
+
+    print("\n=== Deployment summary ===")
+    plan = profiler.deployment(args.backbone)
+    summary = plan.summary()
+    print(f"{args.backbone}: {summary['num_layers']} layers, "
+          f"{summary['total_macs'] / 1e6:.1f} M MACs, "
+          f"{summary['weight_bytes'] / 1e6:.2f} MB int8 weights "
+          f"({summary['l2_used_bytes'] / 1e6:.2f} MB in L2, "
+          f"{summary['l3_used_bytes'] / 1e6:.2f} MB spilled to L3, "
+          f"{summary['layers_in_l3']} layers stream weights from L3)")
+
+    print("\n=== Per-class cost (Table IV) ===")
+    print(format_table4(profiler.table4(shots=args.shots,
+                                        finetune_epochs=args.finetune_epochs)))
+
+    em = profiler.profile_em_update(args.backbone, shots=args.shots)
+    print(f"\nLearning one new class on {args.backbone}: {em.time_ms:.0f} ms, "
+          f"{em.energy_mj:.1f} mJ — i.e. roughly "
+          f"{1000.0 / em.time_ms:.1f} new classes per second within a "
+          f"{em.power_mw:.0f} mW envelope.")
+
+    print("\n=== Parallelization (Fig. 2) ===")
+    curves = profiler.fig2_macs_per_cycle()
+    table_rows = []
+    for name, series in curves["backbone"].items():
+        table_rows.append([f"backbone {name}"] + [round(v, 2) for v in series])
+    table_rows.append(["FCR"] + [round(v, 2) for v in list(curves["fcr"].values())[0]])
+    table_rows.append(["FCR finetune"] +
+                      [round(v, 2) for v in list(curves["finetune"].values())[0]])
+    print(format_table(["operation", "1 core", "2 cores", "4 cores", "8 cores"],
+                       table_rows))
+
+    print("\n=== Explicit memory footprint (Fig. 3 memory axis) ===")
+    config = get_config(args.backbone)
+    footprint_rows = [[bits, round(em_memory_kb(args.classes, config.prototype_dim,
+                                                bits), 1)]
+                      for bits in (32, 8, 4, 3, 2, 1)]
+    print(format_table(["prototype bits", f"EM size for {args.classes} classes [kB]"],
+                       footprint_rows))
+    print("\n(3-bit prototypes store 100 classes in 9.6 kB — the paper's figure.)")
+
+
+if __name__ == "__main__":
+    main()

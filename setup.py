@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without the ``wheel`` package (legacy editable installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""O-FSCIL reproduction: online few-shot class-incremental learning for MCUs.
+
+Top-level subpackages:
+
+* :mod:`repro.nn` — NumPy tensor/autograd substrate (layers, losses, optim).
+* :mod:`repro.models` — MobileNetV2 / ResNet backbones, FCR/FCC heads,
+  Table I registry.
+* :mod:`repro.data` — synthetic CIFAR100 stand-in, FSCIL splits, augmentation.
+* :mod:`repro.core` — the paper's contribution: explicit memory, O-FSCIL
+  model, pretraining, metalearning, fine-tuning, evaluation, baselines.
+* :mod:`repro.quant` — TQT-style int8 quantization and prototype precision.
+* :mod:`repro.hw` — GAP9 MCU simulator (memory, cycles, power, profiler).
+* :mod:`repro.report` — experiment records and table formatting.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "models", "data", "core", "quant", "hw", "report", "__version__"]

@@ -1,0 +1,63 @@
+"""O-FSCIL core: explicit memory, model, training stages and evaluation."""
+
+from .ablation import (
+    TABLE3_ROWS,
+    AblationFlags,
+    AblationRow,
+    format_ablation_table,
+    pipeline_config_for,
+    run_ablation,
+)
+from .baselines import (
+    PAPER_TABLE2_REFERENCE,
+    ncfscil_lite_baseline,
+    pretrain_only_baseline,
+    raw_pixel_ncm,
+)
+from .evaluate import (
+    FSCILResult,
+    evaluate_fscil,
+    evaluate_with_predictor,
+    format_session_table,
+)
+from .explicit_memory import ExplicitMemory, bipolarize, quantize_prototype
+from .finetune import FinetuneConfig, FinetuneResult, finetune_fcr
+from .metalearn import MetalearnConfig, MetalearnResult, metalearn
+from .ofscil import OFSCIL, OFSCILConfig
+from .pipeline import OFSCILPipeline, PipelineConfig, PipelineResult
+from .pretrain import PretrainConfig, PretrainResult, evaluate_classifier, pretrain
+
+__all__ = [
+    "ExplicitMemory",
+    "quantize_prototype",
+    "bipolarize",
+    "OFSCIL",
+    "OFSCILConfig",
+    "PretrainConfig",
+    "PretrainResult",
+    "pretrain",
+    "evaluate_classifier",
+    "MetalearnConfig",
+    "MetalearnResult",
+    "metalearn",
+    "FinetuneConfig",
+    "FinetuneResult",
+    "finetune_fcr",
+    "FSCILResult",
+    "evaluate_fscil",
+    "evaluate_with_predictor",
+    "format_session_table",
+    "OFSCILPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "AblationFlags",
+    "AblationRow",
+    "TABLE3_ROWS",
+    "run_ablation",
+    "pipeline_config_for",
+    "format_ablation_table",
+    "raw_pixel_ncm",
+    "pretrain_only_baseline",
+    "ncfscil_lite_baseline",
+    "PAPER_TABLE2_REFERENCE",
+]

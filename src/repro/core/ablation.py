@@ -1,0 +1,126 @@
+"""Ablation study of the O-FSCIL components (Table III).
+
+Each ablation row toggles one or more of the paper's ingredients:
+
+* **AG** — data augmentation + Mixup/CutMix feature interpolation,
+* **OR** — feature orthogonality regularization during pretraining,
+* **MM** — multi-margin metalearning,
+* **CE** — cross-entropy metalearning (the negative control),
+* **FT** — per-session on-device FCR fine-tuning.
+
+The rows produced match the structure of Table III: session-0 accuracy,
+session-8 (final) accuracy and the session average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..data.fscil_split import FSCILBenchmark
+from .evaluate import FSCILResult
+from .pipeline import OFSCILPipeline, PipelineConfig
+
+
+@dataclass(frozen=True)
+class AblationFlags:
+    """Which components are enabled for one ablation configuration."""
+
+    augmentation: bool = False
+    orthogonality: bool = False
+    multi_margin: bool = False
+    cross_entropy: bool = False
+    finetune: bool = False
+
+    def label(self) -> str:
+        parts = []
+        if self.augmentation:
+            parts.append("AG")
+        if self.orthogonality:
+            parts.append("OR")
+        if self.multi_margin:
+            parts.append("MM")
+        if self.cross_entropy:
+            parts.append("CE")
+        if self.finetune:
+            parts.append("FT")
+        return "+".join(parts) if parts else "baseline"
+
+
+# The seven rows of Table III, in order.
+TABLE3_ROWS: Sequence[AblationFlags] = (
+    AblationFlags(),
+    AblationFlags(augmentation=True),
+    AblationFlags(augmentation=True, orthogonality=True),
+    AblationFlags(augmentation=True, multi_margin=True),
+    AblationFlags(augmentation=True, orthogonality=True, multi_margin=True),
+    AblationFlags(augmentation=True, orthogonality=True, cross_entropy=True),
+    AblationFlags(augmentation=True, orthogonality=True, multi_margin=True,
+                  finetune=True),
+)
+
+
+@dataclass
+class AblationRow:
+    flags: AblationFlags
+    result: FSCILResult
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.flags.label(),
+            "AG": self.flags.augmentation,
+            "OR": self.flags.orthogonality,
+            "MM": self.flags.multi_margin,
+            "CE": self.flags.cross_entropy,
+            "FT": self.flags.finetune,
+            "session_0": self.result.base_accuracy,
+            "session_last": self.result.final_accuracy,
+            "average": self.result.average_accuracy,
+        }
+
+
+def pipeline_config_for(flags: AblationFlags, base: PipelineConfig) -> PipelineConfig:
+    """Translate ablation flags into a concrete pipeline configuration."""
+    pretrain_config = replace(base.pretrain,
+                              use_augmentation=flags.augmentation,
+                              use_feature_interpolation=flags.augmentation,
+                              ortho_weight=base.pretrain.ortho_weight
+                              if flags.orthogonality else 0.0)
+    use_metalearning = flags.multi_margin or flags.cross_entropy
+    metalearn_config = replace(base.metalearn,
+                               loss="cross_entropy" if flags.cross_entropy
+                               else "multi_margin")
+    return base.with_overrides(pretrain=pretrain_config,
+                               metalearn=metalearn_config,
+                               use_metalearning=use_metalearning,
+                               use_finetuning=flags.finetune)
+
+
+def run_ablation(base_config: PipelineConfig,
+                 benchmark: Optional[FSCILBenchmark] = None,
+                 rows: Sequence[AblationFlags] = TABLE3_ROWS) -> List[AblationRow]:
+    """Run every requested ablation configuration and collect the results."""
+    results: List[AblationRow] = []
+    for flags in rows:
+        config = pipeline_config_for(flags, base_config)
+        pipeline = OFSCILPipeline(config, benchmark=benchmark)
+        outcome = pipeline.run()
+        result = outcome.extras.get("fscil_after_finetune", outcome.fscil) \
+            if flags.finetune else outcome.fscil
+        result.metadata["ablation"] = flags.label()
+        results.append(AblationRow(flags=flags, result=result))
+    return results
+
+
+def format_ablation_table(rows: List[AblationRow]) -> str:
+    """Render ablation rows as a Table III-style text table."""
+    header = ["AG", "OR", "MM", "CE", "FT", "Session 0", "Session last", "Avg"]
+    lines = ["  ".join(h.ljust(12) for h in header)]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        data = row.as_dict()
+        cells = ["x" if data[key] else " " for key in ("AG", "OR", "MM", "CE", "FT")]
+        cells += [f"{100 * data['session_0']:.2f}", f"{100 * data['session_last']:.2f}",
+                  f"{100 * data['average']:.2f}"]
+        lines.append("  ".join(c.ljust(12) for c in cells))
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""FSCIL evaluation protocol (session accuracies, Table II rows).
+
+After every session the model is evaluated on the test samples of *all*
+classes seen so far, exactly as the CIFAR100 FSCIL benchmark prescribes.  The
+result object records per-session accuracy and the session average — the two
+quantities reported in Table II and Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.fscil_split import FSCILBenchmark
+from .finetune import FinetuneConfig, finetune_fcr
+from .ofscil import OFSCIL
+
+
+@dataclass
+class FSCILResult:
+    """Per-session accuracies of one FSCIL run."""
+
+    method: str
+    backbone: str
+    session_accuracy: List[float] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def average_accuracy(self) -> float:
+        """Mean accuracy over all evaluated sessions (the paper's "Avg")."""
+        if not self.session_accuracy:
+            return float("nan")
+        return float(np.mean(self.session_accuracy))
+
+    @property
+    def base_accuracy(self) -> float:
+        return self.session_accuracy[0] if self.session_accuracy else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.session_accuracy[-1] if self.session_accuracy else float("nan")
+
+    @property
+    def forgetting(self) -> float:
+        """Accuracy drop between the base session and the final session."""
+        if len(self.session_accuracy) < 2:
+            return 0.0
+        return self.base_accuracy - self.final_accuracy
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"method": self.method, "backbone": self.backbone}
+        for index, accuracy in enumerate(self.session_accuracy):
+            row[f"session_{index}"] = accuracy
+        row["average"] = self.average_accuracy
+        row.update(self.metadata)
+        return row
+
+
+def evaluate_fscil(model: OFSCIL, benchmark: FSCILBenchmark,
+                   method: str = "O-FSCIL", backbone: str = "",
+                   base_max_per_class: Optional[int] = None,
+                   finetune_config: Optional[FinetuneConfig] = None,
+                   session_callback: Optional[Callable[[int, float], None]] = None
+                   ) -> FSCILResult:
+    """Run the complete FSCIL protocol with an (already trained) O-FSCIL model.
+
+    The model's EM is reset, base-class prototypes are learned from the base
+    session training data, and each incremental session is learned online
+    from its few-shot support set.  After every session the model is
+    evaluated on the union of all seen classes.
+
+    Args:
+        model: trained O-FSCIL model (backbone + FCR are left untouched
+            unless ``finetune_config`` is given).
+        benchmark: the FSCIL benchmark (splits + test data).
+        method / backbone: labels recorded in the result.
+        base_max_per_class: optionally limit how many base-session samples per
+            class feed the base prototypes (the paper uses the full base set).
+        finetune_config: when provided, the optional on-device FCR fine-tuning
+            (Section V-B) is run after every session before evaluation — this
+            is the "+ FT" configuration of Table II and mutates the FCR.
+        session_callback: optional hook called with (session, accuracy).
+    """
+    model.memory.reset()
+    model.activation_memory.clear()
+    model.freeze_feature_extractor()
+
+    result = FSCILResult(method=method, backbone=backbone or model.config.backbone)
+
+    # The backbone is frozen for the whole protocol, so its test-set features
+    # can be extracted once; only the (cheap) FCR projection is re-applied per
+    # session, which also stays correct when fine-tuning modifies the FCR.
+    test_theta_a = model.extract_backbone_features(benchmark.test.images)
+    test_labels = benchmark.test.labels
+
+    def evaluate_session(session_index: int) -> float:
+        seen = benchmark.protocol.seen_classes(session_index)
+        mask = np.isin(test_labels, seen)
+        if not mask.any():
+            return float("nan")
+        theta_p = model.project(test_theta_a[mask])
+        predictions = model.memory.predict(theta_p)
+        return float((predictions == test_labels[mask]).mean())
+
+    model.learn_base_session(benchmark.base_train, max_per_class=base_max_per_class)
+    if finetune_config is not None:
+        finetune_fcr(model, finetune_config)
+    accuracy = evaluate_session(0)
+    result.session_accuracy.append(accuracy)
+    if session_callback:
+        session_callback(0, accuracy)
+
+    for session_index in range(1, benchmark.num_sessions + 1):
+        session = benchmark.session(session_index)
+        model.learn_session(session.support)
+        if finetune_config is not None:
+            finetune_fcr(model, finetune_config)
+        accuracy = evaluate_session(session_index)
+        result.session_accuracy.append(accuracy)
+        if session_callback:
+            session_callback(session_index, accuracy)
+
+    result.metadata["num_classes_final"] = int(model.memory.num_classes)
+    result.metadata["prototype_bits"] = int(model.memory.bits)
+    result.metadata["finetuned"] = finetune_config is not None
+    return result
+
+
+def evaluate_with_predictor(predict: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                            benchmark: FSCILBenchmark, method: str,
+                            backbone: str = "") -> FSCILResult:
+    """Evaluate an arbitrary predictor under the FSCIL protocol.
+
+    ``predict(images, allowed_class_ids)`` must return predicted labels; this
+    is used by the baselines (e.g. raw-pixel NCM) that are not OFSCIL models.
+    """
+    result = FSCILResult(method=method, backbone=backbone)
+    for session_index in range(0, benchmark.num_sessions + 1):
+        test = benchmark.test_upto(session_index)
+        seen = benchmark.protocol.seen_classes(session_index)
+        predictions = predict(test.images, seen)
+        result.session_accuracy.append(float((predictions == test.labels).mean()))
+    return result
+
+
+def format_session_table(results: List[FSCILResult], precision: int = 2) -> str:
+    """Format a list of results as a Table II-style text table."""
+    if not results:
+        return "(no results)"
+    num_sessions = max(len(result.session_accuracy) for result in results)
+    header = ["Method", "Backbone"] + [str(index) for index in range(num_sessions)] + ["Avg."]
+    rows = [header]
+    for result in results:
+        cells = [result.method, result.backbone]
+        cells += [f"{100 * accuracy:.{precision}f}" for accuracy in result.session_accuracy]
+        cells += [""] * (num_sessions - len(result.session_accuracy))
+        cells += [f"{100 * result.average_accuracy:.{precision}f}"]
+        rows.append(cells)
+    widths = [max(len(row[column]) for row in rows) for column in range(len(header))]
+    lines = []
+    for row_index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if row_index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Optional on-device FCR fine-tuning (Section V-B, "Mode 2"-style).
+
+To squeeze out extra accuracy after learning new classes, the FCR alone can
+be fine-tuned on device while the backbone stays frozen.  Training data is
+*not* stored: the activation memory keeps one average backbone feature
+``theta_a,i`` per class, and the FCR is updated to push ``FCR(theta_a,i)``
+towards the bipolarized class prototype through batched gradient descent over
+``B`` iterations.  A sub-batching mechanism groups N classes per batch so the
+accumulated gradient reduces the number of memory accesses to ``B / N`` per
+batch — the same trick is mirrored in the GAP9 cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..models.heads import FullyConnectedReductor
+from ..nn import losses
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor
+from .explicit_memory import bipolarize
+from .ofscil import OFSCIL
+
+
+@dataclass
+class FinetuneConfig:
+    """Hyper-parameters of the on-device FCR fine-tuning."""
+
+    iterations: int = 100          # B batched gradient-descent iterations
+    sub_batch_size: int = 16       # N class-activation pairs per sub-batch
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    loss: str = "cosine"           # "cosine" (maximize similarity) or "mse"
+    update_prototypes: str = "recompute"  # "recompute" | "bipolar" | "none"
+    seed: int = 0
+
+
+@dataclass
+class FinetuneResult:
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.history[-1]["loss"] if self.history else float("nan")
+
+
+def finetune_fcr(model: OFSCIL, config: Optional[FinetuneConfig] = None
+                 ) -> FinetuneResult:
+    """Fine-tune the FCR of an O-FSCIL model against bipolarized prototypes.
+
+    Requires the model to have learned at least one class (so the activation
+    memory and the EM are populated).  Only FCR parameters are updated; the
+    backbone and the stored activations stay frozen, exactly as on the MCU.
+    """
+    config = config or FinetuneConfig()
+    if not model.activation_memory:
+        raise RuntimeError("activation memory is empty; learn classes before fine-tuning")
+
+    class_ids = sorted(model.activation_memory)
+    activations = np.stack([model.activation_memory[c] for c in class_ids]).astype(np.float32)
+    prototypes, _ = model.memory.prototype_matrix(class_ids)
+    targets = bipolarize(prototypes)
+
+    fcr: FullyConnectedReductor = model.fcr
+    fcr.unfreeze()
+    fcr.train()
+    optimizer = SGD(fcr.parameters(), lr=config.learning_rate,
+                    momentum=config.momentum)
+    rng = np.random.default_rng(config.seed)
+
+    result = FinetuneResult()
+    num_classes = len(class_ids)
+    for iteration in range(config.iterations):
+        batch = rng.choice(num_classes, size=min(config.sub_batch_size, num_classes),
+                           replace=False)
+        outputs = fcr(Tensor(activations[batch]))
+        if config.loss == "cosine":
+            loss = losses.cosine_embedding_loss(outputs, targets[batch])
+        elif config.loss == "mse":
+            loss = losses.mse_loss(outputs, targets[batch])
+        else:
+            raise ValueError(f"unknown fine-tuning loss {config.loss!r}")
+        fcr.zero_grad()
+        loss.backward()
+        optimizer.step()
+        result.history.append({"iteration": iteration, "loss": float(loss.data)})
+
+    fcr.eval()
+    fcr.freeze()
+
+    # Keep the EM consistent with the updated FCR.
+    if config.update_prototypes == "recompute":
+        refreshed = model.project(activations)
+        for index, class_id in enumerate(class_ids):
+            model.memory.set_prototype(class_id, refreshed[index])
+    elif config.update_prototypes == "bipolar":
+        for index, class_id in enumerate(class_ids):
+            model.memory.set_prototype(class_id, targets[index])
+    elif config.update_prototypes != "none":
+        raise ValueError(f"unknown prototype update mode {config.update_prototypes!r}")
+    return result

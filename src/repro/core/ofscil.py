@@ -1,0 +1,184 @@
+"""The O-FSCIL model: frozen backbone + FCR + expandable Explicit Memory.
+
+This is the deployable object of the paper.  After server-side pretraining
+and metalearning (see :mod:`repro.core.pretrain` and
+:mod:`repro.core.metalearn`) the backbone and FCR are frozen; new classes are
+learned *online* — a single forward pass over the S labelled shots, averaged
+into a prototype that is appended to the EM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import ArrayDataset
+from ..models.heads import FullyConnectedReductor
+from ..models.registry import BackboneConfig, get_config
+from ..nn.tensor import Tensor
+from .explicit_memory import ExplicitMemory
+
+
+@dataclass
+class OFSCILConfig:
+    """Hyper-parameters of the deployable O-FSCIL model."""
+
+    backbone: str = "mobilenetv2_x4_tiny"
+    prototype_bits: int = 32
+    feature_batch_size: int = 64
+    relu_sharpening: bool = True
+    seed: int = 0
+
+
+class OFSCIL(nn.Module):
+    """Backbone + FCR + Explicit Memory, with online class learning.
+
+    Args:
+        backbone: a feature-extractor module exposing ``output_dim``.
+        fcr: the fully connected reductor mapping ``d_a`` to ``d_p``.
+        config: runtime configuration (prototype precision, batch size, ...).
+    """
+
+    def __init__(self, backbone: nn.Module, fcr: FullyConnectedReductor,
+                 config: Optional[OFSCILConfig] = None):
+        super().__init__()
+        self.config = config or OFSCILConfig()
+        self.backbone = backbone
+        self.fcr = fcr
+        self.memory = ExplicitMemory(dim=fcr.out_features,
+                                     bits=self.config.prototype_bits)
+        # Average backbone activations per class, kept for optional on-device
+        # FCR fine-tuning (Section V-B "activation memory").
+        self.activation_memory: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(cls, name: str, config: Optional[OFSCILConfig] = None,
+                      seed: int = 0) -> "OFSCIL":
+        """Build an O-FSCIL model from a named backbone configuration."""
+        backbone_config: BackboneConfig = get_config(name)
+        backbone = backbone_config.build(seed=seed)
+        fcr = backbone_config.build_fcr(seed=seed + 1)
+        config = config or OFSCILConfig(backbone=name, seed=seed)
+        return cls(backbone, fcr, config)
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+    @property
+    def prototype_dim(self) -> int:
+        return self.fcr.out_features
+
+    @property
+    def feature_dim(self) -> int:
+        return self.fcr.in_features
+
+    def extract_backbone_features(self, images: np.ndarray) -> np.ndarray:
+        """Compute ``theta_a`` for a batch of images (no gradients)."""
+        images = np.asarray(images, dtype=np.float32)
+        outputs: List[np.ndarray] = []
+        batch = self.config.feature_batch_size
+        self.backbone.eval()
+        with nn.no_grad():
+            for start in range(0, len(images), batch):
+                chunk = Tensor(images[start:start + batch])
+                outputs.append(self.backbone(chunk).data)
+        return np.concatenate(outputs, axis=0)
+
+    def project(self, theta_a: np.ndarray) -> np.ndarray:
+        """Map backbone features ``theta_a`` to prototypical features ``theta_p``."""
+        self.fcr.eval()
+        with nn.no_grad():
+            return self.fcr(Tensor(np.asarray(theta_a, dtype=np.float32))).data
+
+    def embed(self, images: np.ndarray) -> np.ndarray:
+        """Full feature path: images -> ``theta_p``."""
+        return self.project(self.extract_backbone_features(images))
+
+    def forward(self, images) -> Tensor:
+        """Differentiable forward pass (used by the server-side training)."""
+        if not isinstance(images, Tensor):
+            images = Tensor(np.asarray(images, dtype=np.float32))
+        return self.fcr(self.backbone(images))
+
+    # ------------------------------------------------------------------
+    # Online learning (Fig. 1b)
+    # ------------------------------------------------------------------
+    def learn_class(self, images: np.ndarray, class_id: int) -> np.ndarray:
+        """Learn one class from its labelled shots in a single pass.
+
+        Also updates the activation memory with the average ``theta_a`` of
+        the shots, enabling optional FCR fine-tuning later.
+        """
+        theta_a = self.extract_backbone_features(images)
+        theta_p = self.project(theta_a)
+        prototype = self.memory.update_class(int(class_id), theta_p)
+        self.activation_memory[int(class_id)] = theta_a.mean(axis=0).astype(np.float32)
+        return prototype
+
+    def learn_session(self, dataset: ArrayDataset) -> List[int]:
+        """Learn every class present in a support dataset (one session)."""
+        learned = []
+        for class_id in dataset.classes:
+            mask = dataset.labels == class_id
+            self.learn_class(dataset.images[mask], int(class_id))
+            learned.append(int(class_id))
+        return learned
+
+    def learn_base_session(self, dataset: ArrayDataset,
+                           max_per_class: Optional[int] = None,
+                           seed: int = 0) -> List[int]:
+        """Populate the EM with base-class prototypes after metalearning."""
+        rng = np.random.default_rng(seed)
+        learned = []
+        for class_id in dataset.classes:
+            indices = np.flatnonzero(dataset.labels == class_id)
+            if max_per_class is not None and len(indices) > max_per_class:
+                indices = rng.choice(indices, size=max_per_class, replace=False)
+            self.learn_class(dataset.images[indices], int(class_id))
+            learned.append(int(class_id))
+        return learned
+
+    # ------------------------------------------------------------------
+    # Inference (Fig. 1a)
+    # ------------------------------------------------------------------
+    def classify_features(self, theta_p: np.ndarray,
+                          class_ids: Optional[Iterable[int]] = None) -> np.ndarray:
+        return self.memory.predict(theta_p, class_ids)
+
+    def predict(self, images: np.ndarray,
+                class_ids: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Classify images against the prototypes currently stored in the EM."""
+        return self.classify_features(self.embed(images), class_ids)
+
+    def similarity_scores(self, images: np.ndarray,
+                          class_ids: Optional[Iterable[int]] = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        sims, ids = self.memory.similarities(self.embed(images), class_ids)
+        if self.config.relu_sharpening:
+            sims = np.maximum(sims, 0.0)
+        return sims, ids
+
+    def accuracy(self, dataset: ArrayDataset,
+                 class_ids: Optional[Iterable[int]] = None) -> float:
+        """Top-1 accuracy of nearest-prototype classification on a dataset."""
+        if len(dataset) == 0:
+            return float("nan")
+        predictions = self.predict(dataset.images, class_ids)
+        return float((predictions == dataset.labels).mean())
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def freeze_feature_extractor(self) -> None:
+        """Freeze backbone and FCR (the deployment configuration)."""
+        self.backbone.freeze()
+        self.fcr.freeze()
+
+    def memory_footprint_bytes(self, num_classes: Optional[int] = None) -> float:
+        return self.memory.memory_bytes(num_classes)

@@ -1,0 +1,120 @@
+"""End-to-end O-FSCIL pipeline: pretrain -> metalearn -> deploy -> evaluate.
+
+This orchestration object is what the benchmark harnesses, ablation study and
+examples use.  It wires together the training stages with a single
+configuration record so ablations only need to flip flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..data.fscil_split import FSCILBenchmark, build_synthetic_fscil
+from .evaluate import FSCILResult, evaluate_fscil
+from .finetune import FinetuneConfig
+from .metalearn import MetalearnConfig, MetalearnResult, metalearn
+from .ofscil import OFSCIL, OFSCILConfig
+from .pretrain import PretrainConfig, PretrainResult, pretrain
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of a full O-FSCIL training + evaluation run."""
+
+    backbone: str = "mobilenetv2_x4_tiny"
+    profile: str = "test"
+    pretrain: PretrainConfig = field(default_factory=PretrainConfig)
+    metalearn: MetalearnConfig = field(default_factory=MetalearnConfig)
+    finetune: FinetuneConfig = field(default_factory=FinetuneConfig)
+    use_metalearning: bool = True
+    use_finetuning: bool = False
+    quantize_int8: bool = False
+    prototype_bits: int = 32
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "PipelineConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipeline run."""
+
+    config: PipelineConfig
+    model: OFSCIL
+    fscil: FSCILResult
+    pretrain: PretrainResult
+    metalearn: Optional[MetalearnResult] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+class OFSCILPipeline:
+    """Runs the complete O-FSCIL methodology on an FSCIL benchmark."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 benchmark: Optional[FSCILBenchmark] = None):
+        self.config = config or PipelineConfig()
+        self.benchmark = benchmark if benchmark is not None else \
+            build_synthetic_fscil(self.config.profile, seed=self.config.seed)
+
+    # ------------------------------------------------------------------
+    def build_model(self) -> OFSCIL:
+        model_config = OFSCILConfig(backbone=self.config.backbone,
+                                    prototype_bits=self.config.prototype_bits,
+                                    seed=self.config.seed)
+        return OFSCIL.from_registry(self.config.backbone, model_config,
+                                    seed=self.config.seed)
+
+    def train(self, model: Optional[OFSCIL] = None) -> PipelineResult:
+        """Run pretraining (and metalearning) on the base session."""
+        model = model or self.build_model()
+        base_classes = self.benchmark.protocol.base_classes
+
+        pretrain_result = pretrain(model.backbone, model.fcr,
+                                   self.benchmark.base_train,
+                                   num_classes=base_classes,
+                                   config=self.config.pretrain)
+        metalearn_result = None
+        if self.config.use_metalearning:
+            metalearn_result = metalearn(model.backbone, model.fcr,
+                                         self.benchmark.base_train,
+                                         config=self.config.metalearn)
+
+        if self.config.quantize_int8:
+            # Imported lazily: quantization is an optional stage layered on top
+            # of the trained float model.
+            from ..quant.workflow import quantize_ofscil_model
+            model, quant_report = quantize_ofscil_model(
+                model, self.benchmark.base_train, seed=self.config.seed)
+            extras = {"quantization": quant_report}
+        else:
+            extras = {}
+
+        fscil_result = evaluate_fscil(model, self.benchmark,
+                                      method=self._method_name(),
+                                      backbone=self.config.backbone)
+
+        if self.config.use_finetuning:
+            # Re-run the protocol with per-session on-device FCR fine-tuning
+            # (the "+ FT" rows of Table II).  This mutates the model's FCR.
+            fscil_ft = evaluate_fscil(model, self.benchmark,
+                                      method=self._method_name() + " + FT",
+                                      backbone=self.config.backbone,
+                                      finetune_config=self.config.finetune)
+            extras["fscil_after_finetune"] = fscil_ft
+
+        return PipelineResult(config=self.config, model=model, fscil=fscil_result,
+                              pretrain=pretrain_result, metalearn=metalearn_result,
+                              extras=extras)
+
+    run = train
+
+    # ------------------------------------------------------------------
+    def _method_name(self) -> str:
+        name = "O-FSCIL"
+        if not self.config.use_metalearning:
+            name += " (no metalearning)"
+        if self.config.quantize_int8:
+            name += " [int8]"
+        return name

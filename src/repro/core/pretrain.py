@@ -1,0 +1,180 @@
+"""Server-side pretraining of the backbone + FCR (Section IV-B).
+
+The backbone, FCR and a temporary fully connected classifier (FCC) are
+jointly trained on the base session with:
+
+* the classification cross-entropy loss,
+* the feature-orthogonality regularizer (Eq. 1) weighted by ``lambda_ortho``,
+* standard augmentation (crop / flip / blur) and exclusive Mixup/CutMix
+  feature interpolation with probability 0.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.augment import AugmentationPipeline, IdentityAugmentation
+from ..data.dataset import ArrayDataset, DataLoader
+from ..data.mixup import FeatureInterpolation
+from ..models.heads import FullyConnectedClassifier, FullyConnectedReductor
+from ..nn import losses
+from ..nn.functional import one_hot
+from ..nn.calibration import recalibrate_batchnorm
+from ..nn.optim import SGD, CosineAnnealingLR
+from ..nn.tensor import Tensor
+
+
+@dataclass
+class PretrainConfig:
+    """Hyper-parameters of the pretraining stage."""
+
+    epochs: int = 5
+    batch_size: int = 64
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    ortho_weight: float = 0.1
+    ortho_mode: str = "covariance"
+    label_smoothing: float = 0.0
+    use_augmentation: bool = True
+    use_feature_interpolation: bool = True
+    #: probability of applying Mixup/CutMix to a batch.  The paper uses 0.4
+    #: on full CIFAR100; the smaller synthetic base sessions of the laptop
+    #: profile benefit from a slightly gentler setting.
+    interpolation_probability: float = 0.25
+    mixup_alpha: float = 0.2
+    cutmix_alpha: float = 1.0
+    crop_padding: int = 2
+    grad_clip: float = 5.0
+    cosine_schedule: bool = True
+    seed: int = 0
+
+
+@dataclass
+class PretrainResult:
+    """Training history and final head returned by :func:`pretrain`."""
+
+    history: List[Dict[str, float]] = field(default_factory=list)
+    classifier: Optional[FullyConnectedClassifier] = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.history[-1]["loss"] if self.history else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history[-1]["accuracy"] if self.history else float("nan")
+
+
+def pretrain(backbone: nn.Module, fcr: FullyConnectedReductor,
+             dataset: ArrayDataset, num_classes: int,
+             config: Optional[PretrainConfig] = None,
+             classifier: Optional[FullyConnectedClassifier] = None) -> PretrainResult:
+    """Jointly train backbone, FCR and FCC on the base session.
+
+    Args:
+        backbone: the feature extractor (trained in place).
+        fcr: the fully connected reductor (trained in place).
+        dataset: labelled base-session data; labels must lie in
+            ``[0, num_classes)``.
+        num_classes: number of base classes ``|C0|``.
+        config: pretraining hyper-parameters.
+        classifier: optionally reuse an existing FCC (quantization-aware
+            re-training passes one in); a fresh one is created otherwise.
+
+    Returns:
+        :class:`PretrainResult` with the per-epoch history and the FCC.
+    """
+    config = config or PretrainConfig()
+    rng = np.random.default_rng(config.seed)
+
+    if classifier is None:
+        classifier = FullyConnectedClassifier(fcr.out_features, num_classes,
+                                              seed=config.seed + 11)
+    augment = AugmentationPipeline(crop_padding=config.crop_padding,
+                                   seed=config.seed + 3) \
+        if config.use_augmentation else IdentityAugmentation()
+    interpolate = FeatureInterpolation(
+        probability=config.interpolation_probability if config.use_feature_interpolation else 0.0,
+        mixup_alpha=config.mixup_alpha, cutmix_alpha=config.cutmix_alpha,
+        num_classes=num_classes, seed=config.seed + 5)
+
+    parameters = backbone.parameters() + fcr.parameters() + classifier.parameters()
+    optimizer = SGD(parameters, lr=config.learning_rate, momentum=config.momentum,
+                    weight_decay=config.weight_decay, nesterov=True)
+    scheduler = CosineAnnealingLR(optimizer, t_max=config.epochs) \
+        if config.cosine_schedule else None
+
+    loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True,
+                        seed=config.seed + 7)
+    backbone.train()
+    fcr.train()
+    classifier.train()
+
+    result = PretrainResult(classifier=classifier)
+    for epoch in range(config.epochs):
+        epoch_loss, epoch_correct, epoch_count = 0.0, 0, 0
+        for images, labels in loader:
+            images = augment(images)
+            mixed_images, soft_targets = interpolate(images, labels)
+
+            theta_a = backbone(Tensor(mixed_images))
+            theta_p = fcr(theta_a)
+            logits = classifier(theta_p)
+            loss = losses.pretraining_loss(
+                logits, soft_targets, theta_p,
+                ortho_weight=config.ortho_weight, ortho_mode=config.ortho_mode,
+                label_smoothing=config.label_smoothing)
+
+            backbone.zero_grad()
+            fcr.zero_grad()
+            classifier.zero_grad()
+            loss.backward()
+            if config.grad_clip:
+                nn.optim.clip_grad_norm(parameters, config.grad_clip)
+            optimizer.step()
+
+            predictions = np.argmax(logits.data, axis=1)
+            epoch_correct += int((predictions == labels).sum())
+            epoch_count += len(labels)
+            epoch_loss += float(loss.data) * len(labels)
+
+        if scheduler is not None:
+            scheduler.step()
+        result.history.append({
+            "epoch": epoch,
+            "loss": epoch_loss / max(epoch_count, 1),
+            "accuracy": epoch_correct / max(epoch_count, 1),
+            "lr": optimizer.lr,
+        })
+
+    # Short schedules leave the BatchNorm running statistics miscalibrated;
+    # replay the (un-augmented) training images to fix them before the model
+    # is used in inference mode.
+    recalibrate_batchnorm(backbone, dataset.images, batch_size=config.batch_size)
+    backbone.eval()
+    fcr.eval()
+    classifier.eval()
+    return result
+
+
+def evaluate_classifier(backbone: nn.Module, fcr: FullyConnectedReductor,
+                        classifier: FullyConnectedClassifier,
+                        dataset: ArrayDataset, batch_size: int = 128) -> float:
+    """Top-1 accuracy of the FCC path (used to monitor pretraining)."""
+    backbone.eval()
+    fcr.eval()
+    classifier.eval()
+    correct, total = 0, 0
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    with nn.no_grad():
+        for images, labels in loader:
+            logits = classifier(fcr(backbone(Tensor(images))))
+            predictions = np.argmax(logits.data, axis=1)
+            correct += int((predictions == labels).sum())
+            total += len(labels)
+    return correct / max(total, 1)

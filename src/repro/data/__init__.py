@@ -1,0 +1,53 @@
+"""Datasets, FSCIL splits and augmentation for the O-FSCIL reproduction."""
+
+from .augment import (
+    AugmentationPipeline,
+    IdentityAugmentation,
+    brightness_contrast,
+    gaussian_blur,
+    random_crop,
+    random_horizontal_flip,
+    random_resized_crop,
+)
+from .dataset import ArrayDataset, DataLoader, train_test_split
+from .fscil_split import (
+    PROFILES,
+    FSCILBenchmark,
+    FSCILProtocol,
+    IncrementalSession,
+    build_protocol,
+    build_synthetic_fscil,
+    split_dataset,
+)
+from .mixup import FeatureInterpolation, cutmix_batch, mixup_batch
+from .synthetic import (
+    SyntheticConfig,
+    SyntheticImageGenerator,
+    normalize_images,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "SyntheticConfig",
+    "SyntheticImageGenerator",
+    "normalize_images",
+    "AugmentationPipeline",
+    "IdentityAugmentation",
+    "random_crop",
+    "random_horizontal_flip",
+    "random_resized_crop",
+    "gaussian_blur",
+    "brightness_contrast",
+    "FeatureInterpolation",
+    "mixup_batch",
+    "cutmix_batch",
+    "FSCILProtocol",
+    "FSCILBenchmark",
+    "IncrementalSession",
+    "PROFILES",
+    "build_protocol",
+    "build_synthetic_fscil",
+    "split_dataset",
+]

@@ -1,0 +1,109 @@
+"""Dataset and data-loading primitives.
+
+Images are stored as ``float32`` arrays in NCHW layout; labels are ``int64``
+vectors.  The :class:`DataLoader` yields plain NumPy batches — the training
+loops wrap them into tensors as needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ArrayDataset:
+    """In-memory dataset of images and integer labels."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self):
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.images) != len(self.labels):
+            raise ValueError("images and labels must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    @property
+    def classes(self) -> np.ndarray:
+        return np.unique(self.labels)
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        indices = np.asarray(indices)
+        return ArrayDataset(self.images[indices], self.labels[indices])
+
+    def filter_classes(self, class_ids: Sequence[int]) -> "ArrayDataset":
+        """Return the subset of samples whose label is in ``class_ids``."""
+        mask = np.isin(self.labels, np.asarray(class_ids))
+        return ArrayDataset(self.images[mask], self.labels[mask])
+
+    def sample_per_class(self, shots: int, rng: np.random.Generator) -> "ArrayDataset":
+        """Randomly draw ``shots`` examples of every class present."""
+        chosen = []
+        for class_id in self.classes:
+            indices = np.flatnonzero(self.labels == class_id)
+            if len(indices) < shots:
+                raise ValueError(
+                    f"class {class_id} has only {len(indices)} samples, need {shots}")
+            chosen.append(rng.choice(indices, size=shots, replace=False))
+        chosen = np.concatenate(chosen)
+        return self.subset(chosen)
+
+    def concat(self, other: "ArrayDataset") -> "ArrayDataset":
+        return ArrayDataset(np.concatenate([self.images, other.images]),
+                            np.concatenate([self.labels, other.labels]))
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset`."""
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int = 32,
+                 shuffle: bool = False, drop_last: bool = False,
+                 seed: Optional[int] = None):
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            images, labels = self.dataset[batch_idx]
+            yield images, labels
+
+
+def train_test_split(dataset: ArrayDataset, test_per_class: int,
+                     rng: np.random.Generator) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train/test keeping ``test_per_class`` per class."""
+    train_indices, test_indices = [], []
+    for class_id in dataset.classes:
+        indices = np.flatnonzero(dataset.labels == class_id)
+        indices = rng.permutation(indices)
+        test_indices.append(indices[:test_per_class])
+        train_indices.append(indices[test_per_class:])
+    return (dataset.subset(np.concatenate(train_indices)),
+            dataset.subset(np.concatenate(test_indices)))

@@ -1,0 +1,173 @@
+"""FSCIL benchmark protocol: base session + N-way S-shot incremental sessions.
+
+Mirrors the CIFAR100 FSCIL benchmark used by the paper: 60 base classes and
+eight incremental 5-way 5-shot sessions, evaluated after each session on the
+union of all classes seen so far.  The underlying images come from the
+synthetic generator (:mod:`repro.data.synthetic`), and the split logic is
+independent of the image source so it applies to any :class:`ArrayDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset
+from .synthetic import SyntheticConfig, SyntheticImageGenerator, normalize_images
+
+
+@dataclass
+class FSCILProtocol:
+    """Parameters of the few-shot class-incremental benchmark."""
+
+    num_classes: int = 100
+    base_classes: int = 60
+    ways: int = 5
+    shots: int = 5
+    num_sessions: int = 8
+    base_train_per_class: int = 50
+    test_per_class: int = 100
+    image_size: int = 32
+    seed: int = 0
+
+    def __post_init__(self):
+        required = self.base_classes + self.ways * self.num_sessions
+        if required > self.num_classes:
+            raise ValueError(
+                f"protocol needs {required} classes but only {self.num_classes} exist")
+
+    @property
+    def total_sessions(self) -> int:
+        """Number of evaluation points: the base session plus incremental ones."""
+        return self.num_sessions + 1
+
+    def session_classes(self, session: int) -> np.ndarray:
+        """Class ids introduced in ``session`` (0 = base session)."""
+        if session == 0:
+            return np.arange(self.base_classes)
+        start = self.base_classes + (session - 1) * self.ways
+        return np.arange(start, start + self.ways)
+
+    def seen_classes(self, session: int) -> np.ndarray:
+        """All class ids seen up to and including ``session``."""
+        end = self.base_classes + session * self.ways
+        return np.arange(end)
+
+
+@dataclass
+class IncrementalSession:
+    """Support data of one incremental session."""
+
+    index: int
+    class_ids: np.ndarray
+    support: ArrayDataset
+
+
+@dataclass
+class FSCILBenchmark:
+    """A complete FSCIL benchmark instance.
+
+    Attributes:
+        protocol: the split protocol parameters.
+        base_train: labelled training data of the base session.
+        sessions: the incremental sessions (1..num_sessions), each holding a
+            few-shot support set of the newly introduced classes.
+        test: test data covering all classes; use :meth:`test_upto` to fetch
+            the evaluation set after a given session.
+    """
+
+    protocol: FSCILProtocol
+    base_train: ArrayDataset
+    sessions: List[IncrementalSession]
+    test: ArrayDataset
+    normalization: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def test_upto(self, session: int) -> ArrayDataset:
+        """Test samples of every class seen up to ``session`` (inclusive)."""
+        return self.test.filter_classes(self.protocol.seen_classes(session))
+
+    def session(self, index: int) -> IncrementalSession:
+        if index < 1 or index > len(self.sessions):
+            raise IndexError(f"incremental sessions are numbered 1..{len(self.sessions)}")
+        return self.sessions[index - 1]
+
+    @property
+    def num_sessions(self) -> int:
+        return self.protocol.num_sessions
+
+
+# ---------------------------------------------------------------------------
+# Named benchmark profiles
+# ---------------------------------------------------------------------------
+PROFILES: Dict[str, Dict] = {
+    # Exact CIFAR100 FSCIL protocol shape on full-resolution synthetic images.
+    "paper": dict(num_classes=100, base_classes=60, ways=5, shots=5,
+                  num_sessions=8, base_train_per_class=50, test_per_class=100,
+                  image_size=32),
+    # Same protocol (60 base + 8 x 5-way 5-shot) with smaller images and test
+    # pools so end-to-end runs complete quickly on a CPU.
+    "laptop": dict(num_classes=100, base_classes=60, ways=5, shots=5,
+                   num_sessions=8, base_train_per_class=30, test_per_class=15,
+                   image_size=16),
+    # Miniature protocol for unit tests.
+    "test": dict(num_classes=20, base_classes=8, ways=3, shots=5,
+                 num_sessions=4, base_train_per_class=15, test_per_class=8,
+                 image_size=16),
+}
+
+
+def build_protocol(profile: str = "laptop", **overrides) -> FSCILProtocol:
+    """Create an :class:`FSCILProtocol` from a named profile plus overrides."""
+    if profile not in PROFILES:
+        raise KeyError(f"unknown FSCIL profile {profile!r}; known: {sorted(PROFILES)}")
+    params = dict(PROFILES[profile])
+    params.update(overrides)
+    return FSCILProtocol(**params)
+
+
+def split_dataset(protocol: FSCILProtocol, train: ArrayDataset, test: ArrayDataset,
+                  seed: Optional[int] = None) -> FSCILBenchmark:
+    """Split externally provided train/test data according to the protocol."""
+    rng = np.random.default_rng(protocol.seed if seed is None else seed)
+    base_train = train.filter_classes(protocol.session_classes(0))
+    sessions = []
+    for session_index in range(1, protocol.num_sessions + 1):
+        class_ids = protocol.session_classes(session_index)
+        pool = train.filter_classes(class_ids)
+        support = pool.sample_per_class(protocol.shots, rng)
+        sessions.append(IncrementalSession(session_index, class_ids, support))
+    return FSCILBenchmark(protocol=protocol, base_train=base_train,
+                          sessions=sessions, test=test)
+
+
+def build_synthetic_fscil(profile: str = "laptop", seed: int = 0,
+                          normalize: bool = True, **overrides) -> FSCILBenchmark:
+    """Generate a synthetic FSCIL benchmark for the given profile.
+
+    The train pool holds ``base_train_per_class`` images per class (the
+    incremental support sets are sampled from it), and the test pool holds
+    ``test_per_class`` images per class drawn with a different seed.
+    """
+    protocol = build_protocol(profile, **overrides)
+    synth_config = SyntheticConfig(num_classes=protocol.num_classes,
+                                   image_size=protocol.image_size,
+                                   seed=protocol.seed + 7)
+    generator = SyntheticImageGenerator(synth_config)
+    train_pool = generator.generate(protocol.base_train_per_class, seed=seed + 1)
+    test_pool = generator.generate(protocol.test_per_class, seed=seed + 2)
+
+    normalization = None
+    if normalize:
+        base_images = train_pool.filter_classes(protocol.session_classes(0)).images
+        _, mean, std = normalize_images(base_images)
+        train_pool = ArrayDataset(((train_pool.images - mean) / std).astype(np.float32),
+                                  train_pool.labels)
+        test_pool = ArrayDataset(((test_pool.images - mean) / std).astype(np.float32),
+                                 test_pool.labels)
+        normalization = (mean, std)
+
+    benchmark = split_dataset(protocol, train_pool, test_pool, seed=seed + 3)
+    benchmark.normalization = normalization
+    return benchmark

@@ -1,0 +1,94 @@
+"""Mixup and CutMix feature-interpolation augmentation.
+
+The paper employs Mixup and CutMix *exclusively* (one or the other, never
+both on the same batch) with probability 0.4 during pretraining; the class
+targets become soft mixtures of the two source labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.functional import one_hot
+
+
+def mixup_batch(images: np.ndarray, targets: np.ndarray, alpha: float,
+                rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+    """Mixup: convex combination of two images and their soft labels.
+
+    Args:
+        images: ``(N, C, H, W)`` batch.
+        targets: ``(N, num_classes)`` soft (or one-hot) targets.
+        alpha: Beta distribution concentration; ``lambda ~ Beta(alpha, alpha)``.
+
+    Returns:
+        mixed images and mixed targets.
+    """
+    lam = float(rng.beta(alpha, alpha)) if alpha > 0 else 1.0
+    permutation = rng.permutation(len(images))
+    mixed_images = lam * images + (1.0 - lam) * images[permutation]
+    mixed_targets = lam * targets + (1.0 - lam) * targets[permutation]
+    return mixed_images.astype(images.dtype), mixed_targets.astype(targets.dtype)
+
+
+def _random_box(height: int, width: int, lam: float,
+                rng: np.random.Generator) -> Tuple[int, int, int, int]:
+    """Sample the CutMix rectangle for a mixing coefficient ``lam``."""
+    cut_ratio = np.sqrt(1.0 - lam)
+    cut_h, cut_w = int(height * cut_ratio), int(width * cut_ratio)
+    cy, cx = rng.integers(height), rng.integers(width)
+    y1 = int(np.clip(cy - cut_h // 2, 0, height))
+    y2 = int(np.clip(cy + cut_h // 2, 0, height))
+    x1 = int(np.clip(cx - cut_w // 2, 0, width))
+    x2 = int(np.clip(cx + cut_w // 2, 0, width))
+    return y1, y2, x1, x2
+
+
+def cutmix_batch(images: np.ndarray, targets: np.ndarray, alpha: float,
+                 rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+    """CutMix: paste a rectangular patch from a permuted batch member.
+
+    The label mixing coefficient is the exact area fraction of the pasted
+    rectangle, as in the original CutMix formulation.
+    """
+    lam = float(rng.beta(alpha, alpha)) if alpha > 0 else 1.0
+    permutation = rng.permutation(len(images))
+    _, _, height, width = images.shape
+    y1, y2, x1, x2 = _random_box(height, width, lam, rng)
+    mixed = images.copy()
+    mixed[:, :, y1:y2, x1:x2] = images[permutation][:, :, y1:y2, x1:x2]
+    # Recompute lambda from the actual box area (clipping may shrink it).
+    lam_adjusted = 1.0 - ((y2 - y1) * (x2 - x1) / (height * width))
+    mixed_targets = lam_adjusted * targets + (1.0 - lam_adjusted) * targets[permutation]
+    return mixed, mixed_targets.astype(targets.dtype)
+
+
+@dataclass
+class FeatureInterpolation:
+    """Paper-style exclusive Mixup/CutMix application.
+
+    With probability ``probability`` a batch is interpolated; the method is
+    chosen uniformly between Mixup and CutMix (they are never combined).
+    """
+
+    probability: float = 0.4
+    mixup_alpha: float = 0.2
+    cutmix_alpha: float = 1.0
+    num_classes: int = 100
+    seed: int = 0
+
+    def __post_init__(self):
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, images: np.ndarray, labels: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (possibly mixed) images and soft targets."""
+        targets = one_hot(labels, self.num_classes)
+        if self._rng.random() >= self.probability:
+            return images, targets
+        if self._rng.random() < 0.5:
+            return mixup_batch(images, targets, self.mixup_alpha, self._rng)
+        return cutmix_batch(images, targets, self.cutmix_alpha, self._rng)

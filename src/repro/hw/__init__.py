@@ -1,0 +1,67 @@
+"""GAP9 MCU simulator: memory hierarchy, cycle model, power model, profiler."""
+
+from .deploy import DeploymentPlan, deploy_backbone, deploy_graph, fold_batchnorm
+from .kernels import (
+    GraphCost,
+    LayerCost,
+    graph_cycles,
+    layer_cycles,
+    per_core_throughput,
+    row_parallel_utilization,
+)
+from .memory import (
+    MemoryPlan,
+    TensorPlacement,
+    dma_cycles,
+    layer_dma_cycles,
+    plan_memory,
+)
+from .power import EnergyReport, PowerBreakdown, PowerModel, combine_reports
+from .profiler import (
+    FIG2_CORE_COUNTS,
+    GAP9Profiler,
+    PAPER_TABLE4_REFERENCE,
+    format_table4,
+)
+from .soc import (
+    OPERATING_POINTS,
+    ComputeConfig,
+    GAP9Config,
+    MemoryConfig,
+    OperatingPoint,
+    PowerConfig,
+    default_gap9,
+)
+
+__all__ = [
+    "GAP9Config",
+    "ComputeConfig",
+    "MemoryConfig",
+    "PowerConfig",
+    "OperatingPoint",
+    "OPERATING_POINTS",
+    "default_gap9",
+    "MemoryPlan",
+    "TensorPlacement",
+    "plan_memory",
+    "dma_cycles",
+    "layer_dma_cycles",
+    "LayerCost",
+    "GraphCost",
+    "layer_cycles",
+    "graph_cycles",
+    "row_parallel_utilization",
+    "per_core_throughput",
+    "DeploymentPlan",
+    "deploy_graph",
+    "deploy_backbone",
+    "fold_batchnorm",
+    "PowerModel",
+    "PowerBreakdown",
+    "EnergyReport",
+    "combine_reports",
+    "GAP9Profiler",
+    "PAPER_TABLE4_REFERENCE",
+    "FIG2_CORE_COUNTS",
+    "format_table4",
+]

@@ -1,0 +1,114 @@
+"""Dory-style deployment of a network graph onto GAP9.
+
+The deployment flow mirrors what the Dory code generator does for the paper:
+fold BatchNorm into the preceding convolution, decide for every layer whether
+its (int8) weights live in L2 or spill to the external L3, tile activations
+through the 128 kB L1, and emit a per-layer execution schedule with cycle and
+DMA costs.  The result is consumed by the profiler to produce Table IV and
+Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..models.graph import GraphSummary, LayerSpec
+from .kernels import GraphCost, graph_cycles
+from .memory import MemoryPlan, plan_memory
+from .soc import GAP9Config
+
+
+def fold_batchnorm(layers: List[LayerSpec]) -> List[LayerSpec]:
+    """Remove standalone BatchNorm layers (folded into the preceding conv).
+
+    Dory folds BN scale/shift into the convolution's requantization step, so
+    at deployment time BN costs neither extra MACs nor extra weights beyond
+    the per-channel bias already accounted for.
+    """
+    return [layer for layer in layers if layer.op_type != "bn"]
+
+
+@dataclass
+class DeploymentPlan:
+    """A network deployed onto GAP9: memory placement + execution schedule."""
+
+    name: str
+    layers: List[LayerSpec]
+    memory_plan: MemoryPlan
+    config: GAP9Config
+    weight_bits: int = 8
+    activation_bits: int = 8
+    costs: Dict[int, GraphCost] = field(default_factory=dict)
+
+    def cost(self, cores: int = 8) -> GraphCost:
+        """Cycle cost of one inference at the requested core count (cached)."""
+        if cores not in self.costs:
+            self.costs[cores] = graph_cycles(self.layers, cores, self.config,
+                                             self.memory_plan,
+                                             self.weight_bits,
+                                             self.activation_bits)
+        return self.costs[cores]
+
+    # ------------------------------------------------------------------
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(layer.weight_bytes(self.weight_bits) for layer in self.layers)
+
+    def latency_ms(self, cores: int = 8) -> float:
+        return self.config.cycles_to_ms(self.cost(cores).total_cycles)
+
+    def macs_per_cycle(self, cores: int = 8) -> float:
+        return self.cost(cores).macs_per_cycle
+
+    def utilization(self, cores: int = 8) -> Dict[str, float]:
+        """Compute / L3 activity factors used by the power model."""
+        cost = self.cost(cores)
+        total = cost.total_cycles
+        if total <= 0:
+            return {"compute": 0.0, "l3": 0.0}
+        compute_fraction = min(cost.compute_cycles / total, 1.0)
+        l3_cycles = 0.0
+        for layer_cost, layer in zip(cost.layers, self.layers):
+            placement = self.memory_plan.placement(layer.name)
+            if placement.weight_level == "L3":
+                l3_cycles += min(layer_cost.dma_cycles, layer_cost.total_cycles)
+        return {"compute": compute_fraction, "l3": min(l3_cycles / total, 1.0)}
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "num_layers": len(self.layers),
+            "total_macs": self.total_macs,
+            "weight_bytes": self.weight_bytes,
+            "l2_used_bytes": self.memory_plan.l2_used_bytes,
+            "l3_used_bytes": self.memory_plan.l3_used_bytes,
+            "layers_in_l3": self.memory_plan.layers_in_l3,
+        }
+
+
+def deploy_graph(name: str, layers: List[LayerSpec],
+                 config: Optional[GAP9Config] = None,
+                 weight_bits: int = 8, activation_bits: int = 8,
+                 fold_bn: bool = True) -> DeploymentPlan:
+    """Deploy a layer graph onto GAP9 and return the deployment plan."""
+    config = config or GAP9Config()
+    layers = fold_batchnorm(layers) if fold_bn else list(layers)
+    memory_plan = plan_memory(layers, config, weight_bits, activation_bits)
+    return DeploymentPlan(name=name, layers=layers, memory_plan=memory_plan,
+                          config=config, weight_bits=weight_bits,
+                          activation_bits=activation_bits)
+
+
+def deploy_backbone(config_name: str, gap9: Optional[GAP9Config] = None,
+                    weight_bits: int = 8, activation_bits: int = 8,
+                    include_fcr: bool = False) -> DeploymentPlan:
+    """Deploy a registered backbone configuration (paper profile) onto GAP9."""
+    from ..models.registry import get_config
+    backbone_config = get_config(config_name)
+    layers = backbone_config.layer_specs(include_fcr=include_fcr)
+    return deploy_graph(config_name, layers, gap9, weight_bits, activation_bits)

@@ -1,0 +1,107 @@
+"""Memory hierarchy placement and DMA transfer model.
+
+A Dory-style deployment places each layer's weights either in the on-chip L2
+or, when the network does not fit, in the external L3 memory, and tiles
+activations through the shared L1.  This module decides the placement and
+computes the DMA cycle cost of moving tensors between levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..models.graph import LayerSpec
+from .soc import GAP9Config, MemoryConfig
+
+
+@dataclass
+class TensorPlacement:
+    """Where a layer's tensors live before execution."""
+
+    layer_name: str
+    weight_level: str            # "L2" or "L3"
+    weight_bytes: int
+    activation_bytes: int        # input + output footprint
+    l1_tiles: int                # number of L1 tiles the layer is split into
+
+
+@dataclass
+class MemoryPlan:
+    """Placement of every layer plus aggregate occupancy."""
+
+    placements: List[TensorPlacement] = field(default_factory=list)
+    l2_used_bytes: int = 0
+    l3_used_bytes: int = 0
+
+    @property
+    def layers_in_l3(self) -> int:
+        return sum(1 for p in self.placements if p.weight_level == "L3")
+
+    def placement(self, layer_name: str) -> TensorPlacement:
+        for placement in self.placements:
+            if placement.layer_name == layer_name:
+                return placement
+        raise KeyError(f"no placement recorded for layer {layer_name!r}")
+
+
+def plan_memory(layers: List[LayerSpec], config: GAP9Config,
+                weight_bits: int = 8, activation_bits: int = 8,
+                l2_reserved_bytes: int = 256 * 1024) -> MemoryPlan:
+    """Greedy weight placement: fill L2 first, spill the rest to L3.
+
+    ``l2_reserved_bytes`` keeps space in L2 for activations, the explicit
+    memory and runtime buffers (matching Dory's default partitioning).
+    """
+    memory: MemoryConfig = config.memory
+    l2_budget = memory.l2_bytes - l2_reserved_bytes
+    plan = MemoryPlan()
+    l2_used = 0
+    l3_used = 0
+    for layer in layers:
+        weight_bytes = layer.weight_bytes(weight_bits)
+        activation_bytes = layer.input_bytes(activation_bits) + layer.output_bytes(activation_bits)
+        if weight_bytes and l2_used + weight_bytes <= l2_budget:
+            level = "L2"
+            l2_used += weight_bytes
+        elif weight_bytes:
+            level = "L3"
+            l3_used += weight_bytes
+        else:
+            level = "L2"
+        tile_bytes = max(activation_bytes // max(memory.l1_bytes, 1), 0)
+        l1_tiles = max(1, tile_bytes + (1 if activation_bytes % max(memory.l1_bytes, 1) else 0))
+        plan.placements.append(TensorPlacement(
+            layer_name=layer.name, weight_level=level, weight_bytes=weight_bytes,
+            activation_bytes=activation_bytes, l1_tiles=l1_tiles))
+    plan.l2_used_bytes = l2_used
+    plan.l3_used_bytes = l3_used
+    return plan
+
+
+def dma_cycles(bytes_to_move: int, bandwidth_bytes_per_cycle: float,
+               setup_cycles: int = 0, num_transfers: int = 1) -> float:
+    """Cycle cost of DMA-ing ``bytes_to_move`` at the given bandwidth."""
+    if bytes_to_move <= 0:
+        return 0.0
+    return bytes_to_move / max(bandwidth_bytes_per_cycle, 1e-9) + setup_cycles * num_transfers
+
+
+def layer_dma_cycles(layer: LayerSpec, placement: TensorPlacement,
+                     config: GAP9Config, weight_bits: int = 8,
+                     activation_bits: int = 8) -> Dict[str, float]:
+    """DMA cycles to stage one layer's tensors into the cluster L1.
+
+    Weights travel either L2->L1 or L3->L1 (through L2, at L3 bandwidth);
+    input and output activations always cross the L2<->L1 boundary.
+    """
+    memory = config.memory
+    weight_bw = memory.l2_l1_bandwidth if placement.weight_level == "L2" \
+        else memory.l3_l2_bandwidth
+    weights = dma_cycles(layer.weight_bytes(weight_bits), weight_bw,
+                         memory.dma_setup_cycles, placement.l1_tiles)
+    activations = dma_cycles(
+        layer.input_bytes(activation_bits) + layer.output_bytes(activation_bits),
+        memory.l2_l1_bandwidth, memory.dma_setup_cycles, placement.l1_tiles)
+    return {"weights": weights, "activations": activations,
+            "total": weights + activations}

@@ -1,0 +1,107 @@
+"""Power and energy model of the GAP9 deployment.
+
+Average power is decomposed into a static baseline (fabric controller, pads,
+leakage), the dynamic power of the compute cluster (proportional to how busy
+the worker cores are), and the external-memory interface power (proportional
+to the fraction of time spent streaming from L3).  The three coefficients are
+calibrated against Table IV of the paper and scale with V²·f for other
+operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .soc import GAP9Config, OperatingPoint
+
+
+@dataclass
+class PowerBreakdown:
+    """Average power of one operation phase."""
+
+    base_mw: float
+    cluster_mw: float
+    l3_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.base_mw + self.cluster_mw + self.l3_mw
+
+
+@dataclass
+class EnergyReport:
+    """Latency / power / energy of one measured operation (Table IV row)."""
+
+    operation: str
+    backbone: str
+    time_ms: float
+    power_mw: float
+    energy_mj: float
+    cycles: float = 0.0
+    macs: int = 0
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+    def as_row(self) -> dict:
+        return {
+            "operation": self.operation,
+            "backbone": self.backbone,
+            "time_ms": self.time_ms,
+            "power_mw": self.power_mw,
+            "energy_mj": self.energy_mj,
+        }
+
+
+class PowerModel:
+    """Average-power estimator for a compute phase on GAP9."""
+
+    def __init__(self, config: Optional[GAP9Config] = None):
+        self.config = config or GAP9Config()
+
+    def average_power_mw(self, compute_utilization: float,
+                         l3_utilization: float,
+                         cores: Optional[int] = None,
+                         operating_point: Optional[OperatingPoint] = None
+                         ) -> PowerBreakdown:
+        """Average power given activity factors in [0, 1]."""
+        power = self.config.power
+        point = operating_point or self.config.operating_point
+        scale = power.scale_factor(point)
+        cores = cores if cores is not None else self.config.worker_cores
+        core_fraction = cores / self.config.worker_cores
+        cluster = power.cluster_active_mw * scale * core_fraction * \
+            min(max(compute_utilization, 0.0), 1.0)
+        l3 = power.l3_active_mw * scale * min(max(l3_utilization, 0.0), 1.0)
+        base = power.base_mw * (0.6 + 0.4 * scale)
+        return PowerBreakdown(base_mw=base, cluster_mw=cluster, l3_mw=l3)
+
+    def energy_mj(self, time_ms: float, power_mw: float) -> float:
+        """Energy in millijoules of a phase lasting ``time_ms`` at ``power_mw``."""
+        return time_ms * power_mw / 1e3
+
+    def report(self, operation: str, backbone: str, cycles: float,
+               compute_utilization: float, l3_utilization: float,
+               macs: int = 0, cores: Optional[int] = None) -> EnergyReport:
+        """Build a Table IV-style row from a cycle count and activity factors."""
+        time_ms = self.config.cycles_to_ms(cycles)
+        power = self.average_power_mw(compute_utilization, l3_utilization, cores)
+        return EnergyReport(operation=operation, backbone=backbone,
+                            time_ms=time_ms, power_mw=power.total_mw,
+                            energy_mj=self.energy_mj(time_ms, power.total_mw),
+                            cycles=cycles, macs=macs)
+
+
+def combine_reports(operation: str, backbone: str, reports) -> EnergyReport:
+    """Compose sequential phases into one report (time/energy add up)."""
+    reports = list(reports)
+    time_ms = sum(report.time_ms for report in reports)
+    energy_mj = sum(report.energy_mj for report in reports)
+    cycles = sum(report.cycles for report in reports)
+    macs = sum(report.macs for report in reports)
+    power = 1e3 * energy_mj / time_ms if time_ms else 0.0
+    return EnergyReport(operation=operation, backbone=backbone, time_ms=time_ms,
+                        power_mw=power, energy_mj=energy_mj, cycles=cycles,
+                        macs=macs)

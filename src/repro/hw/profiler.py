@@ -1,0 +1,235 @@
+"""GAP9 profiler: regenerates Table IV and Fig. 2 of the paper.
+
+The profiler composes the deployment cost model (:mod:`repro.hw.deploy`,
+:mod:`repro.hw.kernels`) with the power model (:mod:`repro.hw.power`) to
+produce latency / power / energy estimates for the four operations the paper
+measures per class in a five-shot setting:
+
+* **FCR** — one projection of ``theta_a`` to ``theta_p`` (the 328 kB FCR
+  weight matrix is streamed from L3, which dominates its latency),
+* **BB inference** — one backbone forward pass,
+* **EM update** — learning one new class online: S backbone + FCR passes plus
+  the prototype accumulation in the explicit memory,
+* **FCR finetune** — the optional on-device fine-tuning (100 epochs of
+  sub-batched gradient descent on the FCR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..models.graph import linear_spec
+from ..models.registry import BackboneConfig, get_config
+from .deploy import DeploymentPlan, deploy_backbone
+from .memory import dma_cycles
+from .power import EnergyReport, PowerModel, combine_reports
+from .soc import GAP9Config
+
+#: Table IV reference values (per class, five-shot, GAP9 @ 240 MHz / 0.65 V).
+PAPER_TABLE4_REFERENCE: Dict[str, Dict[str, Dict[str, float]]] = {
+    "FCR": {
+        "any": {"time_ms": 3.23, "power_mw": 47.75, "energy_mj": 0.15},
+    },
+    "BB inference": {
+        "mobilenetv2": {"time_ms": 48.10, "power_mw": 43.96, "energy_mj": 2.12},
+        "mobilenetv2_x2": {"time_ms": 52.51, "power_mw": 45.12, "energy_mj": 2.40},
+        "mobilenetv2_x4": {"time_ms": 99.50, "power_mw": 44.19, "energy_mj": 4.40},
+    },
+    "EM update": {
+        "mobilenetv2": {"time_ms": 256.65, "power_mw": 44.22, "energy_mj": 11.35},
+        "mobilenetv2_x2": {"time_ms": 278.70, "power_mw": 45.75, "energy_mj": 12.75},
+        "mobilenetv2_x4": {"time_ms": 513.65, "power_mw": 44.29, "energy_mj": 22.75},
+    },
+    "FCR finetune": {
+        "mobilenetv2": {"time_ms": 6171.7, "power_mw": 50.29, "energy_mj": 310.35},
+        "mobilenetv2_x2": {"time_ms": 6193.7, "power_mw": 50.33, "energy_mj": 311.75},
+        "mobilenetv2_x4": {"time_ms": 6428.7, "power_mw": 50.05, "energy_mj": 321.75},
+    },
+}
+
+#: Core counts swept in Fig. 2.
+FIG2_CORE_COUNTS: Sequence[int] = (1, 2, 4, 8)
+
+
+@dataclass
+class GAP9Profiler:
+    """Latency / power / energy profiler of the O-FSCIL deployment."""
+
+    gap9: GAP9Config = field(default_factory=GAP9Config)
+
+    def __post_init__(self):
+        self.power_model = PowerModel(self.gap9)
+        self._plans: Dict[str, DeploymentPlan] = {}
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def deployment(self, backbone: str) -> DeploymentPlan:
+        if backbone not in self._plans:
+            self._plans[backbone] = deploy_backbone(backbone, self.gap9)
+        return self._plans[backbone]
+
+    def profile_backbone_inference(self, backbone: str, cores: int = 8) -> EnergyReport:
+        """One backbone forward pass (the "BB inference" rows of Table IV)."""
+        plan = self.deployment(backbone)
+        cost = plan.cost(cores)
+        utilization = plan.utilization(cores)
+        return self.power_model.report(
+            operation="BB inference", backbone=backbone, cycles=cost.total_cycles,
+            compute_utilization=utilization["compute"],
+            l3_utilization=utilization["l3"], macs=cost.total_macs, cores=cores)
+
+    def fcr_cycles(self, backbone: str, cores: int = 8,
+                   batch: int = 1, weights_in_l3: bool = True) -> Dict[str, float]:
+        """Cycle breakdown of projecting ``batch`` features through the FCR."""
+        config: BackboneConfig = get_config(backbone)
+        spec = linear_spec("fcr", config.feature_dim, config.prototype_dim)
+        compute_tput = self.gap9.compute.linear_macs_per_cycle * \
+            min(cores, self.gap9.worker_cores)
+        compute = batch * spec.macs / compute_tput
+        weight_bw = self.gap9.memory.l3_l2_bandwidth if weights_in_l3 \
+            else self.gap9.memory.l2_l1_bandwidth
+        weights = dma_cycles(spec.weight_bytes(8), weight_bw,
+                             self.gap9.memory.dma_setup_cycles)
+        io_bytes = batch * (spec.input_bytes(8) + spec.output_bytes(8))
+        io = dma_cycles(io_bytes, self.gap9.memory.l2_l1_bandwidth,
+                        self.gap9.memory.dma_setup_cycles)
+        # A single fully connected layer offers no opportunity to double-buffer
+        # its (large) weight matrix against compute, so the phases add up.
+        total = compute + weights + io + self.gap9.compute.layer_overhead_cycles
+        return {"compute": compute, "weights": weights, "io": io, "total": total,
+                "macs": batch * spec.macs}
+
+    def profile_fcr(self, backbone: str = "mobilenetv2_x4", cores: int = 8,
+                    batch: int = 1) -> EnergyReport:
+        """One FCR projection (the "FCR" row of Table IV)."""
+        breakdown = self.fcr_cycles(backbone, cores, batch)
+        compute_utilization = min(breakdown["compute"] / breakdown["total"], 1.0)
+        l3_utilization = min(breakdown["weights"] / breakdown["total"], 1.0)
+        return self.power_model.report(
+            operation="FCR", backbone=backbone, cycles=breakdown["total"],
+            compute_utilization=compute_utilization, l3_utilization=l3_utilization,
+            macs=int(breakdown["macs"]), cores=cores)
+
+    def profile_em_update(self, backbone: str, shots: int = 5,
+                          cores: int = 8) -> EnergyReport:
+        """Learning one new class online (the "EM update" rows of Table IV).
+
+        The class prototype is the average of the FCR features of the S
+        shots: S backbone passes, S FCR projections, plus the accumulation
+        and normalization of the prototype vector in the EM.
+        """
+        phases: List[EnergyReport] = []
+        for _shot in range(shots):
+            phases.append(self.profile_backbone_inference(backbone, cores))
+            phases.append(self.profile_fcr(backbone, cores))
+        config = get_config(backbone)
+        accumulate_cycles = shots * config.prototype_dim / 2.0 + \
+            self.gap9.memory.dma_setup_cycles
+        phases.append(self.power_model.report(
+            operation="EM accumulate", backbone=backbone, cycles=accumulate_cycles,
+            compute_utilization=0.2, l3_utilization=0.0, macs=0, cores=1))
+        return combine_reports("EM update", backbone, phases)
+
+    def profile_fcr_finetune(self, backbone: str, epochs: int = 100,
+                             num_classes: int = 100, sub_batch: int = 64,
+                             cores: int = 8) -> EnergyReport:
+        """Optional on-device FCR fine-tuning (the "FCR finetune" rows).
+
+        Every epoch runs ``num_classes / sub_batch`` sub-batched gradient
+        steps; each step streams the FCR weights (forward + weight update
+        write-back) and the activation-memory rows, and computes the forward
+        and weight-gradient GEMMs at a reduced efficiency (poor L1 reuse of
+        the tiled 1280x256 matrices).
+        """
+        config = get_config(backbone)
+        spec = linear_spec("fcr", config.feature_dim, config.prototype_dim)
+        memory = self.gap9.memory
+        compute_cfg = self.gap9.compute
+
+        steps_per_epoch = max(1, -(-num_classes // sub_batch))
+        # One fused forward / weight-gradient pass over every stored class
+        # activation per epoch (the sub-batching only affects how often the
+        # FCR weights are re-streamed, not the amount of arithmetic).
+        macs_per_epoch = spec.macs * num_classes
+        throughput = compute_cfg.linear_macs_per_cycle * \
+            min(cores, self.gap9.worker_cores) * compute_cfg.finetune_efficiency
+        compute = macs_per_epoch / throughput
+        # The FCR weights travel L3 -> L1 for the forward pass and back after
+        # the update, once per sub-batch (B / N accesses per batch).
+        weight_stream = steps_per_epoch * dma_cycles(
+            2 * spec.weight_bytes(8), memory.l3_l2_bandwidth,
+            memory.dma_setup_cycles)
+        activation_stream = dma_cycles(
+            num_classes * (config.feature_dim + config.prototype_dim),
+            memory.l2_l1_bandwidth, memory.dma_setup_cycles)
+        epoch_cycles = max(compute, weight_stream) + activation_stream + \
+            steps_per_epoch * compute_cfg.layer_overhead_cycles
+        total_cycles = epochs * epoch_cycles
+        total_macs = epochs * macs_per_epoch
+
+        l3_utilization = min(weight_stream / epoch_cycles, 1.0)
+        report = self.power_model.report(
+            operation="FCR finetune", backbone=backbone, cycles=total_cycles,
+            compute_utilization=1.0,
+            l3_utilization=l3_utilization,
+            macs=int(total_macs), cores=cores)
+        return report
+
+    # ------------------------------------------------------------------
+    # Paper artefacts
+    # ------------------------------------------------------------------
+    def table4(self, backbones: Iterable[str] = ("mobilenetv2", "mobilenetv2_x2",
+                                                 "mobilenetv2_x4"),
+               shots: int = 5, finetune_epochs: int = 100,
+               cores: int = 8) -> List[EnergyReport]:
+        """All rows of Table IV."""
+        backbones = list(backbones)
+        rows: List[EnergyReport] = [self.profile_fcr(backbones[-1], cores)]
+        rows += [self.profile_backbone_inference(name, cores) for name in backbones]
+        rows += [self.profile_em_update(name, shots, cores) for name in backbones]
+        rows += [self.profile_fcr_finetune(name, finetune_epochs, cores=cores)
+                 for name in backbones]
+        return rows
+
+    def fig2_macs_per_cycle(self, backbones: Iterable[str] = (
+            "mobilenetv2", "mobilenetv2_x2", "mobilenetv2_x4"),
+            core_counts: Sequence[int] = FIG2_CORE_COUNTS
+            ) -> Dict[str, Dict[str, List[float]]]:
+        """MACs/cycle versus active cores for backbone, FCR and fine-tuning."""
+        result: Dict[str, Dict[str, List[float]]] = {
+            "backbone": {}, "fcr": {}, "finetune": {}}
+        for name in backbones:
+            plan = self.deployment(name)
+            result["backbone"][name] = [plan.macs_per_cycle(cores)
+                                        for cores in core_counts]
+        reference = list(backbones)[-1]
+        result["fcr"][reference] = []
+        result["finetune"][reference] = []
+        for cores in core_counts:
+            fcr = self.fcr_cycles(reference, cores)
+            result["fcr"][reference].append(fcr["macs"] / fcr["total"])
+            finetune = self.profile_fcr_finetune(reference, epochs=1, cores=cores)
+            result["finetune"][reference].append(finetune.macs_per_cycle)
+        return result
+
+
+def format_table4(rows: List[EnergyReport],
+                  reference: Optional[Dict] = None) -> str:
+    """Render Table IV rows (optionally side by side with the paper values)."""
+    reference = reference if reference is not None else PAPER_TABLE4_REFERENCE
+    header = (f"{'Operation':<14} {'Backbone':<16} {'Time [ms]':>10} "
+              f"{'Power [mW]':>11} {'Energy [mJ]':>12} {'paper t':>9} {'paper E':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        paper = reference.get(row.operation, {})
+        paper_row = paper.get(row.backbone, paper.get("any", {}))
+        paper_time = paper_row.get("time_ms")
+        paper_energy = paper_row.get("energy_mj")
+        lines.append(
+            f"{row.operation:<14} {row.backbone:<16} {row.time_ms:>10.2f} "
+            f"{row.power_mw:>11.2f} {row.energy_mj:>12.3f} "
+            f"{paper_time if paper_time is not None else float('nan'):>9} "
+            f"{paper_energy if paper_energy is not None else float('nan'):>9}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Backbones, projection heads and the Table I model registry."""
+
+from .graph import (
+    GraphSummary,
+    LayerSpec,
+    act_spec,
+    add_spec,
+    bn_spec,
+    conv_spec,
+    global_pool_spec,
+    linear_spec,
+    pool_spec,
+)
+from .heads import (
+    CosineClassifier,
+    FullyConnectedClassifier,
+    FullyConnectedReductor,
+    simplex_etf,
+)
+from .mobilenetv2 import (
+    DEFAULT_STAGE_SETTINGS,
+    STRIDE_PLANS,
+    InvertedResidual,
+    MobileNetV2Backbone,
+)
+from .registry import (
+    BackboneConfig,
+    build_backbone,
+    get_config,
+    list_configs,
+    register,
+    table1_rows,
+)
+from .resnet import BasicBlock, ResNet12Backbone, ResNet12Block, ResNet20Backbone
+
+__all__ = [
+    "LayerSpec",
+    "GraphSummary",
+    "conv_spec",
+    "bn_spec",
+    "act_spec",
+    "pool_spec",
+    "global_pool_spec",
+    "linear_spec",
+    "add_spec",
+    "FullyConnectedReductor",
+    "FullyConnectedClassifier",
+    "CosineClassifier",
+    "simplex_etf",
+    "MobileNetV2Backbone",
+    "InvertedResidual",
+    "STRIDE_PLANS",
+    "DEFAULT_STAGE_SETTINGS",
+    "ResNet12Backbone",
+    "ResNet12Block",
+    "ResNet20Backbone",
+    "BasicBlock",
+    "BackboneConfig",
+    "register",
+    "get_config",
+    "list_configs",
+    "build_backbone",
+    "table1_rows",
+]

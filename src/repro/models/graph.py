@@ -1,0 +1,150 @@
+"""Layer-level computation graph description.
+
+Every backbone and head can emit a list of :class:`LayerSpec` records that
+describe the operator sequence executed during inference (operator type,
+tensor shapes, MAC count, parameter count and memory footprints).  The same
+records drive three consumers:
+
+* Table I (parameter and MAC accounting),
+* the GAP9 deployment flow in :mod:`repro.hw.deploy` (tiling + cycle model),
+* the energy/latency profiler behind Table IV and Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class LayerSpec:
+    """Description of a single operator in the inference graph."""
+
+    name: str
+    op_type: str                       # conv / dwconv / linear / bn / act / pool / add
+    in_channels: int
+    out_channels: int
+    kernel_size: int = 1
+    stride: int = 1
+    in_hw: Tuple[int, int] = (1, 1)
+    out_hw: Tuple[int, int] = (1, 1)
+    groups: int = 1
+    macs: int = 0
+    params: int = 0
+    weight_bits: int = 8
+    activation_bits: int = 8
+
+    # ------------------------------------------------------------------
+    @property
+    def input_elements(self) -> int:
+        return self.in_channels * self.in_hw[0] * self.in_hw[1]
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_channels * self.out_hw[0] * self.out_hw[1]
+
+    @property
+    def weight_elements(self) -> int:
+        return self.params
+
+    def input_bytes(self, bits: Optional[int] = None) -> int:
+        bits = bits if bits is not None else self.activation_bits
+        return (self.input_elements * bits + 7) // 8
+
+    def output_bytes(self, bits: Optional[int] = None) -> int:
+        bits = bits if bits is not None else self.activation_bits
+        return (self.output_elements * bits + 7) // 8
+
+    def weight_bytes(self, bits: Optional[int] = None) -> int:
+        bits = bits if bits is not None else self.weight_bits
+        return (self.weight_elements * bits + 7) // 8
+
+
+@dataclass
+class GraphSummary:
+    """Aggregate statistics of a layer graph."""
+
+    layers: List[LayerSpec] = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    def total_weight_bytes(self, bits: Optional[int] = None) -> int:
+        return sum(layer.weight_bytes(bits) for layer in self.layers)
+
+    def max_activation_bytes(self, bits: Optional[int] = None) -> int:
+        if not self.layers:
+            return 0
+        return max(max(layer.input_bytes(bits), layer.output_bytes(bits))
+                   for layer in self.layers)
+
+    def by_type(self, op_type: str) -> List[LayerSpec]:
+        return [layer for layer in self.layers if layer.op_type == op_type]
+
+
+def conv_spec(name: str, in_channels: int, out_channels: int, kernel_size: int,
+              stride: int, in_hw: Tuple[int, int], groups: int = 1,
+              padding: Optional[int] = None, bias: bool = False) -> LayerSpec:
+    """Build a :class:`LayerSpec` for a (grouped) convolution layer."""
+    padding = padding if padding is not None else kernel_size // 2
+    out_h = (in_hw[0] + 2 * padding - kernel_size) // stride + 1
+    out_w = (in_hw[1] + 2 * padding - kernel_size) // stride + 1
+    macs = out_h * out_w * out_channels * (in_channels // groups) * kernel_size * kernel_size
+    params = out_channels * (in_channels // groups) * kernel_size * kernel_size
+    if bias:
+        params += out_channels
+    op_type = "dwconv" if groups == in_channels and groups == out_channels else "conv"
+    return LayerSpec(name=name, op_type=op_type, in_channels=in_channels,
+                     out_channels=out_channels, kernel_size=kernel_size,
+                     stride=stride, in_hw=in_hw, out_hw=(out_h, out_w),
+                     groups=groups, macs=macs, params=params)
+
+
+def bn_spec(name: str, channels: int, hw: Tuple[int, int]) -> LayerSpec:
+    """BatchNorm layer spec (2 * C parameters, folded at deployment)."""
+    return LayerSpec(name=name, op_type="bn", in_channels=channels,
+                     out_channels=channels, in_hw=hw, out_hw=hw,
+                     macs=channels * hw[0] * hw[1], params=2 * channels)
+
+
+def act_spec(name: str, channels: int, hw: Tuple[int, int]) -> LayerSpec:
+    return LayerSpec(name=name, op_type="act", in_channels=channels,
+                     out_channels=channels, in_hw=hw, out_hw=hw,
+                     macs=0, params=0)
+
+
+def pool_spec(name: str, channels: int, in_hw: Tuple[int, int],
+              kernel_size: int, stride: Optional[int] = None) -> LayerSpec:
+    stride = stride if stride is not None else kernel_size
+    out_h = (in_hw[0] - kernel_size) // stride + 1
+    out_w = (in_hw[1] - kernel_size) // stride + 1
+    return LayerSpec(name=name, op_type="pool", in_channels=channels,
+                     out_channels=channels, kernel_size=kernel_size,
+                     stride=stride, in_hw=in_hw, out_hw=(out_h, out_w),
+                     macs=channels * in_hw[0] * in_hw[1], params=0)
+
+
+def global_pool_spec(name: str, channels: int, in_hw: Tuple[int, int]) -> LayerSpec:
+    return LayerSpec(name=name, op_type="pool", in_channels=channels,
+                     out_channels=channels, kernel_size=in_hw[0], stride=in_hw[0],
+                     in_hw=in_hw, out_hw=(1, 1),
+                     macs=channels * in_hw[0] * in_hw[1], params=0)
+
+
+def linear_spec(name: str, in_features: int, out_features: int,
+                bias: bool = True) -> LayerSpec:
+    params = in_features * out_features + (out_features if bias else 0)
+    return LayerSpec(name=name, op_type="linear", in_channels=in_features,
+                     out_channels=out_features, in_hw=(1, 1), out_hw=(1, 1),
+                     macs=in_features * out_features, params=params)
+
+
+def add_spec(name: str, channels: int, hw: Tuple[int, int]) -> LayerSpec:
+    return LayerSpec(name=name, op_type="add", in_channels=channels,
+                     out_channels=channels, in_hw=hw, out_hw=hw,
+                     macs=0, params=0)

@@ -1,0 +1,119 @@
+"""Projection and classification heads of O-FSCIL.
+
+* :class:`FullyConnectedReductor` (FCR) projects the backbone embedding
+  ``theta_a`` to the prototypical feature ``theta_p``.
+* :class:`FullyConnectedClassifier` (FCC) replaces the explicit memory during
+  pretraining, turning ``theta_p`` into base-class logits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .graph import LayerSpec, linear_spec
+
+
+class FullyConnectedReductor(nn.Module):
+    """The FCR: a single affine projection from ``d_a`` to ``d_p`` features.
+
+    The paper keeps the FCR frozen after metalearning; it may optionally be
+    fine-tuned on device (Section V-B), which is handled by
+    :mod:`repro.core.finetune`.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.linear = nn.Linear(in_features, out_features, bias=bias, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear(x)
+
+    def layer_specs(self) -> List[LayerSpec]:
+        return [linear_spec("fcr", self.in_features, self.out_features,
+                            bias=self.linear.bias is not None)]
+
+
+class FullyConnectedClassifier(nn.Module):
+    """The FCC used only during pretraining (maps ``theta_p`` to base logits)."""
+
+    def __init__(self, in_features: int, num_classes: int, bias: bool = True,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.linear = nn.Linear(in_features, num_classes, bias=bias, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear(x)
+
+    def layer_specs(self) -> List[LayerSpec]:
+        return [linear_spec("fcc", self.in_features, self.num_classes,
+                            bias=self.linear.bias is not None)]
+
+
+class CosineClassifier(nn.Module):
+    """Cosine-similarity classifier over a fixed or learnable weight matrix.
+
+    Used by the NC-FSCIL-style baseline, where the classifier weights are the
+    fixed simplex-ETF prototypes, and by ablations that replace the explicit
+    memory with a learnable cosine head.
+    """
+
+    def __init__(self, in_features: int, num_classes: int, scale: float = 16.0,
+                 learnable: bool = True, weights: Optional[np.ndarray] = None,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.scale = scale
+        if weights is None:
+            weights = rng.standard_normal((num_classes, in_features)).astype(np.float32)
+            weights /= np.linalg.norm(weights, axis=1, keepdims=True) + 1e-12
+        self.weight = nn.Parameter(np.asarray(weights, dtype=np.float32),
+                                   requires_grad=learnable)
+
+    def forward(self, x: Tensor) -> Tensor:
+        sims = F.cosine_similarity_matrix(x, self.weight)
+        return sims * self.scale
+
+    def layer_specs(self) -> List[LayerSpec]:
+        return [linear_spec("cosine_classifier", self.in_features,
+                            self.num_classes, bias=False)]
+
+
+def simplex_etf(num_classes: int, dim: int, seed: int = 0) -> np.ndarray:
+    """Generate a simplex equiangular tight frame of ``num_classes`` vectors.
+
+    Used by the NC-FSCIL-style baseline: classifier prototypes are fixed to
+    the vertices of a simplex ETF so that all pairwise angles are equal and
+    maximally separated.
+    """
+    if num_classes > dim + 1:
+        # Fall back to a random orthonormal-ish frame when the exact ETF does
+        # not exist; this keeps the baseline usable for any (C, d).
+        rng = np.random.default_rng(seed)
+        frame = rng.standard_normal((num_classes, dim))
+        frame /= np.linalg.norm(frame, axis=1, keepdims=True)
+        return frame.astype(np.float32)
+    rng = np.random.default_rng(seed)
+    # Random orthogonal basis of size (dim, num_classes).
+    random_matrix = rng.standard_normal((dim, num_classes))
+    q, _ = np.linalg.qr(random_matrix)
+    identity = np.eye(num_classes)
+    ones = np.ones((num_classes, num_classes)) / num_classes
+    scale = np.sqrt(num_classes / (num_classes - 1))
+    etf = scale * (q @ (identity - ones))
+    etf = etf.T  # (num_classes, dim)
+    norms = np.linalg.norm(etf, axis=1, keepdims=True)
+    return (etf / (norms + 1e-12)).astype(np.float32)

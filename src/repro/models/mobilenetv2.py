@@ -1,0 +1,228 @@
+"""MobileNetV2 backbone with configurable per-stage strides.
+
+The paper adapts MobileNetV2 to 32x32 CIFAR-style inputs by reducing the
+strides of the seven inverted-residual stages; three variants are used
+(Table I):
+
+=================  ======================
+variant            per-stage strides
+=================  ======================
+``mobilenetv2``    1, 2, 2, 2, 1, 2, 1
+``mobilenetv2_x2`` 1, 2, 2, 2, 1, 1, 1
+``mobilenetv2_x4`` 1, 2, 2, 1, 1, 1, 1
+=================  ======================
+
+Fewer downsampling stages keep a larger spatial resolution (hence the x2/x4
+names), improving accuracy at the cost of more MAC operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .graph import (
+    LayerSpec,
+    act_spec,
+    add_spec,
+    bn_spec,
+    conv_spec,
+    global_pool_spec,
+)
+
+# (expansion factor, output channels, number of blocks) per stage; the stride
+# of the first block of each stage is supplied by the stride plan.
+DEFAULT_STAGE_SETTINGS: Tuple[Tuple[int, int, int], ...] = (
+    (1, 16, 1),
+    (6, 24, 2),
+    (6, 32, 3),
+    (6, 64, 4),
+    (6, 96, 3),
+    (6, 160, 3),
+    (6, 320, 1),
+)
+
+STRIDE_PLANS = {
+    "x1": (1, 2, 2, 2, 1, 2, 1),
+    "x2": (1, 2, 2, 2, 1, 1, 1),
+    "x4": (1, 2, 2, 1, 1, 1, 1),
+}
+
+
+def _make_divisible(value: float, divisor: int = 8) -> int:
+    """Round channel counts to a multiple of ``divisor`` (MobileNet rule)."""
+    new_value = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+class ConvBNReLU(nn.Module):
+    """Conv -> BatchNorm -> ReLU6 building block."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, groups: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        padding = kernel_size // 2
+        self.conv = nn.Conv2d(in_channels, out_channels, kernel_size,
+                              stride=stride, padding=padding, groups=groups,
+                              bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(out_channels)
+        self.act = nn.ReLU6()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.bn(self.conv(x)))
+
+
+class InvertedResidual(nn.Module):
+    """MobileNetV2 inverted residual block with linear bottleneck."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 expand_ratio: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.stride = stride
+        self.use_residual = stride == 1 and in_channels == out_channels
+        hidden = int(round(in_channels * expand_ratio))
+        self.expand_ratio = expand_ratio
+
+        if expand_ratio != 1:
+            self.expand = ConvBNReLU(in_channels, hidden, kernel_size=1, rng=rng)
+        else:
+            self.expand = None
+        self.depthwise = ConvBNReLU(hidden, hidden, kernel_size=3, stride=stride,
+                                    groups=hidden, rng=rng)
+        self.project = nn.Conv2d(hidden, out_channels, 1, bias=False, rng=rng)
+        self.project_bn = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        if self.expand is not None:
+            out = self.expand(out)
+        out = self.depthwise(out)
+        out = self.project_bn(self.project(out))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2Backbone(nn.Module):
+    """MobileNetV2 feature extractor producing the ``theta_a`` embedding.
+
+    Args:
+        stride_plan: per-stage stride of the first block in each of the seven
+            inverted-residual stages ("x1"/"x2"/"x4" or an explicit tuple).
+        width_mult: channel width multiplier (1.0 reproduces the paper's
+            2.5 M-parameter backbone; smaller values give the laptop profile).
+        stem_stride: stride of the initial 3x3 convolution (1 for 32x32
+            CIFAR-style inputs, as in the paper).
+        feature_dim: output embedding width ``d_a`` (1280 in the paper).
+        stage_settings: optionally override the (expansion, channels, blocks)
+            triples; used by reduced laptop-scale profiles.
+    """
+
+    def __init__(self, stride_plan="x1", width_mult: float = 1.0,
+                 in_channels: int = 3, stem_channels: int = 32,
+                 stem_stride: int = 1, feature_dim: int = 1280,
+                 stage_settings: Optional[Sequence[Tuple[int, int, int]]] = None,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        if isinstance(stride_plan, str):
+            stride_plan = STRIDE_PLANS[stride_plan]
+        stage_settings = tuple(stage_settings) if stage_settings is not None \
+            else DEFAULT_STAGE_SETTINGS
+        if len(stride_plan) != len(stage_settings):
+            raise ValueError("stride plan length must match the number of stages")
+
+        self.stride_plan = tuple(stride_plan)
+        self.width_mult = width_mult
+        self.stage_settings = stage_settings
+        self.stem_stride = stem_stride
+        self.in_channels = in_channels
+        self.stem_channels = stem_channels
+
+        stem_out = _make_divisible(stem_channels * width_mult)
+        self.stem = ConvBNReLU(in_channels, stem_out, kernel_size=3,
+                               stride=stem_stride, rng=rng)
+
+        blocks: List[nn.Module] = []
+        channels = stem_out
+        for stage_index, ((expand, out_c, repeats), stage_stride) in enumerate(
+                zip(stage_settings, stride_plan)):
+            out_channels = _make_divisible(out_c * width_mult)
+            for block_index in range(repeats):
+                stride = stage_stride if block_index == 0 else 1
+                blocks.append(InvertedResidual(channels, out_channels, stride,
+                                               expand, rng=rng))
+                channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+
+        self.feature_dim = feature_dim if width_mult >= 1.0 else \
+            _make_divisible(feature_dim * width_mult)
+        self.head = ConvBNReLU(channels, self.feature_dim, kernel_size=1, rng=rng)
+        self.pool = nn.GlobalAvgPool2d()
+        self._last_channels = channels
+
+    # ------------------------------------------------------------------
+    @property
+    def output_dim(self) -> int:
+        """Dimensionality ``d_a`` of the produced embedding."""
+        return self.feature_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.blocks(out)
+        out = self.head(out)
+        return self.pool(out)
+
+    # ------------------------------------------------------------------
+    def layer_specs(self, input_hw: Tuple[int, int] = (32, 32)) -> List[LayerSpec]:
+        """Operator-level description of an inference pass (see Table I)."""
+        specs: List[LayerSpec] = []
+        hw = input_hw
+
+        def conv_block(prefix: str, in_c: int, out_c: int, k: int, stride: int,
+                       groups: int, hw_in: Tuple[int, int]) -> Tuple[int, Tuple[int, int]]:
+            spec = conv_spec(f"{prefix}.conv", in_c, out_c, k, stride, hw_in,
+                             groups=groups)
+            specs.append(spec)
+            specs.append(bn_spec(f"{prefix}.bn", out_c, spec.out_hw))
+            specs.append(act_spec(f"{prefix}.relu6", out_c, spec.out_hw))
+            return out_c, spec.out_hw
+
+        stem_out = _make_divisible(self.stem_channels * self.width_mult)
+        channels, hw = conv_block("stem", self.in_channels, stem_out, 3,
+                                  self.stem_stride, 1, hw)
+
+        block_id = 0
+        for (expand, out_c, repeats), stage_stride in zip(self.stage_settings,
+                                                          self.stride_plan):
+            out_channels = _make_divisible(out_c * self.width_mult)
+            for block_index in range(repeats):
+                stride = stage_stride if block_index == 0 else 1
+                prefix = f"block{block_id}"
+                hidden = int(round(channels * expand))
+                hw_in = hw
+                c_in = channels
+                if expand != 1:
+                    _, hw_mid = conv_block(f"{prefix}.expand", c_in, hidden, 1, 1, 1, hw_in)
+                else:
+                    hidden, hw_mid = c_in, hw_in
+                _, hw_dw = conv_block(f"{prefix}.dw", hidden, hidden, 3, stride,
+                                      hidden, hw_mid)
+                proj = conv_spec(f"{prefix}.project", hidden, out_channels, 1, 1, hw_dw)
+                specs.append(proj)
+                specs.append(bn_spec(f"{prefix}.project_bn", out_channels, proj.out_hw))
+                if stride == 1 and c_in == out_channels:
+                    specs.append(add_spec(f"{prefix}.residual", out_channels, proj.out_hw))
+                channels, hw = out_channels, proj.out_hw
+                block_id += 1
+
+        channels, hw = conv_block("head", channels, self.feature_dim, 1, 1, 1, hw)
+        specs.append(global_pool_spec("global_pool", channels, hw))
+        return specs

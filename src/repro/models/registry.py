@@ -1,0 +1,267 @@
+"""Named backbone configurations and the Table I accounting.
+
+Two families of configurations exist:
+
+* ``paper`` profile — the exact architectures of Table I (used for analytic
+  parameter / MAC accounting and for the hardware experiments).
+* ``laptop`` profile — width/feature-reduced versions of the same topologies
+  that can be trained end-to-end in pure NumPy within seconds, used by the
+  accuracy experiments (Table II / III) on the synthetic dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .graph import GraphSummary, LayerSpec, linear_spec
+from .heads import FullyConnectedClassifier, FullyConnectedReductor
+from .mobilenetv2 import MobileNetV2Backbone, STRIDE_PLANS
+from .resnet import ResNet12Backbone, ResNet20Backbone
+
+
+@dataclass
+class BackboneConfig:
+    """Description of one backbone configuration.
+
+    Attributes:
+        name: registry key.
+        family: "mobilenetv2", "resnet12" or "resnet20".
+        profile: "paper" or "laptop".
+        feature_dim: ``d_a`` — dimensionality of the backbone embedding.
+        prototype_dim: ``d_p`` — dimensionality of the FCR output.
+        input_size: spatial input resolution the config is defined for.
+        builder: callable creating the backbone module.
+        description: human-readable summary.
+        paper_params_m: parameter count reported in Table I (millions), if any.
+        paper_macs_m: MAC count reported in Table I (millions), if any.
+    """
+
+    name: str
+    family: str
+    profile: str
+    feature_dim: int
+    prototype_dim: int
+    input_size: int
+    builder: Callable[..., object]
+    description: str = ""
+    paper_params_m: Optional[float] = None
+    paper_macs_m: Optional[float] = None
+    builder_kwargs: Dict = field(default_factory=dict)
+
+    def build(self, seed: int = 0):
+        """Instantiate the backbone module."""
+        return self.builder(seed=seed, **self.builder_kwargs)
+
+    def build_fcr(self, seed: int = 0) -> FullyConnectedReductor:
+        return FullyConnectedReductor(self.feature_dim, self.prototype_dim, seed=seed)
+
+    def build_fcc(self, num_classes: int, seed: int = 0) -> FullyConnectedClassifier:
+        return FullyConnectedClassifier(self.prototype_dim, num_classes, seed=seed)
+
+    # -- accounting ---------------------------------------------------------
+    def layer_specs(self, include_fcr: bool = True) -> List[LayerSpec]:
+        """Layer graph for one inference pass at the configured resolution."""
+        backbone = self.build()
+        specs = backbone.layer_specs((self.input_size, self.input_size))
+        if include_fcr:
+            specs = specs + [linear_spec("fcr", self.feature_dim, self.prototype_dim)]
+        return specs
+
+    def summary(self, include_fcr: bool = True) -> GraphSummary:
+        return GraphSummary(self.layer_specs(include_fcr=include_fcr))
+
+    def total_params(self, include_fcr: bool = True) -> int:
+        return self.summary(include_fcr).total_params
+
+    def total_macs(self, include_fcr: bool = True) -> int:
+        return self.summary(include_fcr).total_macs
+
+
+_REGISTRY: Dict[str, BackboneConfig] = {}
+
+
+def register(config: BackboneConfig) -> BackboneConfig:
+    if config.name in _REGISTRY:
+        raise ValueError(f"backbone config {config.name!r} already registered")
+    _REGISTRY[config.name] = config
+    return config
+
+
+def get_config(name: str) -> BackboneConfig:
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown backbone config {name!r}; "
+                       f"known: {sorted(_REGISTRY)}") from exc
+
+
+def list_configs(profile: Optional[str] = None) -> List[str]:
+    names = sorted(_REGISTRY)
+    if profile is None:
+        return names
+    return [name for name in names if _REGISTRY[name].profile == profile]
+
+
+def build_backbone(name: str, seed: int = 0):
+    return get_config(name).build(seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Paper-profile configurations (Table I)
+# ---------------------------------------------------------------------------
+register(BackboneConfig(
+    name="mobilenetv2",
+    family="mobilenetv2",
+    profile="paper",
+    feature_dim=1280,
+    prototype_dim=256,
+    input_size=32,
+    builder=MobileNetV2Backbone,
+    builder_kwargs={"stride_plan": "x1"},
+    description="MobileNetV2 with CIFAR strides 1,2,2,2,1,2,1 (Table I col 1)",
+    paper_params_m=2.5,
+    paper_macs_m=25.9,
+))
+
+register(BackboneConfig(
+    name="mobilenetv2_x2",
+    family="mobilenetv2",
+    profile="paper",
+    feature_dim=1280,
+    prototype_dim=256,
+    input_size=32,
+    builder=MobileNetV2Backbone,
+    builder_kwargs={"stride_plan": "x2"},
+    description="MobileNetV2 x2: strides 1,2,2,2,1,1,1 (Table I col 2)",
+    paper_params_m=2.5,
+    paper_macs_m=45.4,
+))
+
+register(BackboneConfig(
+    name="mobilenetv2_x4",
+    family="mobilenetv2",
+    profile="paper",
+    feature_dim=1280,
+    prototype_dim=256,
+    input_size=32,
+    builder=MobileNetV2Backbone,
+    builder_kwargs={"stride_plan": "x4"},
+    description="MobileNetV2 x4: strides 1,2,2,1,1,1,1 (Table I col 3)",
+    paper_params_m=2.5,
+    paper_macs_m=149.2,
+))
+
+register(BackboneConfig(
+    name="resnet12",
+    family="resnet12",
+    profile="paper",
+    feature_dim=640,
+    prototype_dim=512,
+    input_size=32,
+    builder=ResNet12Backbone,
+    description="ResNet-12 with widths 64/160/320/640 (Table I col 4)",
+    paper_params_m=12.9,
+    paper_macs_m=525.3,
+))
+
+register(BackboneConfig(
+    name="resnet20",
+    family="resnet20",
+    profile="paper",
+    feature_dim=64,
+    prototype_dim=64,
+    input_size=32,
+    builder=ResNet20Backbone,
+    description="CIFAR ResNet-20 (baseline backbone used by MetaFSCIL / LIMIT)",
+))
+
+# ---------------------------------------------------------------------------
+# Laptop-profile configurations (reduced width, same topology and code path)
+# ---------------------------------------------------------------------------
+_TINY_STAGES = (
+    (1, 8, 1),
+    (4, 12, 1),
+    (4, 16, 2),
+    (4, 24, 2),
+    (4, 32, 1),
+    (4, 40, 1),
+    (4, 64, 1),
+)
+
+register(BackboneConfig(
+    name="mobilenetv2_tiny",
+    family="mobilenetv2",
+    profile="laptop",
+    feature_dim=128,
+    prototype_dim=64,
+    input_size=16,
+    builder=MobileNetV2Backbone,
+    builder_kwargs={
+        "stride_plan": (1, 2, 2, 2, 1, 2, 1),
+        "stem_channels": 8,
+        "feature_dim": 128,
+        "stage_settings": _TINY_STAGES,
+    },
+    description="Width-reduced MobileNetV2 (x1 stride plan) for CPU training",
+))
+
+register(BackboneConfig(
+    name="mobilenetv2_x4_tiny",
+    family="mobilenetv2",
+    profile="laptop",
+    feature_dim=128,
+    prototype_dim=64,
+    input_size=16,
+    builder=MobileNetV2Backbone,
+    builder_kwargs={
+        "stride_plan": (1, 2, 2, 1, 1, 1, 1),
+        "stem_channels": 8,
+        "feature_dim": 128,
+        "stage_settings": _TINY_STAGES,
+    },
+    description="Width-reduced MobileNetV2 with the x4 stride plan",
+))
+
+register(BackboneConfig(
+    name="resnet12_tiny",
+    family="resnet12",
+    profile="laptop",
+    feature_dim=64,
+    prototype_dim=48,
+    input_size=16,
+    builder=ResNet12Backbone,
+    builder_kwargs={"channels": (16, 24, 48, 64)},
+    description="Width-reduced ResNet-12 for CPU training",
+))
+
+register(BackboneConfig(
+    name="resnet20_tiny",
+    family="resnet20",
+    profile="laptop",
+    feature_dim=32,
+    prototype_dim=32,
+    input_size=16,
+    builder=ResNet20Backbone,
+    builder_kwargs={"widths": (8, 16, 32), "blocks_per_stage": 2},
+    description="Width-reduced ResNet-20 for CPU training",
+))
+
+
+def table1_rows(include_fcr: bool = True) -> List[Dict[str, object]]:
+    """Compute the Table I quantities for the four paper-profile backbones."""
+    rows = []
+    for name in ("mobilenetv2", "mobilenetv2_x2", "mobilenetv2_x4", "resnet12"):
+        config = get_config(name)
+        summary = config.summary(include_fcr=include_fcr)
+        rows.append({
+            "name": name,
+            "stride_plan": getattr(config.build(), "stride_plan", None),
+            "d_a": config.feature_dim,
+            "d_p": config.prototype_dim,
+            "params_m": summary.total_params / 1e6,
+            "macs_m": summary.total_macs / 1e6,
+            "paper_params_m": config.paper_params_m,
+            "paper_macs_m": config.paper_macs_m,
+        })
+    return rows

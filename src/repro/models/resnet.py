@@ -1,0 +1,204 @@
+"""ResNet backbones.
+
+Two variants are needed by the paper's evaluation:
+
+* **ResNet-12** — the standard few-shot learning backbone (four residual
+  blocks of three 3x3 convolutions with channel widths 64/160/320/640 and a
+  2x2 max-pool after each block), used by the accuracy-oriented O-FSCIL
+  configuration and by the C-FSCIL/SAVC/NC-FSCIL baselines (Table II).
+* **ResNet-20** — the classic CIFAR ResNet used by the MetaFSCIL and LIMIT
+  baselines (three stages of three basic blocks, widths 16/32/64).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .graph import (
+    LayerSpec,
+    act_spec,
+    add_spec,
+    bn_spec,
+    conv_spec,
+    global_pool_spec,
+    pool_spec,
+)
+
+
+class ResNet12Block(nn.Module):
+    """Three conv-bn-relu layers plus a projected residual, then 2x2 max-pool."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None, pool: bool = True):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.conv3 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(out_channels)
+        self.shortcut = nn.Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.shortcut_bn = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        self.pool = nn.MaxPool2d(2) if pool else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        residual = self.shortcut_bn(self.shortcut(x))
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        out = self.relu(out + residual)
+        if self.pool is not None:
+            out = self.pool(out)
+        return out
+
+
+class ResNet12Backbone(nn.Module):
+    """ResNet-12 feature extractor (``d_a`` = 640 with the default widths)."""
+
+    DEFAULT_CHANNELS: Tuple[int, ...] = (64, 160, 320, 640)
+
+    def __init__(self, channels: Optional[Sequence[int]] = None,
+                 in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.channels = tuple(channels) if channels is not None else self.DEFAULT_CHANNELS
+        self.in_channels = in_channels
+        blocks = []
+        previous = in_channels
+        for width in self.channels:
+            blocks.append(ResNet12Block(previous, width, rng=rng))
+            previous = width
+        self.blocks = nn.Sequential(*blocks)
+        self.pool = nn.GlobalAvgPool2d()
+        self.feature_dim = self.channels[-1]
+
+    @property
+    def output_dim(self) -> int:
+        return self.feature_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.blocks(x))
+
+    def layer_specs(self, input_hw: Tuple[int, int] = (32, 32)) -> List[LayerSpec]:
+        specs: List[LayerSpec] = []
+        hw = input_hw
+        previous = self.in_channels
+        for index, width in enumerate(self.channels):
+            prefix = f"block{index}"
+            for conv_index in range(1, 4):
+                in_c = previous if conv_index == 1 else width
+                spec = conv_spec(f"{prefix}.conv{conv_index}", in_c, width, 3, 1, hw)
+                specs.append(spec)
+                specs.append(bn_spec(f"{prefix}.bn{conv_index}", width, spec.out_hw))
+                specs.append(act_spec(f"{prefix}.relu{conv_index}", width, spec.out_hw))
+            shortcut = conv_spec(f"{prefix}.shortcut", previous, width, 1, 1, hw)
+            specs.append(shortcut)
+            specs.append(bn_spec(f"{prefix}.shortcut_bn", width, shortcut.out_hw))
+            specs.append(add_spec(f"{prefix}.residual", width, shortcut.out_hw))
+            pool = pool_spec(f"{prefix}.maxpool", width, hw, 2)
+            specs.append(pool)
+            hw = pool.out_hw
+            previous = width
+        specs.append(global_pool_spec("global_pool", previous, hw))
+        return specs
+
+
+class BasicBlock(nn.Module):
+    """Classic two-convolution CIFAR ResNet basic block."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1,
+                               bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Conv2d(in_channels, out_channels, 1,
+                                        stride=stride, bias=False, rng=rng)
+            self.downsample_bn = nn.BatchNorm2d(out_channels)
+        else:
+            self.downsample = None
+            self.downsample_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        residual = x
+        if self.downsample is not None:
+            residual = self.downsample_bn(self.downsample(x))
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + residual)
+
+
+class ResNet20Backbone(nn.Module):
+    """CIFAR ResNet-20 feature extractor (``d_a`` = 64 with default widths)."""
+
+    def __init__(self, widths: Sequence[int] = (16, 32, 64), blocks_per_stage: int = 3,
+                 in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.widths = tuple(widths)
+        self.blocks_per_stage = blocks_per_stage
+        self.in_channels = in_channels
+        self.stem = nn.Conv2d(in_channels, self.widths[0], 3, padding=1, bias=False, rng=rng)
+        self.stem_bn = nn.BatchNorm2d(self.widths[0])
+        self.relu = nn.ReLU()
+        layers: List[nn.Module] = []
+        previous = self.widths[0]
+        for stage_index, width in enumerate(self.widths):
+            for block_index in range(blocks_per_stage):
+                stride = 2 if stage_index > 0 and block_index == 0 else 1
+                layers.append(BasicBlock(previous, width, stride=stride, rng=rng))
+                previous = width
+        self.blocks = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.feature_dim = previous
+
+    @property
+    def output_dim(self) -> int:
+        return self.feature_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.stem_bn(self.stem(x)))
+        out = self.blocks(out)
+        return self.pool(out)
+
+    def layer_specs(self, input_hw: Tuple[int, int] = (32, 32)) -> List[LayerSpec]:
+        specs: List[LayerSpec] = []
+        stem = conv_spec("stem", self.in_channels, self.widths[0], 3, 1, input_hw)
+        specs.append(stem)
+        specs.append(bn_spec("stem_bn", self.widths[0], stem.out_hw))
+        specs.append(act_spec("stem_relu", self.widths[0], stem.out_hw))
+        hw = stem.out_hw
+        previous = self.widths[0]
+        block_id = 0
+        for stage_index, width in enumerate(self.widths):
+            for block_index in range(self.blocks_per_stage):
+                stride = 2 if stage_index > 0 and block_index == 0 else 1
+                prefix = f"block{block_id}"
+                conv1 = conv_spec(f"{prefix}.conv1", previous, width, 3, stride, hw)
+                specs.append(conv1)
+                specs.append(bn_spec(f"{prefix}.bn1", width, conv1.out_hw))
+                specs.append(act_spec(f"{prefix}.relu1", width, conv1.out_hw))
+                conv2 = conv_spec(f"{prefix}.conv2", width, width, 3, 1, conv1.out_hw)
+                specs.append(conv2)
+                specs.append(bn_spec(f"{prefix}.bn2", width, conv2.out_hw))
+                if stride != 1 or previous != width:
+                    down = conv_spec(f"{prefix}.downsample", previous, width, 1, stride, hw)
+                    specs.append(down)
+                    specs.append(bn_spec(f"{prefix}.downsample_bn", width, down.out_hw))
+                specs.append(add_spec(f"{prefix}.residual", width, conv2.out_hw))
+                specs.append(act_spec(f"{prefix}.relu2", width, conv2.out_hw))
+                hw = conv2.out_hw
+                previous = width
+                block_id += 1
+        specs.append(global_pool_spec("global_pool", previous, hw))
+        return specs

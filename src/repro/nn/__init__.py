@@ -1,0 +1,86 @@
+"""NumPy-based neural-network substrate (tensors, autograd, layers, losses).
+
+This package provides everything the O-FSCIL reproduction needs to train and
+run the backbone, FCR and classifier heads without any external deep-learning
+framework.
+"""
+
+from . import functional
+from . import init
+from . import losses
+from . import optim
+from .calibration import batchnorm_modules, recalibrate_batchnorm
+from .conv import col2im, conv_output_size, im2col
+from .gradcheck import check_gradients, numerical_gradient
+from .modules import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    ReLU6,
+    Sequential,
+    Sigmoid,
+)
+from .tensor import (
+    Tensor,
+    concatenate,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    randn,
+    stack,
+    tensor,
+    zeros,
+)
+
+__all__ = [
+    "functional",
+    "init",
+    "losses",
+    "optim",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "stack",
+    "concatenate",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "Sigmoid",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Identity",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "check_gradients",
+    "numerical_gradient",
+    "recalibrate_batchnorm",
+    "batchnorm_modules",
+]

@@ -1,0 +1,70 @@
+"""Batch-normalization statistics recalibration.
+
+Short training schedules (as used by the laptop-scale profiles) leave the
+exponential-moving-average BatchNorm statistics far from the true dataset
+statistics, creating a large train/eval discrepancy.  This utility replays
+the training data in training mode (without gradients) while forcing a
+cumulative moving average, so the running statistics converge to the exact
+dataset statistics regardless of how short the preceding training was.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .modules import BatchNorm1d, BatchNorm2d, Module
+from .tensor import Tensor, no_grad
+
+
+def batchnorm_modules(model: Module):
+    """Yield every BatchNorm submodule of ``model``."""
+    for module in model.modules():
+        if isinstance(module, (BatchNorm1d, BatchNorm2d)):
+            yield module
+
+
+def recalibrate_batchnorm(model: Module, images: np.ndarray,
+                          batch_size: int = 64,
+                          forward=None) -> int:
+    """Re-estimate BatchNorm running statistics from ``images``.
+
+    Args:
+        model: module whose BatchNorm statistics are recalibrated in place.
+        images: NCHW array replayed through the model.
+        batch_size: replay batch size.
+        forward: optional callable ``forward(model, batch_tensor)``; defaults
+            to ``model(batch_tensor)``.
+
+    Returns:
+        The number of batches replayed.
+    """
+    bns = list(batchnorm_modules(model))
+    if not bns:
+        return 0
+    original_momenta = [bn.momentum for bn in bns]
+    for bn in bns:
+        bn.update_buffer("running_mean", np.zeros_like(bn.running_mean))
+        bn.update_buffer("running_var", np.ones_like(bn.running_var))
+
+    was_training = model.training
+    model.train()
+    images = np.asarray(images, dtype=np.float32)
+    batches = 0
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            batches += 1
+            # Cumulative moving average: after t batches the running statistic
+            # equals the mean of the first t batch statistics.
+            for bn in bns:
+                bn.momentum = 1.0 / batches
+            batch = Tensor(images[start:start + batch_size])
+            if forward is not None:
+                forward(model, batch)
+            else:
+                model(batch)
+    for bn, momentum in zip(bns, original_momenta):
+        bn.momentum = momentum
+    model.train(was_training)
+    return batches

@@ -1,0 +1,207 @@
+"""Convolution and pooling primitives implemented with im2col.
+
+The convolution kernel supports grouped convolutions so the depthwise
+convolutions of MobileNetV2 share the same code path as dense convolutions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Function
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Expand sliding windows of ``x`` (NCHW) into a column tensor.
+
+    Returns an array of shape ``(N, C, kh, kw, out_h, out_w)``.
+    """
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                   mode="constant")
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+           kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: accumulate columns back into an image."""
+    n, c, h, w = x_shape
+    h_padded, w_padded = h + 2 * padding, w + 2 * padding
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    image = np.zeros((n, c, h_padded, w_padded), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            image[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return image[:, :, padding:h_padded - padding, padding:w_padded - padding]
+    return image
+
+
+class Conv2dFunction(Function):
+    """Grouped 2-D convolution over NCHW inputs.
+
+    Three execution paths are used, all mathematically equivalent:
+
+    * dense convolutions (``groups == 1``): a batched GEMM over the im2col
+      matrix (fastest path, hits BLAS),
+    * depthwise convolutions (``groups == in_channels == out_channels``):
+      an elementwise multiply-and-reduce over the kernel window,
+    * general grouped convolutions: an einsum over per-group blocks.
+    """
+
+    def forward(self, x, weight, stride=1, padding=0, groups=1):
+        n, c, h, w = x.shape
+        out_c, c_per_group, kh, kw = weight.shape
+        if c != c_per_group * groups:
+            raise ValueError(
+                f"input channels ({c}) incompatible with weight shape {weight.shape} "
+                f"and groups={groups}")
+        out_h = conv_output_size(h, kh, stride, padding)
+        out_w = conv_output_size(w, kw, stride, padding)
+        spatial = out_h * out_w
+
+        # Fast path: a 1x1 stride-1 dense convolution is a plain channel-mixing
+        # matmul; skipping im2col avoids copying the whole activation twice.
+        pointwise = (kh == 1 and kw == 1 and stride == 1 and padding == 0
+                     and groups == 1)
+        if pointwise:
+            x_mat = x.reshape(n, c, spatial)
+            weight_mat = weight.reshape(out_c, c)
+            out = np.matmul(weight_mat, x_mat).reshape(n, out_c, out_h, out_w)
+            self.save_for_backward(x_mat, weight_mat, x.shape, weight.shape,
+                                   stride, padding, groups, (out_h, out_w), "pointwise")
+            return out
+
+        cols = im2col(x, kh, kw, stride, padding)
+        depthwise = groups == c and groups == out_c
+
+        if groups == 1:
+            cols_mat = cols.reshape(n, c * kh * kw, spatial)
+            weight_mat = weight.reshape(out_c, c * kh * kw)
+            out = np.matmul(weight_mat, cols_mat)
+        elif depthwise:
+            cols_dw = cols.reshape(n, c, kh * kw, spatial)
+            weight_dw = weight.reshape(c, kh * kw)
+            out = np.einsum("nckl,ck->ncl", cols_dw, weight_dw)
+        else:
+            cols_g = cols.reshape(n, groups, c_per_group * kh * kw, spatial)
+            weight_g = weight.reshape(groups, out_c // groups, c_per_group * kh * kw)
+            out = np.einsum("gok,ngkl->ngol", weight_g, cols_g, optimize=True)
+        out = np.ascontiguousarray(out).reshape(n, out_c, out_h, out_w)
+
+        self.save_for_backward(cols, weight, x.shape, weight.shape,
+                               stride, padding, groups, (out_h, out_w),
+                               "depthwise" if depthwise else "grouped" if groups > 1 else "dense")
+        return out
+
+    def backward(self, grad):
+        (cols, weight, x_shape, w_shape, stride, padding, groups,
+         out_size, path) = self.saved
+        n, c = x_shape[0], x_shape[1]
+        out_c, c_per_group, kh, kw = w_shape
+        out_h, out_w = out_size
+        spatial = out_h * out_w
+        depthwise = path == "depthwise"
+
+        if path == "pointwise":
+            x_mat, weight_mat = cols, weight
+            grad_mat = grad.reshape(n, out_c, spatial)
+            grad_weight = np.tensordot(grad_mat, x_mat,
+                                       axes=((0, 2), (0, 2))).reshape(w_shape)
+            grad_x = np.matmul(weight_mat.T, grad_mat).reshape(x_shape)
+            return grad_x, grad_weight
+
+        if groups == 1:
+            cols_mat = cols.reshape(n, c * kh * kw, spatial)
+            weight_mat = weight.reshape(out_c, c * kh * kw)
+            grad_mat = grad.reshape(n, out_c, spatial)
+            grad_weight = np.tensordot(grad_mat, cols_mat,
+                                       axes=((0, 2), (0, 2))).reshape(w_shape)
+            grad_cols = np.matmul(weight_mat.T, grad_mat)
+        elif depthwise:
+            cols_dw = cols.reshape(n, c, kh * kw, spatial)
+            weight_dw = weight.reshape(c, kh * kw)
+            grad_dw = grad.reshape(n, c, spatial)
+            grad_weight = np.einsum("ncl,nckl->ck", grad_dw, cols_dw).reshape(w_shape)
+            grad_cols = grad_dw[:, :, None, :] * weight_dw[None, :, :, None]
+        else:
+            cols_g = cols.reshape(n, groups, c_per_group * kh * kw, spatial)
+            weight_g = weight.reshape(groups, out_c // groups, c_per_group * kh * kw)
+            grad_g = grad.reshape(n, groups, out_c // groups, spatial)
+            grad_weight = np.einsum("ngol,ngkl->gok", grad_g, cols_g,
+                                    optimize=True).reshape(w_shape)
+            grad_cols = np.einsum("gok,ngol->ngkl", weight_g, grad_g, optimize=True)
+
+        grad_cols = grad_cols.reshape(n, c, kh, kw, out_h, out_w)
+        grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+        return grad_x, grad_weight
+
+
+class AvgPool2dFunction(Function):
+    """Average pooling over square windows."""
+
+    def forward(self, x, kernel_size, stride):
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, kernel_size, stride, 0)
+        out_w = conv_output_size(w, kernel_size, stride, 0)
+        cols = im2col(x, kernel_size, kernel_size, stride, 0)
+        out = cols.mean(axis=(2, 3))
+        self.save_for_backward(x.shape, kernel_size, stride, (out_h, out_w))
+        return out
+
+    def backward(self, grad):
+        x_shape, kernel_size, stride, out_size = self.saved
+        n, c, _, _ = x_shape
+        out_h, out_w = out_size
+        window = kernel_size * kernel_size
+        grad_cols = np.broadcast_to(
+            grad[:, :, None, None, :, :] / window,
+            (n, c, kernel_size, kernel_size, out_h, out_w)).astype(grad.dtype)
+        grad_x = col2im(grad_cols, x_shape, kernel_size, kernel_size, stride, 0)
+        return (grad_x,)
+
+
+class MaxPool2dFunction(Function):
+    """Max pooling over square windows."""
+
+    def forward(self, x, kernel_size, stride):
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, kernel_size, stride, 0)
+        out_w = conv_output_size(w, kernel_size, stride, 0)
+        cols = im2col(x, kernel_size, kernel_size, stride, 0)
+        flat = cols.reshape(n, c, kernel_size * kernel_size, out_h, out_w)
+        argmax = flat.argmax(axis=2)
+        out = np.take_along_axis(flat, argmax[:, :, None, :, :], axis=2)[:, :, 0]
+        self.save_for_backward(x.shape, kernel_size, stride, argmax, (out_h, out_w))
+        return out
+
+    def backward(self, grad):
+        x_shape, kernel_size, stride, argmax, out_size = self.saved
+        n, c, _, _ = x_shape
+        out_h, out_w = out_size
+        grad_flat = np.zeros((n, c, kernel_size * kernel_size, out_h, out_w),
+                             dtype=grad.dtype)
+        np.put_along_axis(grad_flat, argmax[:, :, None, :, :],
+                          grad[:, :, None, :, :], axis=2)
+        grad_cols = grad_flat.reshape(n, c, kernel_size, kernel_size, out_h, out_w)
+        grad_x = col2im(grad_cols, x_shape, kernel_size, kernel_size, stride, 0)
+        return (grad_x,)

@@ -1,0 +1,141 @@
+"""Functional interface over the autograd primitives.
+
+These free functions mirror the subset of ``torch.nn.functional`` that the
+O-FSCIL reproduction needs, implemented on top of :mod:`repro.nn.ops`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return ops.ReLU.apply(x)
+
+
+def relu6(x: Tensor) -> Tensor:
+    """ReLU clipped at 6 — the MobileNetV2 activation."""
+    return ops.ReLU6.apply(x)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return ops.Sigmoid.apply(x)
+
+
+def tanh(x: Tensor) -> Tensor:
+    return ops.Tanh.apply(x)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return ops.Softmax.apply(x, axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return ops.LogSoftmax.apply(x, axis)
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True,
+            seed: Optional[int] = None) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p`` is 0."""
+    if not training or p <= 0.0:
+        return x
+    return ops.Dropout.apply(x, p, seed)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (weight stored as (out, in))."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    return x.flatten(start_dim)
+
+
+def pad2d(x: Tensor, padding: Union[int, Tuple[int, int]]) -> Tensor:
+    """Zero-pad the two trailing spatial dimensions of an NCHW tensor."""
+    if isinstance(padding, int):
+        pad_h = pad_w = padding
+    else:
+        pad_h, pad_w = padding
+    if pad_h == 0 and pad_w == 0:
+        return x
+    pad_width = ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w))
+    return ops.Pad.apply(x, pad_width)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalize ``x`` to unit L2 norm along ``axis``."""
+    squared = (x * x).sum(axis=axis, keepdims=True)
+    norm = (squared + eps).sqrt()
+    return x / norm
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity between ``a`` and ``b`` along ``axis``."""
+    a_n = l2_normalize(a, axis=axis, eps=eps)
+    b_n = l2_normalize(b, axis=axis, eps=eps)
+    return (a_n * b_n).sum(axis=axis)
+
+
+def cosine_similarity_matrix(queries: Tensor, prototypes: Tensor,
+                             eps: float = 1e-12) -> Tensor:
+    """Pairwise cosine similarity between query rows and prototype rows.
+
+    Args:
+        queries: ``(B, d)`` tensor of query features.
+        prototypes: ``(C, d)`` tensor of class prototypes.
+
+    Returns:
+        ``(B, C)`` tensor of cosine similarities.
+    """
+    q = l2_normalize(queries, axis=-1, eps=eps)
+    p = l2_normalize(prototypes, axis=-1, eps=eps)
+    return q @ p.transpose()
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """Dense one-hot encoding of an integer label vector."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over non-overlapping (or strided) windows."""
+    from .conv import AvgPool2dFunction
+    stride = stride if stride is not None else kernel_size
+    return AvgPool2dFunction.apply(x, kernel_size, stride)
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    from .conv import MaxPool2dFunction
+    stride = stride if stride is not None else kernel_size
+    return MaxPool2dFunction.apply(x, kernel_size, stride)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling of an NCHW tensor to shape (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    """2-D convolution (NCHW) with optional grouping.
+
+    ``weight`` has shape ``(out_channels, in_channels // groups, kh, kw)``.
+    """
+    from .conv import Conv2dFunction
+    out = Conv2dFunction.apply(x, weight, stride, padding, groups)
+    if bias is not None:
+        out = out + bias.reshape((1, -1, 1, 1))
+    return out

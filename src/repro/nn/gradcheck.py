@@ -1,0 +1,54 @@
+"""Numerical gradient checking utilities used by the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` must return a scalar tensor.  Inputs are perturbed in place and
+    restored, so the provided tensors are unchanged on return.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data)
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                    eps: float = 1e-4, atol: float = 1e-3, rtol: float = 1e-2) -> bool:
+    """Compare analytic and numerical gradients of ``fn`` for every input.
+
+    Returns True when all gradients match within tolerance; raises
+    ``AssertionError`` with a diagnostic message otherwise.
+    """
+    for tensor in inputs:
+        tensor.grad = None
+    output = fn(*inputs)
+    output.backward()
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, inputs, index, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.3e}")
+    return True

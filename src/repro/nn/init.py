@@ -1,0 +1,67 @@
+"""Weight initialization schemes for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for linear or convolutional weight shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        out_c, in_c, kh, kw = shape
+        receptive = kh * kw
+        return in_c * receptive, out_c * receptive
+    fan = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    return fan, shape[0]
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+                   nonlinearity: str = "relu", dtype=np.float32) -> np.ndarray:
+    """He-normal initialization appropriate for ReLU-family activations."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    gain = math.sqrt(2.0) if nonlinearity in ("relu", "relu6") else 1.0
+    std = gain / math.sqrt(max(fan_in, 1))
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                    nonlinearity: str = "relu", dtype=np.float32) -> np.ndarray:
+    fan_in, _ = _fan_in_fan_out(shape)
+    gain = math.sqrt(2.0) if nonlinearity in ("relu", "relu6") else 1.0
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+                  dtype=np.float32) -> np.ndarray:
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = math.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   dtype=np.float32) -> np.ndarray:
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def uniform_bias(fan_in: int, shape: Tuple[int, ...], rng: np.random.Generator,
+                 dtype=np.float32) -> np.ndarray:
+    """Torch-style bias initialization: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / math.sqrt(max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def zeros(shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    return np.ones(shape, dtype=dtype)

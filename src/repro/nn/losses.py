@@ -1,0 +1,133 @@
+"""Loss functions used by the O-FSCIL training pipeline.
+
+Implements the standard cross-entropy loss (with hard or soft targets, the
+latter required for Mixup/CutMix), the multi-margin metalearning loss of
+Eq. (4), and the feature-orthogonality regularizer of Eq. (1) from the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, Tensor],
+                  label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer or soft targets.
+
+    Args:
+        logits: ``(B, C)`` unnormalized class scores.
+        targets: either an integer label vector of shape ``(B,)`` or a soft
+            target distribution of shape ``(B, C)`` (as produced by Mixup).
+        label_smoothing: optional label smoothing factor in ``[0, 1)``.
+    """
+    num_classes = logits.shape[-1]
+    if isinstance(targets, Tensor):
+        target_dist = targets.data
+    else:
+        targets = np.asarray(targets)
+        if targets.ndim == 1:
+            target_dist = F.one_hot(targets, num_classes)
+        else:
+            target_dist = targets.astype(np.float32)
+    if label_smoothing > 0.0:
+        target_dist = (1.0 - label_smoothing) * target_dist + label_smoothing / num_classes
+    log_probs = F.log_softmax(logits, axis=-1)
+    nll = -(Tensor(target_dist) * log_probs).sum(axis=-1)
+    return nll.mean()
+
+
+def multi_margin_loss(similarities: Tensor, labels: np.ndarray,
+                      margin: float = 0.1, num_classes: Optional[int] = None) -> Tensor:
+    """Squared multi-margin loss of Eq. (4).
+
+    ``L = sum_{i != gt} max(0, m - l_gt + l_i)^2 / |C0|`` averaged over the
+    batch, where ``l`` are (ReLU-sharpened) cosine similarities.
+
+    Args:
+        similarities: ``(B, C)`` similarity scores between queries and
+            class prototypes.
+        labels: ``(B,)`` integer ground-truth labels.
+        margin: margin ``m`` (the paper uses 0.1 after a grid search).
+        num_classes: the normalizer ``|C0|``; defaults to ``C``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    batch, classes = similarities.shape
+    denom = float(num_classes if num_classes is not None else classes)
+    one_hot = F.one_hot(labels, classes)
+    gt_scores = (similarities * Tensor(one_hot)).sum(axis=-1, keepdims=True)
+    violations = (similarities - gt_scores + margin) * Tensor(1.0 - one_hot)
+    hinged = F.relu(violations)
+    per_sample = (hinged * hinged).sum(axis=-1) / denom
+    return per_sample.mean()
+
+
+def orthogonality_loss(features: Tensor, mode: str = "covariance",
+                       normalize: bool = True) -> Tensor:
+    """Feature orthogonality regularizer of Eq. (1).
+
+    The paper regularizes ``theta_pb^T theta_pb`` towards the identity, i.e.
+    it decorrelates the *feature dimensions* of the batch so that the
+    embedding does not collapse onto the low-dimensional hyperplane spanned
+    by the base-class classifier, leaving orthogonal directions available for
+    future classes.
+
+    Args:
+        features: ``(B, d_p)`` batch of prototypical features ``theta_p``.
+        mode: ``"covariance"`` (default, the paper's Eq. (1)) penalizes the
+            ``d_p x d_p`` dimension-correlation matrix against the identity;
+            ``"gram"`` penalizes the ``B x B`` sample Gram matrix against the
+            identity (sample-wise orthogonality, as in orthogonal projection
+            losses).
+        normalize: normalize the matrix rows/columns so the diagonal target
+            of 1 is attainable independently of the feature scale.
+    """
+    if mode not in ("gram", "covariance"):
+        raise ValueError(f"unknown orthogonality mode {mode!r}")
+    if mode == "covariance":
+        # Correlation matrix of feature dimensions: columns are normalized
+        # across the batch, so the diagonal is exactly one and off-diagonal
+        # entries are inter-dimension correlations in [-1, 1].
+        feats = F.l2_normalize(features, axis=0) if normalize else features
+        product = feats.transpose() @ feats
+        identity = np.eye(feats.shape[1], dtype=np.float32)
+    else:
+        feats = F.l2_normalize(features, axis=-1) if normalize else features
+        product = feats @ feats.transpose()
+        identity = np.eye(feats.shape[0], dtype=np.float32)
+    diff = product - Tensor(identity)
+    return (diff * diff).mean()
+
+
+def pretraining_loss(logits: Tensor, targets: Union[np.ndarray, Tensor],
+                     features: Tensor, ortho_weight: float = 0.1,
+                     ortho_mode: str = "covariance",
+                     label_smoothing: float = 0.0) -> Tensor:
+    """Combined pretraining loss of Eq. (2): ``L_ce + lambda * L_ortho``."""
+    ce = cross_entropy(logits, targets, label_smoothing=label_smoothing)
+    if ortho_weight <= 0.0:
+        return ce
+    ortho = orthogonality_loss(features, mode=ortho_mode)
+    return ce + ortho_weight * ortho
+
+
+def mse_loss(prediction: Tensor, target: Union[np.ndarray, Tensor]) -> Tensor:
+    """Mean squared error (used by the on-device FCR fine-tuning)."""
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float32))
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def cosine_embedding_loss(prediction: Tensor, target: Union[np.ndarray, Tensor]) -> Tensor:
+    """1 - cosine similarity, averaged over the batch.
+
+    Used when fine-tuning the FCR to maximize the similarity between the FCR
+    output and the bipolarized class prototype.
+    """
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float32))
+    sims = F.cosine_similarity(prediction, target_t, axis=-1)
+    return (1.0 - sims).mean()

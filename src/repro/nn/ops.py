@@ -1,0 +1,430 @@
+"""Primitive differentiable operations used by :class:`repro.nn.Tensor`.
+
+Each operation is a :class:`~repro.nn.tensor.Function` subclass.  Forward
+methods receive raw ``numpy`` arrays (tensor arguments are unwrapped by
+``Function.apply``) plus any non-tensor configuration arguments; backward
+methods receive the gradient of the output and return one gradient per
+tensor input, in order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Function, unbroadcast
+
+
+class Add(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad):
+        a_shape, b_shape = self.saved
+        return unbroadcast(grad, a_shape), unbroadcast(grad, b_shape)
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad):
+        a_shape, b_shape = self.saved
+        return unbroadcast(grad, a_shape), unbroadcast(-grad, b_shape)
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad):
+        a, b = self.saved
+        return unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad):
+        a, b = self.saved
+        grad_a = grad / b
+        grad_b = -grad * a / (b * b)
+        return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+
+
+class Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return (-grad,)
+
+
+class Pow(Function):
+    def forward(self, a, exponent):
+        self.save_for_backward(a, exponent)
+        return a ** exponent
+
+    def backward(self, grad):
+        a, exponent = self.saved
+        return (grad * exponent * a ** (exponent - 1.0),)
+
+
+class MatMul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a @ b
+
+    def backward(self, grad):
+        a, b = self.saved
+        if a.ndim == 1 and b.ndim == 1:
+            return grad * b, grad * a
+        if b.ndim == 1:
+            grad_a = np.outer(grad, b) if a.ndim == 2 else grad[..., None] * b
+            grad_b = np.tensordot(grad, a, axes=(tuple(range(grad.ndim)),
+                                                 tuple(range(a.ndim - 1))))
+            return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+        if a.ndim == 1:
+            grad_a = grad @ np.swapaxes(b, -1, -2)
+            grad_b = np.outer(a, grad) if b.ndim == 2 else a[..., None] * grad
+            return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+        grad_a = grad @ np.swapaxes(b, -1, -2)
+        grad_b = np.swapaxes(a, -1, -2) @ grad
+        return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+
+
+class Sum(Function):
+    def forward(self, a, axis=None, keepdims=False):
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims = self.saved
+        grad = np.asarray(grad)
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(ax % len(shape) for ax in axes)
+            for ax in sorted(axes):
+                grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, shape).copy(),)
+
+
+class Mean(Function):
+    def forward(self, a, axis=None, keepdims=False):
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.mean(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims = self.saved
+        grad = np.asarray(grad)
+        if axis is None:
+            count = int(np.prod(shape))
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(ax % len(shape) for ax in axes)
+            count = int(np.prod([shape[ax] for ax in axes]))
+            if not keepdims:
+                for ax in sorted(axes):
+                    grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, shape).copy() / count,)
+
+
+class Max(Function):
+    def forward(self, a, axis=None, keepdims=False):
+        out = a.max(axis=axis, keepdims=keepdims)
+        self.save_for_backward(a, axis, keepdims, out)
+        return out
+
+    def backward(self, grad):
+        a, axis, keepdims, out = self.saved
+        grad = np.asarray(grad)
+        out_expanded = out
+        grad_expanded = grad
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(ax % a.ndim for ax in axes)
+            for ax in sorted(axes):
+                out_expanded = np.expand_dims(out_expanded, ax)
+                grad_expanded = np.expand_dims(grad_expanded, ax)
+        mask = (a == out_expanded).astype(a.dtype)
+        # Split gradient equally among ties to keep the operation well defined.
+        counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        return (mask * grad_expanded / counts,)
+
+
+class Reshape(Function):
+    def forward(self, a, shape):
+        self.save_for_backward(a.shape)
+        return a.reshape(shape)
+
+    def backward(self, grad):
+        (shape,) = self.saved
+        return (grad.reshape(shape),)
+
+
+class Transpose(Function):
+    def forward(self, a, axes=None):
+        self.save_for_backward(axes, a.ndim)
+        return np.transpose(a, axes)
+
+    def backward(self, grad):
+        axes, ndim = self.saved
+        if axes is None:
+            return (np.transpose(grad),)
+        inverse = np.argsort(axes)
+        return (np.transpose(grad, inverse),)
+
+
+class Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad / a,)
+
+
+class Sqrt(Function):
+    def forward(self, a):
+        out = np.sqrt(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * 0.5 / out,)
+
+
+class Abs(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.abs(a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad * np.sign(a),)
+
+
+class Clip(Function):
+    def forward(self, a, low, high):
+        self.save_for_backward(a, low, high)
+        return np.clip(a, low, high)
+
+    def backward(self, grad):
+        a, low, high = self.saved
+        mask = ((a >= low) & (a <= high)).astype(a.dtype)
+        return (grad * mask,)
+
+
+class ReLU(Function):
+    def forward(self, a):
+        mask = a > 0
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+class ReLU6(Function):
+    def forward(self, a):
+        mask = (a > 0) & (a < 6.0)
+        self.save_for_backward(mask)
+        return np.clip(a, 0.0, 6.0)
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out * (1.0 - out),)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * (1.0 - out * out),)
+
+
+class LogSoftmax(Function):
+    def forward(self, a, axis=-1):
+        shifted = a - a.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_sum
+        self.save_for_backward(out, axis)
+        return out
+
+    def backward(self, grad):
+        out, axis = self.saved
+        softmax = np.exp(out)
+        return (grad - softmax * grad.sum(axis=axis, keepdims=True),)
+
+
+class Softmax(Function):
+    def forward(self, a, axis=-1):
+        shifted = a - a.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=axis, keepdims=True)
+        self.save_for_backward(out, axis)
+        return out
+
+    def backward(self, grad):
+        out, axis = self.saved
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return (out * (grad - dot),)
+
+
+class Slice(Function):
+    def forward(self, a, index):
+        self.save_for_backward(a.shape, index)
+        return a[index]
+
+    def backward(self, grad):
+        shape, index = self.saved
+        out = np.zeros(shape, dtype=grad.dtype)
+        np.add.at(out, index, grad)
+        return (out,)
+
+
+class Pad(Function):
+    """Zero padding with a per-dimension ``(before, after)`` specification."""
+
+    def forward(self, a, pad_width):
+        self.save_for_backward(pad_width, a.shape)
+        return np.pad(a, pad_width, mode="constant")
+
+    def backward(self, grad):
+        pad_width, shape = self.saved
+        slices = tuple(slice(before, before + dim)
+                       for (before, _after), dim in zip(pad_width, shape))
+        return (grad[slices],)
+
+
+class Stack(Function):
+    def forward(self, *arrays, axis=0):
+        self.save_for_backward(axis, len(arrays))
+        return np.stack(arrays, axis=axis)
+
+    def backward(self, grad):
+        axis, count = self.saved
+        pieces = np.split(grad, count, axis=axis)
+        return tuple(np.squeeze(piece, axis=axis) for piece in pieces)
+
+
+class Concat(Function):
+    def forward(self, *arrays, axis=0):
+        sizes = [array.shape[axis] for array in arrays]
+        self.save_for_backward(axis, sizes)
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, grad):
+        axis, sizes = self.saved
+        splits = np.cumsum(sizes)[:-1]
+        return tuple(np.split(grad, splits, axis=axis))
+
+
+class Dropout(Function):
+    """Inverted dropout: scales kept activations by ``1 / (1 - p)``."""
+
+    def forward(self, a, p=0.5, seed=None):
+        rng = np.random.default_rng(seed)
+        keep = 1.0 - p
+        mask = (rng.random(a.shape) < keep).astype(a.dtype) / max(keep, 1e-12)
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+class Embedding(Function):
+    """Row gather used for prototype lookup tables."""
+
+    def forward(self, weight, indices):
+        self.save_for_backward(weight.shape, np.asarray(indices))
+        return weight[np.asarray(indices)]
+
+    def backward(self, grad):
+        shape, indices = self.saved
+        out = np.zeros(shape, dtype=grad.dtype)
+        np.add.at(out, indices, grad)
+        return (out,)
+
+
+class BatchNormTrain(Function):
+    """Fused training-mode batch normalization (2d NCHW or 1d NC inputs).
+
+    Computing the normalization in one fused operation (instead of composing
+    mean/var/div primitives) substantially reduces the autograd overhead of
+    the many BatchNorm layers in MobileNetV2-style backbones.
+    """
+
+    def forward(self, x, weight, bias, eps=1e-5, mean=None, var=None):
+        axes = (0, 2, 3) if x.ndim == 4 else (0,)
+        shape_keep = tuple(1 if axis in axes else size
+                           for axis, size in enumerate(x.shape))
+        if mean is None:
+            mean = x.mean(axis=axes, keepdims=True)
+        else:
+            mean = np.asarray(mean, dtype=x.dtype).reshape(shape_keep)
+        if var is None:
+            var = x.var(axis=axes, keepdims=True)
+        else:
+            var = np.asarray(var, dtype=x.dtype).reshape(shape_keep)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        x_hat = (x - mean) * inv_std
+        shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+        out = x_hat * weight.reshape(shape) + bias.reshape(shape)
+        self.save_for_backward(x_hat, inv_std, weight, axes, shape,
+                               mean.reshape(-1), var.reshape(-1))
+        return out
+
+    def backward(self, grad):
+        x_hat, inv_std, weight, axes, shape, _mean, _var = self.saved
+        count = 1
+        for axis in axes:
+            count *= grad.shape[axis]
+        grad_bias = grad.sum(axis=axes)
+        grad_weight = (grad * x_hat).sum(axis=axes)
+        grad_xhat = grad * weight.reshape(shape)
+        sum_grad_xhat = grad_xhat.sum(axis=axes, keepdims=True)
+        sum_grad_xhat_xhat = (grad_xhat * x_hat).sum(axis=axes, keepdims=True)
+        grad_x = (inv_std / count) * (
+            count * grad_xhat - sum_grad_xhat - x_hat * sum_grad_xhat_xhat)
+        return grad_x, grad_weight, grad_bias
+
+    @property
+    def batch_statistics(self):
+        """(mean, biased variance) of the normalized batch, as flat vectors."""
+        return self.saved[5], self.saved[6]

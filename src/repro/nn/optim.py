@@ -1,0 +1,155 @@
+"""Optimizers and learning-rate schedules for the NumPy NN substrate."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .modules import Parameter
+
+
+class Optimizer:
+    """Base optimizer operating on a list of :class:`Parameter` objects."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = [p for p in parameters]
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def trainable(self):
+        """Iterate over parameters that require gradients and have one."""
+        for param in self.parameters:
+            if param.requires_grad and param.grad is not None:
+                yield param
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum, weight decay and Nesterov."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 nesterov: bool = False):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = {id(p): np.zeros_like(p.data) for p in self.parameters}
+
+    def step(self) -> None:
+        for param in self.trainable():
+            grad = param.grad.astype(param.data.dtype)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity[id(param)]
+                velocity *= self.momentum
+                velocity += grad
+                if self.nesterov:
+                    grad = grad + self.momentum * velocity
+                else:
+                    grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = {id(p): np.zeros_like(p.data) for p in self.parameters}
+        self._v = {id(p): np.zeros_like(p.data) for p in self.parameters}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param in self.trainable():
+            grad = param.grad.astype(param.data.dtype)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m[id(param)]
+            v = self._v[id(param)]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRScheduler:
+    """Base class for learning-rate schedules attached to an optimizer."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR down to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0,
+                 warmup_epochs: int = 0):
+        super().__init__(optimizer)
+        self.t_max = max(t_max, 1)
+        self.eta_min = eta_min
+        self.warmup_epochs = warmup_epochs
+
+    def get_lr(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        progress = min(epoch - self.warmup_epochs, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place to a maximum global L2 norm; returns the norm."""
+    params = [p for p in parameters if p.requires_grad and p.grad is not None]
+    if not params:
+        return 0.0
+    total = math.sqrt(sum(float((p.grad.astype(np.float64) ** 2).sum()) for p in params))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad = param.grad * scale
+    return total

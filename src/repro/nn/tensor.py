@@ -1,0 +1,397 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module provides the :class:`Tensor` class used throughout the
+reproduction.  A tensor wraps a ``numpy.ndarray`` and, when
+``requires_grad=True``, records the operations applied to it so that
+:meth:`Tensor.backward` can propagate gradients through the recorded graph.
+
+The design follows the usual define-by-run pattern: every differentiable
+operation is implemented as a :class:`Function` subclass whose ``forward``
+produces the raw output array and whose ``backward`` maps the incoming
+gradient to gradients for each tensor input.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_grad_enabled = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _grad_enabled
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling gradient recording inside the block."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager re-enabling gradient recording inside the block."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = True
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Broadcasting in the forward pass replicates values along dimensions of
+    size one (or along leading dimensions that are missing); the matching
+    backward operation therefore sums the gradient over those dimensions.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were of size one in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses implement :meth:`forward` (working on raw ``ndarray`` inputs)
+    and :meth:`backward` (mapping the output gradient to a tuple of input
+    gradients aligned with the tensor inputs captured at ``apply`` time).
+    """
+
+    def __init__(self, *parents: "Tensor"):
+        self.parents: Tuple[Tensor, ...] = parents
+        self.saved: Tuple = ()
+
+    def save_for_backward(self, *items) -> None:
+        """Stash arrays or metadata needed by :meth:`backward`."""
+        self.saved = items
+
+    def forward(self, *args, **kwargs) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray):  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args, **kwargs) -> "Tensor":
+        """Run the operation, wiring the result into the autograd graph."""
+        tensor_args = tuple(a for a in args if isinstance(a, Tensor))
+        ctx = cls(*tensor_args)
+        raw_args = [a.data if isinstance(a, Tensor) else a for a in args]
+        out_data = ctx.forward(*raw_args, **kwargs)
+        needs_grad = _grad_enabled and any(t.requires_grad for t in tensor_args)
+        out = Tensor(out_data, requires_grad=needs_grad)
+        if needs_grad:
+            out._ctx = ctx
+        return out
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_ctx", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: Optional[str] = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if not np.issubdtype(array.dtype, np.floating):
+            array = array.astype(np.float32)
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._ctx: Optional[Function] = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Autograd driver
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+
+        def build(node: "Tensor") -> None:
+            if id(node) in visited or node._ctx is None:
+                return
+            visited.add(id(node))
+            for parent in node._ctx.parents:
+                build(parent)
+            topo.append(node)
+
+        build(self)
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._ctx is None:
+                continue
+            input_grads = node._ctx.backward(node_grad)
+            if not isinstance(input_grads, tuple):
+                input_grads = (input_grads,)
+            for parent, parent_grad in zip(node._ctx.parents, input_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                parent_grad = np.asarray(parent_grad)
+                if parent._ctx is None:
+                    # Leaf tensor: accumulate into .grad
+                    if parent.grad is None:
+                        parent.grad = parent_grad.astype(parent.data.dtype, copy=True)
+                    else:
+                        parent.grad = parent.grad + parent_grad
+                else:
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + parent_grad
+                    else:
+                        grads[key] = parent_grad
+        # Store the gradient on self as well when it is a leaf-like root.
+        if self._ctx is None:
+            if self.grad is None:
+                self.grad = grad.copy()
+            else:
+                self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Operator overloads (implemented in repro.nn.ops; attached lazily)
+    # ------------------------------------------------------------------
+    def _binary(self, other, fn):
+        other = other if isinstance(other, Tensor) else Tensor(np.asarray(other, dtype=self.data.dtype))
+        return fn.apply(self, other)
+
+    def __add__(self, other):
+        from . import ops
+        return self._binary(other, ops.Add)
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        from . import ops
+        return self._binary(other, ops.Sub)
+
+    def __rsub__(self, other):
+        from . import ops
+        other_t = other if isinstance(other, Tensor) else Tensor(np.asarray(other, dtype=self.data.dtype))
+        return ops.Sub.apply(other_t, self)
+
+    def __mul__(self, other):
+        from . import ops
+        return self._binary(other, ops.Mul)
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other):
+        from . import ops
+        return self._binary(other, ops.Div)
+
+    def __rtruediv__(self, other):
+        from . import ops
+        other_t = other if isinstance(other, Tensor) else Tensor(np.asarray(other, dtype=self.data.dtype))
+        return ops.Div.apply(other_t, self)
+
+    def __neg__(self):
+        from . import ops
+        return ops.Neg.apply(self)
+
+    def __pow__(self, exponent):
+        from . import ops
+        return ops.Pow.apply(self, float(exponent))
+
+    def __matmul__(self, other):
+        from . import ops
+        return self._binary(other, ops.MatMul)
+
+    def matmul(self, other):
+        return self.__matmul__(other)
+
+    def __getitem__(self, index):
+        from . import ops
+        return ops.Slice.apply(self, index)
+
+    # Reductions / shape ops -------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        from . import ops
+        return ops.Sum.apply(self, axis, keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from . import ops
+        return ops.Mean.apply(self, axis, keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        from . import ops
+        return ops.Max.apply(self, axis, keepdims)
+
+    def reshape(self, *shape):
+        from . import ops
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.Reshape.apply(self, shape)
+
+    def transpose(self, *axes):
+        from . import ops
+        if len(axes) == 0:
+            axes = None
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops.Transpose.apply(self, axes)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def flatten(self, start_dim: int = 0):
+        new_shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(new_shape)
+
+    def exp(self):
+        from . import ops
+        return ops.Exp.apply(self)
+
+    def log(self):
+        from . import ops
+        return ops.Log.apply(self)
+
+    def sqrt(self):
+        from . import ops
+        return ops.Sqrt.apply(self)
+
+    def abs(self):
+        from . import ops
+        return ops.Abs.apply(self)
+
+    def clip(self, low: float, high: float):
+        from . import ops
+        return ops.Clip.apply(self, low, high)
+
+    def relu(self):
+        from . import ops
+        return ops.ReLU.apply(self)
+
+    # Comparison helpers return plain arrays (not differentiable) ------------
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a :class:`Tensor` (convenience constructor)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def randn(*shape, requires_grad: bool = False, rng: Optional[np.random.Generator] = None,
+          scale: float = 1.0, dtype=np.float32) -> Tensor:
+    generator = rng if rng is not None else np.random.default_rng()
+    return Tensor(generator.standard_normal(shape).astype(dtype) * scale,
+                  requires_grad=requires_grad)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    from . import ops
+    tensors = list(tensors)
+    return ops.Stack.apply(*tensors, axis=axis)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    from . import ops
+    tensors = list(tensors)
+    return ops.Concat.apply(*tensors, axis=axis)

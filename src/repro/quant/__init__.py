@@ -1,0 +1,74 @@
+"""Quantization: TQT-style int8 weights/activations and EM precision sweeps."""
+
+from .activation_quant import (
+    ActivationQuantizationPass,
+    ActivationQuantizationReport,
+    ActivationQuantizer,
+)
+from .fake_quant import (
+    FakeQuant,
+    dequantize,
+    fake_quantize,
+    integer_bounds,
+    quantization_error,
+    quantize,
+    quantize_dequantize,
+    scale_from_threshold,
+)
+from .observer import (
+    MinMaxObserver,
+    MovingAverageObserver,
+    PercentileObserver,
+    QuantizationRange,
+    make_observer,
+)
+from .prototype_quant import (
+    FIG3_BIT_WIDTHS,
+    PrecisionSweepRow,
+    em_memory_kb,
+    format_precision_table,
+    prototype_precision_sweep,
+)
+from .tqt import TQTQuantizer, calibrate_many, power_of_two_candidates, select_threshold
+from .weight_quant import (
+    WeightQuantizationReport,
+    integer_weight_size_bytes,
+    quantizable_layers,
+    quantize_weights,
+)
+from .workflow import QuantizationConfig, QuantizationReport, quantize_ofscil_model
+
+__all__ = [
+    "integer_bounds",
+    "scale_from_threshold",
+    "quantize",
+    "dequantize",
+    "quantize_dequantize",
+    "quantization_error",
+    "FakeQuant",
+    "fake_quantize",
+    "MinMaxObserver",
+    "MovingAverageObserver",
+    "PercentileObserver",
+    "QuantizationRange",
+    "make_observer",
+    "TQTQuantizer",
+    "select_threshold",
+    "power_of_two_candidates",
+    "calibrate_many",
+    "ActivationQuantizer",
+    "ActivationQuantizationPass",
+    "ActivationQuantizationReport",
+    "WeightQuantizationReport",
+    "quantize_weights",
+    "quantizable_layers",
+    "integer_weight_size_bytes",
+    "QuantizationConfig",
+    "QuantizationReport",
+    "quantize_ofscil_model",
+    "FIG3_BIT_WIDTHS",
+    "PrecisionSweepRow",
+    "em_memory_kb",
+    "prototype_precision_sweep",
+    "format_precision_table",
+]

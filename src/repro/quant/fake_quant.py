@@ -1,0 +1,78 @@
+"""Fake (simulated) quantization primitives with straight-through gradients.
+
+``quantize_dequantize`` maps float values onto a signed integer grid and back;
+the :class:`FakeQuant` autograd function lets gradients pass through the
+rounding (straight-through estimator, clipped at the threshold), which is what
+quantization-aware refinement needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Function, Tensor
+
+
+def integer_bounds(bits: int, symmetric: bool = True) -> Tuple[int, int]:
+    """Representable integer range of a signed ``bits``-bit quantizer."""
+    if bits < 2:
+        raise ValueError("weight/activation quantization needs at least 2 bits")
+    if symmetric:
+        limit = 2 ** (bits - 1) - 1
+        return -limit, limit
+    return -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+
+
+def scale_from_threshold(threshold: float, bits: int) -> float:
+    """Quantization step size for a symmetric quantizer with ``threshold``."""
+    _low, high = integer_bounds(bits)
+    return max(threshold, 1e-12) / high
+
+
+def quantize(values: np.ndarray, scale: float, bits: int) -> np.ndarray:
+    """Quantize to the integer grid (returns integer-valued float array)."""
+    low, high = integer_bounds(bits)
+    return np.clip(np.round(values / scale), low, high)
+
+
+def dequantize(values: np.ndarray, scale: float) -> np.ndarray:
+    return values * scale
+
+
+def quantize_dequantize(values: np.ndarray, threshold: float, bits: int) -> np.ndarray:
+    """Round-trip through the quantization grid defined by ``threshold``."""
+    scale = scale_from_threshold(threshold, bits)
+    return dequantize(quantize(values, scale, bits), scale).astype(np.float32)
+
+
+class FakeQuant(Function):
+    """Fake quantization with a straight-through estimator.
+
+    Forward quantizes/dequantizes; backward passes the gradient unchanged for
+    values inside ``[-threshold, threshold]`` and zeroes it outside (the
+    clipped-STE used by TQT-style quantization-aware training).
+    """
+
+    def forward(self, values, threshold, bits):
+        scale = scale_from_threshold(threshold, bits)
+        low, high = integer_bounds(bits)
+        quantized = np.clip(np.round(values / scale), low, high) * scale
+        self.save_for_backward(np.abs(values) <= threshold)
+        return quantized.astype(values.dtype)
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+def fake_quantize(tensor: Tensor, threshold: float, bits: int) -> Tensor:
+    """Differentiable fake quantization of a tensor."""
+    return FakeQuant.apply(tensor, float(threshold), int(bits))
+
+
+def quantization_error(values: np.ndarray, threshold: float, bits: int) -> float:
+    """Mean squared error introduced by quantizing ``values`` at ``threshold``."""
+    reconstructed = quantize_dequantize(values, threshold, bits)
+    return float(np.mean((values - reconstructed) ** 2))

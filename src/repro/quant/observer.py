@@ -1,0 +1,132 @@
+"""Range observers used to calibrate quantization scales.
+
+An observer watches tensors flowing through a point of the network and keeps
+enough statistics to later derive a quantization threshold (symmetric
+max-abs, percentile-clipped, or moving average over calibration batches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class QuantizationRange:
+    """Calibrated range of one tensor."""
+
+    min_value: float
+    max_value: float
+
+    @property
+    def max_abs(self) -> float:
+        return max(abs(self.min_value), abs(self.max_value))
+
+
+class MinMaxObserver:
+    """Tracks the running min/max of every observed tensor."""
+
+    def __init__(self):
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        low, high = float(values.min()), float(values.max())
+        self.min_value = low if self.min_value is None else min(self.min_value, low)
+        self.max_value = high if self.max_value is None else max(self.max_value, high)
+        self.count += 1
+
+    @property
+    def calibrated(self) -> bool:
+        return self.count > 0
+
+    def range(self) -> QuantizationRange:
+        if not self.calibrated:
+            raise RuntimeError("observer has not seen any data")
+        return QuantizationRange(self.min_value, self.max_value)
+
+
+class MovingAverageObserver:
+    """Exponential moving average of per-batch min/max (QAT-style)."""
+
+    def __init__(self, momentum: float = 0.9):
+        self.momentum = momentum
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        low, high = float(values.min()), float(values.max())
+        if self.min_value is None:
+            self.min_value, self.max_value = low, high
+        else:
+            self.min_value = self.momentum * self.min_value + (1 - self.momentum) * low
+            self.max_value = self.momentum * self.max_value + (1 - self.momentum) * high
+        self.count += 1
+
+    @property
+    def calibrated(self) -> bool:
+        return self.count > 0
+
+    def range(self) -> QuantizationRange:
+        if not self.calibrated:
+            raise RuntimeError("observer has not seen any data")
+        return QuantizationRange(self.min_value, self.max_value)
+
+
+class PercentileObserver:
+    """Clips the range at a percentile of the absolute values seen.
+
+    More robust than min/max against activation outliers, which matters for
+    the 8-bit activation quantization of depthwise-separable networks.
+    """
+
+    def __init__(self, percentile: float = 99.9, max_samples: int = 200_000,
+                 seed: int = 0):
+        self.percentile = percentile
+        self.max_samples = max_samples
+        self._samples: list = []
+        self._rng = np.random.default_rng(seed)
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        flat = np.abs(np.asarray(values).reshape(-1))
+        if flat.size == 0:
+            return
+        if flat.size > 4096:
+            flat = self._rng.choice(flat, size=4096, replace=False)
+        self._samples.append(flat)
+        self.count += 1
+        total = sum(len(chunk) for chunk in self._samples)
+        if total > self.max_samples:
+            merged = np.concatenate(self._samples)
+            self._samples = [self._rng.choice(merged, size=self.max_samples, replace=False)]
+
+    @property
+    def calibrated(self) -> bool:
+        return self.count > 0
+
+    def range(self) -> QuantizationRange:
+        if not self.calibrated:
+            raise RuntimeError("observer has not seen any data")
+        merged = np.concatenate(self._samples)
+        bound = float(np.percentile(merged, self.percentile))
+        return QuantizationRange(-bound, bound)
+
+
+def make_observer(kind: str = "minmax", **kwargs):
+    """Factory for observers by name ("minmax", "moving_average", "percentile")."""
+    if kind == "minmax":
+        return MinMaxObserver()
+    if kind == "moving_average":
+        return MovingAverageObserver(**kwargs)
+    if kind == "percentile":
+        return PercentileObserver(**kwargs)
+    raise ValueError(f"unknown observer kind {kind!r}")

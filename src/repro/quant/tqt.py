@@ -1,0 +1,100 @@
+"""Trained-Quantization-Thresholds (TQT)-style threshold selection.
+
+The paper quantizes weights and activations to 8-bit integers with the TQT
+algorithm of Quantlib: thresholds are constrained to powers of two and
+*trained*.  Without a full gradient pipeline over thresholds, this module
+reproduces the essential behaviour by **searching** the power-of-two
+threshold that minimizes the quantization mean-squared error on calibration
+data — the fixed point the TQT training converges to — and exposes the same
+interface (per-tensor thresholds, power-of-two constraint, int8 grids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .fake_quant import quantization_error, quantize_dequantize, scale_from_threshold
+
+
+def power_of_two_candidates(max_abs: float, num_down: int = 6, num_up: int = 1):
+    """Power-of-two thresholds surrounding ``max_abs`` (from below and above)."""
+    if max_abs <= 0:
+        return [1e-6]
+    exponent = int(np.ceil(np.log2(max_abs)))
+    return [2.0 ** e for e in range(exponent - num_down, exponent + num_up + 1)]
+
+
+def select_threshold(values: np.ndarray, bits: int = 8,
+                     power_of_two: bool = True,
+                     method: str = "mse") -> float:
+    """Choose a quantization threshold for ``values``.
+
+    Args:
+        values: calibration tensor.
+        bits: target bit width.
+        power_of_two: restrict the threshold to powers of two (TQT constraint).
+        method: ``"mse"`` picks the candidate minimizing reconstruction MSE
+            (the TQT fixed point); ``"maxabs"`` uses the maximum magnitude.
+    """
+    values = np.asarray(values)
+    max_abs = float(np.max(np.abs(values))) if values.size else 1.0
+    if method == "maxabs":
+        if not power_of_two:
+            return max(max_abs, 1e-12)
+        return float(2.0 ** np.ceil(np.log2(max(max_abs, 1e-12))))
+    if method != "mse":
+        raise ValueError(f"unknown threshold selection method {method!r}")
+    candidates = power_of_two_candidates(max_abs) if power_of_two else \
+        [max_abs * factor for factor in (0.25, 0.5, 0.75, 1.0)]
+    errors = [quantization_error(values, candidate, bits) for candidate in candidates]
+    return float(candidates[int(np.argmin(errors))])
+
+
+@dataclass
+class TQTQuantizer:
+    """Per-tensor symmetric quantizer with a (power-of-two) trained threshold."""
+
+    bits: int = 8
+    power_of_two: bool = True
+    method: str = "mse"
+    threshold: Optional[float] = None
+
+    def calibrate(self, values: np.ndarray) -> "TQTQuantizer":
+        self.threshold = select_threshold(values, bits=self.bits,
+                                          power_of_two=self.power_of_two,
+                                          method=self.method)
+        return self
+
+    @property
+    def calibrated(self) -> bool:
+        return self.threshold is not None
+
+    @property
+    def scale(self) -> float:
+        if not self.calibrated:
+            raise RuntimeError("quantizer is not calibrated")
+        return scale_from_threshold(self.threshold, self.bits)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Quantize-dequantize ``values`` with the calibrated threshold."""
+        if not self.calibrated:
+            raise RuntimeError("quantizer is not calibrated")
+        return quantize_dequantize(np.asarray(values, dtype=np.float32),
+                                   self.threshold, self.bits)
+
+    def to_integers(self, values: np.ndarray) -> np.ndarray:
+        """Return the integer codes of ``values`` (no dequantization)."""
+        if not self.calibrated:
+            raise RuntimeError("quantizer is not calibrated")
+        from .fake_quant import quantize
+        return quantize(np.asarray(values, dtype=np.float32), self.scale, self.bits)
+
+
+def calibrate_many(tensors: Iterable[np.ndarray], bits: int = 8,
+                   power_of_two: bool = True) -> list:
+    """Calibrate one :class:`TQTQuantizer` per tensor in ``tensors``."""
+    return [TQTQuantizer(bits=bits, power_of_two=power_of_two).calibrate(tensor)
+            for tensor in tensors]

@@ -1,0 +1,86 @@
+"""Weight quantization of Conv2d / Linear layers.
+
+Weights are quantized per tensor (optionally per output channel) to signed
+8-bit integers with TQT-style power-of-two thresholds; the float parameters
+are replaced in place by their quantize-dequantize reconstruction, which is
+exactly what the deployed int8 network computes (up to the integer
+requantization arithmetic modelled in :mod:`repro.hw`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.modules import Conv2d, Linear, Module
+from .fake_quant import quantize_dequantize
+from .tqt import TQTQuantizer, select_threshold
+
+
+@dataclass
+class WeightQuantizationReport:
+    """Scales and reconstruction errors of every quantized parameter."""
+
+    bits: int = 8
+    per_channel: bool = False
+    thresholds: Dict[str, float] = field(default_factory=dict)
+    mse: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.thresholds)
+
+    @property
+    def mean_mse(self) -> float:
+        if not self.mse:
+            return 0.0
+        return float(np.mean(list(self.mse.values())))
+
+
+def quantizable_layers(model: Module):
+    """Yield (name, module) pairs of weight-carrying layers."""
+    for name, module in model.named_modules():
+        if isinstance(module, (Conv2d, Linear)):
+            yield name or module.__class__.__name__, module
+
+
+def quantize_weights(model: Module, bits: int = 8, per_channel: bool = False,
+                     power_of_two: bool = True) -> WeightQuantizationReport:
+    """Quantize all Conv2d/Linear weights of ``model`` in place.
+
+    Biases are kept in higher precision (the MCU accumulates them in 32-bit
+    registers), matching the deployment flow.
+    """
+    report = WeightQuantizationReport(bits=bits, per_channel=per_channel)
+    for name, module in quantizable_layers(model):
+        weight = module.weight.data
+        if per_channel:
+            reconstructed = np.empty_like(weight)
+            thresholds = []
+            for channel in range(weight.shape[0]):
+                threshold = select_threshold(weight[channel], bits=bits,
+                                             power_of_two=power_of_two)
+                reconstructed[channel] = quantize_dequantize(weight[channel],
+                                                             threshold, bits)
+                thresholds.append(threshold)
+            threshold_value = float(np.median(thresholds))
+        else:
+            threshold_value = select_threshold(weight, bits=bits,
+                                               power_of_two=power_of_two)
+            reconstructed = quantize_dequantize(weight, threshold_value, bits)
+        report.thresholds[f"{name}.weight"] = threshold_value
+        report.mse[f"{name}.weight"] = float(np.mean((weight - reconstructed) ** 2))
+        module.weight.data = reconstructed.astype(weight.dtype)
+    return report
+
+
+def integer_weight_size_bytes(model: Module, bits: int = 8) -> int:
+    """Total storage of the quantized weights (what ships to the MCU)."""
+    total_bits = 0
+    for _name, module in quantizable_layers(model):
+        total_bits += module.weight.data.size * bits
+        if getattr(module, "bias", None) is not None:
+            total_bits += module.bias.data.size * 32
+    return (total_bits + 7) // 8

@@ -1,0 +1,126 @@
+"""End-to-end int8 quantization workflow for an O-FSCIL model.
+
+Mirrors the paper's deployment recipe (Section V-A): TQT-style int8
+quantization of weights and activations, followed by a short
+quantization-aware refinement — three pretraining epochs and ten metalearning
+iterations — before the model is frozen and shipped to the MCU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.metalearn import MetalearnConfig, metalearn
+from ..core.ofscil import OFSCIL
+from ..core.pretrain import PretrainConfig, pretrain
+from ..data.dataset import ArrayDataset
+from .activation_quant import ActivationQuantizationPass, ActivationQuantizationReport
+from .weight_quant import WeightQuantizationReport, integer_weight_size_bytes, quantize_weights
+
+
+@dataclass
+class QuantizationConfig:
+    """Settings of the int8 deployment quantization."""
+
+    weight_bits: int = 8
+    activation_bits: int = 8
+    per_channel_weights: bool = False
+    qat_pretrain_epochs: int = 3
+    qat_metalearn_iterations: int = 10
+    calibration_batches: int = 8
+    calibration_batch_size: int = 64
+    seed: int = 0
+
+
+@dataclass
+class QuantizationReport:
+    """Summary of the quantization process."""
+
+    config: QuantizationConfig
+    weights: WeightQuantizationReport
+    activations: ActivationQuantizationReport
+    model_size_bytes: int
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def model_size_mb(self) -> float:
+        return self.model_size_bytes / 1e6
+
+
+def quantize_ofscil_model(model: OFSCIL, calibration_data: ArrayDataset,
+                          config: Optional[QuantizationConfig] = None,
+                          pretrain_config: Optional[PretrainConfig] = None,
+                          metalearn_config: Optional[MetalearnConfig] = None,
+                          seed: int = 0
+                          ) -> Tuple[OFSCIL, QuantizationReport]:
+    """Quantize backbone + FCR of ``model`` to int8 (in place).
+
+    Args:
+        model: a pretrained (and metalearned) O-FSCIL model.
+        calibration_data: labelled base-session data used for activation range
+            calibration and quantization-aware refinement.
+        config: quantization settings.
+        pretrain_config / metalearn_config: hyper-parameters used for the
+            short quantization-aware refinement stages; when omitted, gentle
+            defaults derived from the paper (3 epochs / 10 iterations) are used.
+
+    Returns:
+        ``(model, report)`` — the same model object, now operating with int8
+        weights and activation fake-quantization, plus a report.
+    """
+    config = config or QuantizationConfig(seed=seed)
+    num_classes = len(calibration_data.classes)
+
+    # 1. Activation calibration on float weights (ranges match deployment).
+    act_pass = ActivationQuantizationPass(model.backbone, bits=config.activation_bits)
+    calibration_images = calibration_data.images[: config.calibration_batches *
+                                                 config.calibration_batch_size]
+    act_report = act_pass.calibrate(calibration_images,
+                                    batch_size=config.calibration_batch_size)
+    act_pass.enable()
+
+    # 2. Post-training weight quantization.
+    weight_report = quantize_weights(model.backbone, bits=config.weight_bits,
+                                     per_channel=config.per_channel_weights)
+    fcr_report = quantize_weights(model.fcr, bits=config.weight_bits,
+                                  per_channel=config.per_channel_weights)
+    weight_report.thresholds.update(
+        {f"fcr.{k}": v for k, v in fcr_report.thresholds.items()})
+    weight_report.mse.update({f"fcr.{k}": v for k, v in fcr_report.mse.items()})
+
+    extras: Dict[str, object] = {}
+
+    # 3. Quantization-aware refinement (STE gradients through the activation
+    #    fake-quant hooks), then re-quantize the refreshed float weights.
+    if config.qat_pretrain_epochs > 0:
+        qat_pretrain = pretrain_config or PretrainConfig(
+            epochs=config.qat_pretrain_epochs, learning_rate=0.01,
+            use_feature_interpolation=False, seed=config.seed + 21)
+        qat_pretrain = replace(qat_pretrain, epochs=config.qat_pretrain_epochs)
+        extras["qat_pretrain"] = pretrain(model.backbone, model.fcr,
+                                          calibration_data, num_classes,
+                                          config=qat_pretrain).history
+    if config.qat_metalearn_iterations > 0:
+        qat_metalearn = metalearn_config or MetalearnConfig(
+            iterations=config.qat_metalearn_iterations, learning_rate=0.005,
+            seed=config.seed + 22)
+        qat_metalearn = replace(qat_metalearn,
+                                iterations=config.qat_metalearn_iterations)
+        extras["qat_metalearn"] = metalearn(model.backbone, model.fcr,
+                                            calibration_data,
+                                            config=qat_metalearn).history
+    if config.qat_pretrain_epochs > 0 or config.qat_metalearn_iterations > 0:
+        quantize_weights(model.backbone, bits=config.weight_bits,
+                         per_channel=config.per_channel_weights)
+        quantize_weights(model.fcr, bits=config.weight_bits,
+                         per_channel=config.per_channel_weights)
+
+    size_bytes = integer_weight_size_bytes(model.backbone, config.weight_bits) + \
+        integer_weight_size_bytes(model.fcr, config.weight_bits)
+    report = QuantizationReport(config=config, weights=weight_report,
+                                activations=act_report,
+                                model_size_bytes=size_bytes, extras=extras)
+    return model, report

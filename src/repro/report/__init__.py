@@ -1,0 +1,13 @@
+"""Reporting helpers: text tables and experiment records."""
+
+from .records import ExperimentRecord, load_records, save_records
+from .tables import dict_rows_to_table, format_table, relative_error
+
+__all__ = [
+    "format_table",
+    "dict_rows_to_table",
+    "relative_error",
+    "ExperimentRecord",
+    "save_records",
+    "load_records",
+]

@@ -1,0 +1,55 @@
+"""Experiment records: structured measured-vs-paper results.
+
+Benchmarks store their outputs as :class:`ExperimentRecord` objects which can
+be serialized to JSON; EXPERIMENTS.md summarizes the same comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ExperimentRecord:
+    """One reproduced artefact (a table or a figure)."""
+
+    experiment_id: str            # e.g. "table2", "fig3"
+    description: str
+    workload: str                 # dataset / protocol / parameters
+    measured: Dict[str, object] = field(default_factory=dict)
+    paper: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, default=_json_default)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRecord":
+        return cls(**json.loads(text))
+
+
+def _json_default(value):
+    """JSON encoder fallback for NumPy scalars and arrays."""
+    import numpy as np
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+def save_records(records: List[ExperimentRecord], path) -> Path:
+    """Write a list of records to a JSON file (one object per experiment)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [json.loads(record.to_json()) for record in records]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_records(path) -> List[ExperimentRecord]:
+    payload = json.loads(Path(path).read_text())
+    return [ExperimentRecord(**item) for item in payload]

@@ -1,0 +1,51 @@
+"""Plain-text table rendering used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 precision: int = 3, title: Optional[str] = None) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``precision`` decimals, everything else with
+    ``str``; column widths adapt to the content.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [max(len(headers[column]),
+                  *(len(row[column]) for row in text_rows)) if text_rows
+              else len(headers[column])
+              for column in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def dict_rows_to_table(rows: List[Dict[str, object]], columns: Optional[Sequence[str]] = None,
+                       precision: int = 3, title: Optional[str] = None) -> str:
+    """Format a list of dict rows, optionally restricting/ordering columns."""
+    if not rows:
+        return title or "(empty table)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    data = [[row.get(column, "") for column in columns] for row in rows]
+    return format_table(columns, data, precision=precision, title=title)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Relative deviation of a measurement from the paper's reference value."""
+    if reference == 0:
+        return float("inf") if measured else 0.0
+    return (measured - reference) / reference

@@ -1,0 +1,139 @@
+"""Convolution and pooling: correctness against a naive reference + gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.conv import col2im, conv_output_size, im2col
+from repro.nn.tensor import Tensor
+
+
+def naive_conv2d(x, weight, stride=1, padding=0, groups=1):
+    """Direct (slow) convolution used as ground truth."""
+    n, c, h, w = x.shape
+    out_c, c_per_group, kh, kw = weight.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    out = np.zeros((n, out_c, out_h, out_w), dtype=x.dtype)
+    group_in = c // groups
+    group_out = out_c // groups
+    for b in range(n):
+        for oc in range(out_c):
+            g = oc // group_out
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[b, g * group_in:(g + 1) * group_in,
+                              i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[b, oc, i, j] = (patch * weight[oc]).sum()
+    return out
+
+
+class TestIm2Col:
+    def test_output_size(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 3, 2, 1) == 16
+        assert conv_output_size(5, 3, 1, 0) == 3
+
+    def test_im2col_shape(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2, 3, 3, 3, 8, 8)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> (the two must be adjoint maps)."""
+        x = rng.standard_normal((2, 3, 6, 6))
+        y = rng.standard_normal((2, 3, 3, 3, 3, 3))
+        cols = im2col(x, 3, 3, 2, 1)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+    def test_im2col_identity_for_1x1(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        cols = im2col(x, 1, 1, 1, 0)
+        np.testing.assert_allclose(cols[:, :, 0, 0], x)
+
+
+class TestConvCorrectness:
+    @pytest.mark.parametrize("stride,padding,groups,in_c,out_c,kernel", [
+        (1, 0, 1, 3, 4, 3),
+        (1, 1, 1, 3, 4, 3),
+        (2, 1, 1, 3, 8, 3),
+        (1, 0, 1, 4, 6, 1),      # pointwise fast path
+        (1, 1, 4, 4, 4, 3),      # depthwise
+        (2, 1, 4, 4, 4, 3),      # strided depthwise
+        (1, 1, 2, 4, 6, 3),      # grouped
+    ])
+    def test_matches_naive_reference(self, rng, stride, padding, groups, in_c, out_c, kernel):
+        x = rng.standard_normal((2, in_c, 7, 7)).astype(np.float64)
+        w = rng.standard_normal((out_c, in_c // groups, kernel, kernel)).astype(np.float64)
+        out = F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding,
+                       groups=groups).data
+        expected = naive_conv2d(x, w, stride, padding, groups)
+        np.testing.assert_allclose(out, expected, atol=1e-8)
+
+    def test_bias_is_added_per_channel(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 1, 1)).astype(np.float32)
+        b = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b)).data
+        base = F.conv2d(Tensor(x), Tensor(w)).data
+        np.testing.assert_allclose(out, base + b[None, :, None, None], rtol=1e-6)
+
+    def test_incompatible_channels_raise(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        w = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, groups=1)
+
+    @pytest.mark.parametrize("stride,padding,groups", [
+        (1, 1, 1), (2, 1, 1), (1, 0, 1), (1, 1, 4), (2, 1, 2),
+    ])
+    def test_gradients(self, rng, stride, padding, groups):
+        in_c, out_c = 4, 4
+        x = Tensor(rng.standard_normal((2, in_c, 6, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((out_c, in_c // groups, 3, 3)) * 0.3,
+                   requires_grad=True)
+
+        def fn(x, w):
+            return (F.conv2d(x, w, stride=stride, padding=padding, groups=groups) ** 2).mean()
+
+        assert nn.check_gradients(fn, [x, w])
+
+    def test_pointwise_gradients(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 4, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((7, 5, 1, 1)) * 0.3, requires_grad=True)
+        assert nn.check_gradients(lambda x, w: (F.conv2d(x, w) ** 2).mean(), [x, w])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 5, 5)).astype(np.float32)
+        out = F.global_avg_pool2d(Tensor(x)).data
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-6)
+
+    def test_max_pool_gradient(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+        assert nn.check_gradients(lambda x: (F.max_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_avg_pool_gradient(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+        assert nn.check_gradients(lambda x: (F.avg_pool2d(x, 3, 3) ** 2).sum(), [x])
+
+    def test_strided_pooling_shapes(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 8, 8)).astype(np.float32))
+        assert F.max_pool2d(x, 2, 2).shape == (1, 1, 4, 4)
+        assert F.avg_pool2d(x, 4, 4).shape == (1, 1, 2, 2)

@@ -1,0 +1,181 @@
+"""ArrayDataset, DataLoader and the FSCIL split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    FSCILProtocol,
+    build_protocol,
+    build_synthetic_fscil,
+    split_dataset,
+    train_test_split,
+)
+
+
+def toy_dataset(num_classes=4, per_class=6, seed=0):
+    rng = np.random.default_rng(seed)
+    images = rng.uniform(0, 1, (num_classes * per_class, 3, 4, 4)).astype(np.float32)
+    labels = np.repeat(np.arange(num_classes), per_class)
+    return ArrayDataset(images, labels)
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self):
+        dataset = toy_dataset()
+        assert len(dataset) == 24
+        image, label = dataset[3]
+        assert image.shape == (3, 4, 4)
+        assert label == 0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 2, 2)), np.zeros(4))
+
+    def test_classes_and_num_classes(self):
+        dataset = toy_dataset()
+        assert dataset.num_classes == 4
+        np.testing.assert_array_equal(dataset.classes, [0, 1, 2, 3])
+
+    def test_filter_classes(self):
+        subset = toy_dataset().filter_classes([1, 3])
+        assert set(subset.labels.tolist()) == {1, 3}
+        assert len(subset) == 12
+
+    def test_sample_per_class(self):
+        dataset = toy_dataset()
+        sampled = dataset.sample_per_class(2, np.random.default_rng(0))
+        assert len(sampled) == 8
+        counts = np.bincount(sampled.labels)
+        np.testing.assert_array_equal(counts, [2, 2, 2, 2])
+
+    def test_sample_per_class_insufficient_raises(self):
+        with pytest.raises(ValueError):
+            toy_dataset(per_class=1).sample_per_class(3, np.random.default_rng(0))
+
+    def test_subset_and_concat(self):
+        dataset = toy_dataset()
+        first = dataset.subset([0, 1, 2])
+        combined = first.concat(dataset.subset([3, 4]))
+        assert len(combined) == 5
+
+    def test_train_test_split_keeps_counts(self):
+        train, test = train_test_split(toy_dataset(), test_per_class=2,
+                                       rng=np.random.default_rng(0))
+        assert len(test) == 8
+        assert len(train) == 16
+        np.testing.assert_array_equal(np.bincount(test.labels), [2, 2, 2, 2])
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(toy_dataset(), batch_size=5)
+        batches = list(loader)
+        assert len(batches) == 5           # 24 samples -> 4 full + 1 partial
+        assert batches[0][0].shape == (5, 3, 4, 4)
+        assert batches[-1][0].shape == (4, 3, 4, 4)
+
+    def test_drop_last(self):
+        loader = DataLoader(toy_dataset(), batch_size=5, drop_last=True)
+        assert len(list(loader)) == 4
+        assert len(loader) == 4
+
+    def test_shuffle_changes_order_but_not_content(self):
+        dataset = toy_dataset()
+        loader = DataLoader(dataset, batch_size=24, shuffle=True, seed=0)
+        images, labels = next(iter(loader))
+        assert sorted(labels.tolist()) == sorted(dataset.labels.tolist())
+        assert not np.array_equal(labels, dataset.labels)
+
+    def test_no_shuffle_preserves_order(self):
+        dataset = toy_dataset()
+        _, labels = next(iter(DataLoader(dataset, batch_size=24)))
+        np.testing.assert_array_equal(labels, dataset.labels)
+
+
+class TestFSCILProtocol:
+    def test_paper_protocol_shape(self):
+        protocol = build_protocol("paper")
+        assert protocol.base_classes == 60
+        assert protocol.ways == 5 and protocol.shots == 5
+        assert protocol.num_sessions == 8
+        assert protocol.total_sessions == 9
+
+    def test_session_classes_are_disjoint_and_cover_everything(self):
+        protocol = build_protocol("test")
+        seen = set()
+        for session in range(protocol.num_sessions + 1):
+            classes = set(protocol.session_classes(session).tolist())
+            assert not (classes & seen)
+            seen |= classes
+        assert seen == set(range(protocol.base_classes +
+                                 protocol.ways * protocol.num_sessions))
+
+    def test_seen_classes_grow_monotonically(self):
+        protocol = build_protocol("test")
+        previous = set()
+        for session in range(protocol.num_sessions + 1):
+            current = set(protocol.seen_classes(session).tolist())
+            assert previous <= current
+            previous = current
+
+    def test_invalid_protocol_raises(self):
+        with pytest.raises(ValueError):
+            FSCILProtocol(num_classes=10, base_classes=8, ways=5, num_sessions=3)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            build_protocol("imaginary")
+
+    def test_overrides(self):
+        protocol = build_protocol("test", ways=2, num_sessions=3)
+        assert protocol.ways == 2 and protocol.num_sessions == 3
+
+
+class TestBenchmarkConstruction:
+    @pytest.fixture(scope="class")
+    def fscil_benchmark(self):
+        return build_synthetic_fscil("test", seed=1)
+
+    def test_base_session_only_contains_base_classes(self, fscil_benchmark):
+        base_classes = set(fscil_benchmark.protocol.session_classes(0).tolist())
+        assert set(fscil_benchmark.base_train.labels.tolist()) <= base_classes
+
+    def test_incremental_sessions_have_exact_shots(self, fscil_benchmark):
+        for session in fscil_benchmark.sessions:
+            counts = {c: int((session.support.labels == c).sum())
+                      for c in session.class_ids}
+            assert all(count == fscil_benchmark.protocol.shots for count in counts.values())
+
+    def test_support_classes_match_protocol(self, fscil_benchmark):
+        for session in fscil_benchmark.sessions:
+            expected = set(fscil_benchmark.protocol.session_classes(session.index).tolist())
+            assert set(session.support.labels.tolist()) == expected
+
+    def test_test_upto_grows_with_sessions(self, fscil_benchmark):
+        sizes = [len(fscil_benchmark.test_upto(s))
+                 for s in range(fscil_benchmark.num_sessions + 1)]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_session_index_bounds(self, fscil_benchmark):
+        with pytest.raises(IndexError):
+            fscil_benchmark.session(0)
+        with pytest.raises(IndexError):
+            fscil_benchmark.session(fscil_benchmark.num_sessions + 1)
+
+    def test_normalization_applied(self, fscil_benchmark):
+        assert fscil_benchmark.normalization is not None
+        base = fscil_benchmark.base_train.images
+        assert abs(base.mean()) < 0.2
+
+    def test_split_dataset_with_external_data(self):
+        protocol = build_protocol("test")
+        rng = np.random.default_rng(0)
+        images = rng.uniform(0, 1, (protocol.num_classes * 10, 3, 8, 8)).astype(np.float32)
+        labels = np.repeat(np.arange(protocol.num_classes), 10)
+        train = ArrayDataset(images, labels)
+        test = ArrayDataset(images.copy(), labels.copy())
+        split = split_dataset(protocol, train, test)
+        assert split.num_sessions == protocol.num_sessions
+        assert len(split.sessions) == protocol.num_sessions

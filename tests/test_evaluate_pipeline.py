@@ -1,0 +1,189 @@
+"""FSCIL evaluation protocol, pipeline orchestration, ablation and baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AblationFlags,
+    FSCILResult,
+    FinetuneConfig,
+    MetalearnConfig,
+    OFSCILPipeline,
+    PipelineConfig,
+    PretrainConfig,
+    TABLE3_ROWS,
+    evaluate_fscil,
+    evaluate_with_predictor,
+    format_ablation_table,
+    format_session_table,
+    pipeline_config_for,
+    raw_pixel_ncm,
+    PAPER_TABLE2_REFERENCE,
+)
+
+BACKBONE = "mobilenetv2_x4_tiny"
+
+
+class TestFSCILResult:
+    def test_average_and_forgetting(self):
+        result = FSCILResult(method="m", backbone="b",
+                             session_accuracy=[0.8, 0.6, 0.4])
+        assert result.average_accuracy == pytest.approx(0.6)
+        assert result.base_accuracy == pytest.approx(0.8)
+        assert result.final_accuracy == pytest.approx(0.4)
+        assert result.forgetting == pytest.approx(0.4)
+
+    def test_empty_result(self):
+        result = FSCILResult(method="m", backbone="b")
+        assert np.isnan(result.average_accuracy)
+
+    def test_as_row(self):
+        result = FSCILResult(method="m", backbone="b", session_accuracy=[0.5, 0.25])
+        row = result.as_row()
+        assert row["session_0"] == 0.5 and row["session_1"] == 0.25
+        assert row["average"] == pytest.approx(0.375)
+
+    def test_format_session_table(self):
+        results = [FSCILResult(method="a", backbone="bb", session_accuracy=[0.5, 0.4]),
+                   FSCILResult(method="b", backbone="bb", session_accuracy=[0.6, 0.3])]
+        table = format_session_table(results)
+        assert "Method" in table and "Avg." in table and "a" in table
+
+
+class TestEvaluateFSCIL:
+    def test_protocol_produces_one_accuracy_per_session(self, trained_model,
+                                                        tiny_benchmark):
+        result = evaluate_fscil(trained_model, tiny_benchmark, method="O-FSCIL")
+        assert len(result.session_accuracy) == tiny_benchmark.num_sessions + 1
+        assert all(0.0 <= acc <= 1.0 for acc in result.session_accuracy)
+
+    def test_all_classes_learned_at_the_end(self, trained_model, tiny_benchmark):
+        result = evaluate_fscil(trained_model, tiny_benchmark)
+        assert result.metadata["num_classes_final"] == tiny_benchmark.protocol.num_classes
+
+    def test_accuracy_beats_chance_everywhere(self, trained_model, tiny_benchmark):
+        result = evaluate_fscil(trained_model, tiny_benchmark)
+        for session, accuracy in enumerate(result.session_accuracy):
+            chance = 1.0 / len(tiny_benchmark.protocol.seen_classes(session))
+            assert accuracy > chance
+
+    def test_session_callback_invoked(self, trained_model, tiny_benchmark):
+        calls = []
+        evaluate_fscil(trained_model, tiny_benchmark,
+                       session_callback=lambda s, a: calls.append((s, a)))
+        assert len(calls) == tiny_benchmark.num_sessions + 1
+
+    def test_evaluation_is_deterministic(self, trained_model, tiny_benchmark):
+        first = evaluate_fscil(trained_model, tiny_benchmark)
+        second = evaluate_fscil(trained_model, tiny_benchmark)
+        np.testing.assert_allclose(first.session_accuracy, second.session_accuracy)
+
+    def test_evaluate_with_predictor(self, tiny_benchmark):
+        rng = np.random.default_rng(0)
+
+        def random_predictor(images, allowed):
+            return rng.choice(allowed, size=len(images))
+
+        result = evaluate_with_predictor(random_predictor, tiny_benchmark, "random")
+        assert len(result.session_accuracy) == tiny_benchmark.num_sessions + 1
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def quick_config(self):
+        return PipelineConfig(
+            backbone=BACKBONE, profile="test",
+            pretrain=PretrainConfig(epochs=2, batch_size=32, learning_rate=0.1, seed=0),
+            metalearn=MetalearnConfig(iterations=2, meta_shots=3, queries_per_class=1,
+                                      seed=0),
+            finetune=FinetuneConfig(iterations=5, seed=0),
+            seed=0)
+
+    @pytest.fixture(scope="class")
+    def pipeline_result(self, quick_config, tiny_benchmark):
+        return OFSCILPipeline(quick_config, benchmark=tiny_benchmark).run()
+
+    def test_result_structure(self, pipeline_result, tiny_benchmark):
+        assert len(pipeline_result.fscil.session_accuracy) == \
+            tiny_benchmark.num_sessions + 1
+        assert pipeline_result.pretrain.history
+        assert pipeline_result.metalearn is not None
+
+    def test_method_name(self, pipeline_result):
+        assert pipeline_result.fscil.method.startswith("O-FSCIL")
+
+    def test_no_metalearning_variant(self, quick_config, tiny_benchmark):
+        config = quick_config.with_overrides(use_metalearning=False)
+        result = OFSCILPipeline(config, benchmark=tiny_benchmark).run()
+        assert result.metalearn is None
+        assert "no metalearning" in result.fscil.method
+
+    def test_finetuning_variant_adds_extra_result(self, quick_config, tiny_benchmark):
+        config = quick_config.with_overrides(use_finetuning=True)
+        result = OFSCILPipeline(config, benchmark=tiny_benchmark).run()
+        assert "fscil_after_finetune" in result.extras
+        ft_result = result.extras["fscil_after_finetune"]
+        assert ft_result.metadata["finetuned"]
+
+    def test_pipeline_builds_benchmark_from_profile(self, quick_config):
+        pipeline = OFSCILPipeline(quick_config)
+        assert pipeline.benchmark.protocol.base_classes == 8
+
+
+class TestAblationMapping:
+    def test_table3_has_seven_rows(self):
+        assert len(TABLE3_ROWS) == 7
+
+    def test_labels(self):
+        assert AblationFlags().label() == "baseline"
+        assert AblationFlags(augmentation=True, orthogonality=True).label() == "AG+OR"
+
+    def test_flags_translate_to_pipeline_config(self):
+        base = PipelineConfig(backbone=BACKBONE, profile="test")
+        config = pipeline_config_for(
+            AblationFlags(augmentation=True, orthogonality=True, multi_margin=True),
+            base)
+        assert config.pretrain.use_augmentation
+        assert config.pretrain.ortho_weight > 0
+        assert config.use_metalearning
+        assert config.metalearn.loss == "multi_margin"
+
+    def test_baseline_flags_disable_everything(self):
+        base = PipelineConfig(backbone=BACKBONE, profile="test")
+        config = pipeline_config_for(AblationFlags(), base)
+        assert not config.pretrain.use_augmentation
+        assert config.pretrain.ortho_weight == 0.0
+        assert not config.use_metalearning
+
+    def test_ce_flag_selects_cross_entropy(self):
+        base = PipelineConfig(backbone=BACKBONE, profile="test")
+        config = pipeline_config_for(
+            AblationFlags(augmentation=True, orthogonality=True, cross_entropy=True),
+            base)
+        assert config.metalearn.loss == "cross_entropy"
+
+    def test_format_ablation_table_runs_on_fake_rows(self):
+        from repro.core.ablation import AblationRow
+        rows = [AblationRow(flags=AblationFlags(augmentation=True),
+                            result=FSCILResult(method="x", backbone="b",
+                                               session_accuracy=[0.5, 0.4]))]
+        table = format_ablation_table(rows)
+        assert "AG" in table and "Avg" in table
+
+
+class TestBaselines:
+    def test_raw_pixel_ncm_beats_chance(self, tiny_benchmark):
+        result = raw_pixel_ncm(tiny_benchmark)
+        chance = 1.0 / tiny_benchmark.protocol.base_classes
+        assert result.base_accuracy > chance
+        assert len(result.session_accuracy) == tiny_benchmark.num_sessions + 1
+
+    def test_paper_reference_table_consistency(self):
+        for method, record in PAPER_TABLE2_REFERENCE.items():
+            sessions = record["sessions"]
+            assert len(sessions) == 9
+            assert np.mean(sessions) == pytest.approx(record["average"], abs=0.05)
+
+    def test_paper_reference_ofscil_is_best(self):
+        averages = {m: r["average"] for m, r in PAPER_TABLE2_REFERENCE.items()}
+        assert max(averages, key=averages.get) == "O-FSCIL+FT"

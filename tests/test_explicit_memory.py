@@ -1,0 +1,165 @@
+"""Explicit Memory: prototype management, classification, precision."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExplicitMemory, bipolarize, quantize_prototype
+
+
+@pytest.fixture()
+def memory():
+    return ExplicitMemory(dim=8)
+
+
+class TestPrototypeManagement:
+    def test_update_class_stores_mean(self, memory, rng):
+        features = rng.standard_normal((5, 8)).astype(np.float32)
+        prototype = memory.update_class(3, features)
+        np.testing.assert_allclose(prototype, features.mean(axis=0), rtol=1e-5)
+        assert 3 in memory
+        assert memory.num_classes == 1
+
+    def test_single_vector_update(self, memory, rng):
+        vector = rng.standard_normal(8).astype(np.float32)
+        prototype = memory.update_class(0, vector)
+        np.testing.assert_allclose(prototype, vector, rtol=1e-6)
+
+    def test_incremental_updates_are_running_mean(self, memory, rng):
+        first = rng.standard_normal((3, 8)).astype(np.float32)
+        second = rng.standard_normal((2, 8)).astype(np.float32)
+        memory.update_class(1, first)
+        memory.update_class(1, second)
+        expected = np.concatenate([first, second]).mean(axis=0)
+        np.testing.assert_allclose(memory.prototype(1), expected, rtol=1e-5)
+
+    def test_dimension_mismatch_raises(self, memory, rng):
+        with pytest.raises(ValueError):
+            memory.update_class(0, rng.standard_normal((2, 5)))
+
+    def test_set_prototype_and_shape_validation(self, memory, rng):
+        memory.set_prototype(4, rng.standard_normal(8).astype(np.float32))
+        assert 4 in memory
+        with pytest.raises(ValueError):
+            memory.set_prototype(5, rng.standard_normal(9).astype(np.float32))
+
+    def test_remove_and_reset(self, memory, rng):
+        memory.update_class(0, rng.standard_normal((2, 8)))
+        memory.update_class(1, rng.standard_normal((2, 8)))
+        memory.remove_class(0)
+        assert 0 not in memory and 1 in memory
+        memory.reset()
+        assert len(memory) == 0
+
+    def test_class_ids_sorted(self, memory, rng):
+        for class_id in (7, 2, 5):
+            memory.update_class(class_id, rng.standard_normal((1, 8)))
+        assert memory.class_ids == [2, 5, 7]
+
+    def test_prototype_matrix_missing_class_raises(self, memory, rng):
+        memory.update_class(0, rng.standard_normal((1, 8)))
+        with pytest.raises(KeyError):
+            memory.prototype_matrix([0, 9])
+
+
+class TestClassification:
+    def test_predicts_nearest_prototype(self, memory):
+        memory.set_prototype(10, np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=np.float32))
+        memory.set_prototype(20, np.array([0, 1, 0, 0, 0, 0, 0, 0], dtype=np.float32))
+        queries = np.array([[0.9, 0.1, 0, 0, 0, 0, 0, 0],
+                            [0.1, 0.9, 0, 0, 0, 0, 0, 0]], dtype=np.float32)
+        np.testing.assert_array_equal(memory.predict(queries), [10, 20])
+
+    def test_cosine_similarity_is_scale_invariant(self, memory, rng):
+        prototype = rng.standard_normal(8).astype(np.float32)
+        memory.set_prototype(0, prototype)
+        memory.set_prototype(1, rng.standard_normal(8).astype(np.float32))
+        sims_small, _ = memory.similarities(prototype[None, :] * 0.01)
+        sims_large, _ = memory.similarities(prototype[None, :] * 100)
+        np.testing.assert_allclose(sims_small, sims_large, atol=1e-5)
+
+    def test_restricted_class_subset(self, memory, rng):
+        for class_id in range(4):
+            memory.set_prototype(class_id, rng.standard_normal(8).astype(np.float32))
+        predictions = memory.predict(rng.standard_normal((6, 8)), class_ids=[0, 1])
+        assert set(predictions.tolist()) <= {0, 1}
+
+    def test_similarities_shape_and_range(self, memory, rng):
+        for class_id in range(5):
+            memory.set_prototype(class_id, rng.standard_normal(8).astype(np.float32))
+        sims, ids = memory.similarities(rng.standard_normal((3, 8)))
+        assert sims.shape == (3, 5)
+        assert np.all(sims <= 1.0 + 1e-5) and np.all(sims >= -1.0 - 1e-5)
+        assert list(ids) == [0, 1, 2, 3, 4]
+
+
+class TestPrecision:
+    def test_memory_bytes_paper_figure(self):
+        """100 classes x 256-dim x 3-bit prototypes = 9.6 kB (paper claim)."""
+        memory = ExplicitMemory(dim=256, bits=3)
+        assert memory.memory_bytes(num_classes=100) == pytest.approx(9600.0)
+
+    def test_memory_bytes_scales_linearly_with_bits(self):
+        memory = ExplicitMemory(dim=256)
+        assert memory.memory_bytes(100, bits=8) == 2 * memory.memory_bytes(100, bits=4)
+
+    def test_quantize_prototype_preserves_direction_at_8_bits(self, rng):
+        prototype = rng.standard_normal(256).astype(np.float32)
+        quantized = quantize_prototype(prototype, bits=8)
+        cos = np.dot(prototype, quantized) / (
+            np.linalg.norm(prototype) * np.linalg.norm(quantized))
+        assert cos > 0.99
+
+    def test_quantize_prototype_sign_at_1_bit(self, rng):
+        prototype = rng.standard_normal(32).astype(np.float32)
+        quantized = quantize_prototype(prototype, bits=1)
+        np.testing.assert_array_equal(np.sign(quantized), np.sign(np.where(
+            prototype >= 0, 1.0, -1.0)))
+
+    def test_quantize_prototype_bit_range(self, rng):
+        prototype = rng.standard_normal(64).astype(np.float32) * 10
+        for bits in (3, 5, 8):
+            quantized = quantize_prototype(prototype, bits=bits)
+            limit = 2 ** (bits - 1)
+            assert np.all(np.abs(quantized) <= limit)
+
+    def test_quantize_invalid_bits(self, rng):
+        with pytest.raises(ValueError):
+            quantize_prototype(rng.standard_normal(8), bits=0)
+
+    def test_quantize_zero_vector(self):
+        np.testing.assert_array_equal(quantize_prototype(np.zeros(8), 4), np.zeros(8))
+
+    def test_quantized_memory_stores_integer_grid(self, rng):
+        memory = ExplicitMemory(dim=16, bits=4)
+        memory.update_class(0, rng.standard_normal((4, 16)))
+        prototype = memory.prototype(0)
+        np.testing.assert_allclose(prototype, np.round(prototype))
+
+    def test_requantize_copies_all_classes(self, rng):
+        memory = ExplicitMemory(dim=16, bits=32)
+        for class_id in range(6):
+            memory.update_class(class_id, rng.standard_normal((3, 16)))
+        low_precision = memory.requantize(3)
+        assert low_precision.class_ids == memory.class_ids
+        assert low_precision.bits == 3
+        # The original memory is untouched.
+        assert memory.bits == 32
+
+    def test_requantized_classification_agrees_at_high_precision(self, rng):
+        memory = ExplicitMemory(dim=64, bits=32)
+        for class_id in range(10):
+            memory.update_class(class_id, rng.standard_normal((5, 64)))
+        queries = rng.standard_normal((50, 64))
+        full = memory.predict(queries)
+        eight_bit = memory.requantize(8).predict(queries)
+        assert (full == eight_bit).mean() > 0.9
+
+    def test_bipolarize(self):
+        vector = np.array([0.5, -0.2, 0.0, -7.0])
+        np.testing.assert_array_equal(bipolarize(vector), [1, -1, 1, -1])
+
+    def test_bipolar_prototypes_from_memory(self, memory, rng):
+        memory.update_class(0, rng.standard_normal((2, 8)))
+        bipolar, ids = memory.bipolar_prototypes()
+        assert set(np.unique(bipolar)) <= {-1.0, 1.0}
+        assert list(ids) == [0]

@@ -1,0 +1,190 @@
+"""GAP9 deployment plan, power model and the Table IV / Fig. 2 profiler."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    EnergyReport,
+    FIG2_CORE_COUNTS,
+    GAP9Config,
+    GAP9Profiler,
+    PAPER_TABLE4_REFERENCE,
+    PowerModel,
+    combine_reports,
+    deploy_backbone,
+    fold_batchnorm,
+    format_table4,
+)
+from repro.models import get_config
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return GAP9Profiler()
+
+
+class TestDeployment:
+    def test_fold_batchnorm_removes_bn(self):
+        layers = get_config("mobilenetv2").layer_specs()
+        folded = fold_batchnorm(layers)
+        assert all(layer.op_type != "bn" for layer in folded)
+        assert len(folded) < len(layers)
+
+    def test_deployment_summary(self):
+        plan = deploy_backbone("mobilenetv2_x4")
+        summary = plan.summary()
+        assert summary["total_macs"] == pytest.approx(147.8e6, rel=0.02)
+        assert summary["weight_bytes"] == pytest.approx(2.2e6, rel=0.2)
+        assert summary["num_layers"] > 40
+
+    def test_latency_positive_and_decreases_with_cores(self):
+        plan = deploy_backbone("mobilenetv2_x4")
+        latencies = [plan.latency_ms(cores) for cores in (1, 2, 4, 8)]
+        assert all(lat > 0 for lat in latencies)
+        assert all(a > b for a, b in zip(latencies, latencies[1:]))
+
+    def test_utilization_factors_in_unit_range(self):
+        plan = deploy_backbone("mobilenetv2")
+        utilization = plan.utilization(8)
+        assert 0.0 <= utilization["compute"] <= 1.0
+        assert 0.0 <= utilization["l3"] <= 1.0
+
+    def test_cost_caching(self):
+        plan = deploy_backbone("mobilenetv2")
+        assert plan.cost(8) is plan.cost(8)
+
+
+class TestPowerModel:
+    def test_idle_vs_busy_power(self):
+        model = PowerModel(GAP9Config())
+        idle = model.average_power_mw(0.0, 0.0)
+        busy = model.average_power_mw(1.0, 1.0)
+        assert busy.total_mw > idle.total_mw
+        assert idle.total_mw > 0
+
+    def test_power_in_paper_envelope(self):
+        """All measured operations stay within the ~40-55 mW envelope."""
+        model = PowerModel(GAP9Config())
+        power = model.average_power_mw(0.9, 0.05)
+        assert 35.0 < power.total_mw < 55.0
+
+    def test_energy_is_time_times_power(self):
+        model = PowerModel(GAP9Config())
+        assert model.energy_mj(100.0, 50.0) == pytest.approx(5.0)
+
+    def test_combine_reports(self):
+        a = EnergyReport("op", "bb", time_ms=10.0, power_mw=40.0, energy_mj=0.4,
+                         cycles=100, macs=1000)
+        b = EnergyReport("op", "bb", time_ms=30.0, power_mw=50.0, energy_mj=1.5,
+                         cycles=300, macs=3000)
+        combined = combine_reports("both", "bb", [a, b])
+        assert combined.time_ms == pytest.approx(40.0)
+        assert combined.energy_mj == pytest.approx(1.9)
+        assert combined.power_mw == pytest.approx(1.9 / 40.0 * 1e3)
+
+    def test_operating_point_scaling(self):
+        from repro.hw import OPERATING_POINTS
+        model = PowerModel(GAP9Config())
+        efficient = model.average_power_mw(1.0, 0.0)
+        fast = model.average_power_mw(1.0, 0.0,
+                                      operating_point=OPERATING_POINTS["performance"])
+        assert fast.total_mw > efficient.total_mw
+
+
+class TestTable4:
+    """Reproduction of the paper's latency / power / energy measurements."""
+
+    @pytest.fixture(scope="class")
+    def rows(self, profiler):
+        return {(row.operation, row.backbone): row for row in profiler.table4()}
+
+    def test_all_rows_present(self, rows):
+        operations = {op for op, _ in rows}
+        assert operations == {"FCR", "BB inference", "EM update", "FCR finetune"}
+
+    @pytest.mark.parametrize("backbone", ["mobilenetv2", "mobilenetv2_x2",
+                                          "mobilenetv2_x4"])
+    def test_backbone_latency_within_25_percent(self, rows, backbone):
+        paper = PAPER_TABLE4_REFERENCE["BB inference"][backbone]["time_ms"]
+        measured = rows[("BB inference", backbone)].time_ms
+        assert measured == pytest.approx(paper, rel=0.25)
+
+    @pytest.mark.parametrize("backbone", ["mobilenetv2", "mobilenetv2_x2",
+                                          "mobilenetv2_x4"])
+    def test_em_update_energy_within_25_percent(self, rows, backbone):
+        paper = PAPER_TABLE4_REFERENCE["EM update"][backbone]["energy_mj"]
+        measured = rows[("EM update", backbone)].energy_mj
+        assert measured == pytest.approx(paper, rel=0.25)
+
+    def test_headline_claim_12mj_per_class(self, rows):
+        """The paper's headline: learning a new class costs ~12 mJ on the
+        smallest MobileNetV2 (without fine-tuning)."""
+        energy = rows[("EM update", "mobilenetv2")].energy_mj
+        assert 8.0 < energy < 16.0
+
+    def test_fcr_latency_close_to_paper(self, rows):
+        measured = rows[("FCR", "mobilenetv2_x4")].time_ms
+        assert measured == pytest.approx(3.23, rel=0.25)
+
+    def test_power_within_envelope(self, rows):
+        for row in rows.values():
+            assert 38.0 < row.power_mw < 58.0
+
+    def test_em_update_is_shots_times_bb_plus_fcr(self, profiler):
+        bb = profiler.profile_backbone_inference("mobilenetv2_x4")
+        fcr = profiler.profile_fcr("mobilenetv2_x4")
+        em = profiler.profile_em_update("mobilenetv2_x4", shots=5)
+        assert em.time_ms == pytest.approx(5 * (bb.time_ms + fcr.time_ms), rel=0.02)
+
+    def test_finetune_much_more_expensive_than_em_update(self, rows):
+        for backbone in ("mobilenetv2", "mobilenetv2_x4"):
+            finetune = rows[("FCR finetune", backbone)].energy_mj
+            em_update = rows[("EM update", backbone)].energy_mj
+            assert finetune > 10 * em_update
+
+    def test_finetune_energy_order_of_magnitude(self, rows):
+        measured = rows[("FCR finetune", "mobilenetv2_x4")].energy_mj
+        assert 200.0 < measured < 450.0
+
+    def test_energy_ordering_across_backbones(self, rows):
+        energies = [rows[("EM update", name)].energy_mj
+                    for name in ("mobilenetv2", "mobilenetv2_x2", "mobilenetv2_x4")]
+        assert energies[0] < energies[1] < energies[2]
+
+    def test_format_table4(self, profiler):
+        table = format_table4(profiler.table4())
+        assert "EM update" in table and "Energy [mJ]" in table
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def fig2(self, profiler):
+        return profiler.fig2_macs_per_cycle()
+
+    def test_structure(self, fig2):
+        assert set(fig2) == {"backbone", "fcr", "finetune"}
+        assert set(fig2["backbone"]) == {"mobilenetv2", "mobilenetv2_x2", "mobilenetv2_x4"}
+
+    def test_backbone_curves_increase_with_cores(self, fig2):
+        for curve in fig2["backbone"].values():
+            assert len(curve) == len(FIG2_CORE_COUNTS)
+            assert curve[-1] > curve[0]
+
+    def test_x4_reaches_about_6_macs_per_cycle(self, fig2):
+        """Fig. 2 (left): the x4 variant reaches ~6.5 MACs/cycle at 8 cores."""
+        assert fig2["backbone"]["mobilenetv2_x4"][-1] == pytest.approx(6.5, rel=0.15)
+
+    def test_x1_parallelizes_worse_than_x4(self, fig2):
+        assert fig2["backbone"]["mobilenetv2"][-1] < \
+            fig2["backbone"]["mobilenetv2_x4"][-1] * 0.6
+
+    def test_fcr_is_memory_bound(self, fig2):
+        """Fig. 2 (centre): the FCR stays below ~1 MAC/cycle at any core count."""
+        fcr_curve = list(fig2["fcr"].values())[0]
+        assert max(fcr_curve) < 1.0
+
+    def test_finetune_scales_modestly(self, fig2):
+        finetune_curve = list(fig2["finetune"].values())[0]
+        backbone_curve = fig2["backbone"]["mobilenetv2_x4"]
+        assert finetune_curve[-1] > finetune_curve[0]
+        assert finetune_curve[-1] < backbone_curve[-1]

@@ -1,0 +1,149 @@
+"""GAP9 simulator: SoC config, memory planning, DMA and cycle kernels."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    GAP9Config,
+    GraphCost,
+    MemoryConfig,
+    OPERATING_POINTS,
+    dma_cycles,
+    graph_cycles,
+    layer_cycles,
+    layer_dma_cycles,
+    plan_memory,
+    row_parallel_utilization,
+    per_core_throughput,
+)
+from repro.models import conv_spec, get_config, linear_spec
+
+
+@pytest.fixture(scope="module")
+def gap9():
+    return GAP9Config()
+
+
+@pytest.fixture(scope="module")
+def x4_layers():
+    return [layer for layer in get_config("mobilenetv2_x4").layer_specs()
+            if layer.op_type != "bn"]
+
+
+class TestSoCConfig:
+    def test_default_operating_point(self, gap9):
+        assert gap9.operating_point.frequency_hz == pytest.approx(240e6)
+        assert gap9.operating_point.voltage_v == pytest.approx(0.65)
+
+    def test_cycles_to_ms(self, gap9):
+        assert gap9.cycles_to_ms(240e3) == pytest.approx(1.0)
+
+    def test_named_operating_points(self):
+        assert set(OPERATING_POINTS) == {"efficient", "performance", "low_power"}
+        assert OPERATING_POINTS["performance"].frequency_hz > \
+            OPERATING_POINTS["efficient"].frequency_hz
+
+    def test_power_scale_factor(self, gap9):
+        scale = gap9.power.scale_factor(OPERATING_POINTS["performance"])
+        assert scale > 1.0
+        assert gap9.power.scale_factor(OPERATING_POINTS["efficient"]) == pytest.approx(1.0)
+
+    def test_memory_sizes(self, gap9):
+        assert gap9.memory.l1_bytes < gap9.memory.l2_bytes < gap9.memory.l3_bytes
+
+
+class TestMemoryPlanning:
+    def test_small_network_fits_l2(self, gap9):
+        layers = get_config("mobilenetv2_tiny").layer_specs()
+        plan = plan_memory(layers, gap9)
+        assert plan.layers_in_l3 == 0
+        assert plan.l3_used_bytes == 0
+
+    def test_large_network_spills_to_l3(self, gap9):
+        layers = get_config("resnet12").layer_specs()
+        plan = plan_memory(layers, gap9)
+        assert plan.layers_in_l3 > 0
+        assert plan.l3_used_bytes > 0
+        assert plan.l2_used_bytes <= gap9.memory.l2_bytes
+
+    def test_x4_weights_partially_in_l3(self, gap9, x4_layers):
+        """The 2.5 MB int8 MobileNetV2 does not fit the 1.5 MB L2 entirely."""
+        plan = plan_memory(x4_layers, gap9)
+        assert plan.l3_used_bytes > 0
+        assert plan.l2_used_bytes > 0
+
+    def test_placement_lookup(self, gap9, x4_layers):
+        plan = plan_memory(x4_layers, gap9)
+        placement = plan.placement(x4_layers[0].name)
+        assert placement.weight_level in ("L2", "L3")
+        with pytest.raises(KeyError):
+            plan.placement("nonexistent")
+
+    def test_dma_cycles_scale_with_bytes_and_bandwidth(self):
+        assert dma_cycles(1000, 8.0) == pytest.approx(125.0)
+        assert dma_cycles(1000, 0.5) == pytest.approx(2000.0)
+        assert dma_cycles(0, 8.0) == 0.0
+        assert dma_cycles(1000, 8.0, setup_cycles=100, num_transfers=2) == pytest.approx(325.0)
+
+    def test_layer_dma_cycles_l3_slower_than_l2(self, gap9):
+        layer = conv_spec("c", 64, 64, 3, 1, (8, 8))
+        plan_l2 = plan_memory([layer], gap9)
+        cycles_l2 = layer_dma_cycles(layer, plan_l2.placement("c"), gap9)
+        placement_l3 = plan_l2.placement("c")
+        placement_l3.weight_level = "L3"
+        cycles_l3 = layer_dma_cycles(layer, placement_l3, gap9)
+        assert cycles_l3["weights"] > cycles_l2["weights"]
+
+
+class TestCycleModel:
+    def test_row_parallel_utilization(self):
+        assert row_parallel_utilization(8, 8) == pytest.approx(1.0)
+        assert row_parallel_utilization(4, 8) == pytest.approx(0.5)
+        assert row_parallel_utilization(2, 8) == pytest.approx(0.25)
+        assert row_parallel_utilization(16, 8) == pytest.approx(1.0)
+        assert row_parallel_utilization(9, 8) == pytest.approx(9 / 16)
+
+    def test_per_core_throughput_by_type(self, gap9):
+        assert per_core_throughput("conv", gap9) > per_core_throughput("dwconv", gap9)
+        assert per_core_throughput("linear", gap9) > 0
+
+    def test_more_cores_never_slower_for_large_layers(self, gap9):
+        layer = conv_spec("c", 32, 64, 3, 1, (32, 32))
+        cycles = [layer_cycles(layer, cores, gap9).total_cycles for cores in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(cycles, cycles[1:]))
+
+    def test_small_spatial_layers_saturate(self, gap9):
+        layer = conv_spec("c", 256, 256, 3, 1, (2, 2))
+        at_2 = layer_cycles(layer, 2, gap9)
+        at_8 = layer_cycles(layer, 8, gap9)
+        # Only two output rows: using 8 cores cannot be 4x faster than 2 cores.
+        assert at_2.compute_cycles / at_8.compute_cycles < 1.5
+
+    def test_macs_per_cycle_bounded_by_peak(self, gap9):
+        layer = conv_spec("c", 64, 64, 3, 1, (16, 16))
+        cost = layer_cycles(layer, 8, gap9)
+        peak = gap9.compute.conv_macs_per_cycle * 8
+        assert 0 < cost.macs_per_cycle <= peak
+
+    def test_elementwise_layers_have_no_macs_per_cycle_contribution(self, gap9):
+        from repro.models import act_spec
+        cost = layer_cycles(act_spec("relu", 64, (8, 8)), 8, gap9)
+        assert cost.macs == 0
+        assert cost.total_cycles > 0
+
+    def test_graph_cost_aggregation(self, gap9, x4_layers):
+        cost = graph_cycles(x4_layers, 8, gap9)
+        assert isinstance(cost, GraphCost)
+        assert cost.total_macs == sum(layer.macs for layer in x4_layers)
+        assert cost.total_cycles > 0
+        assert cost.macs_per_cycle > 1.0
+        by_type = cost.by_type()
+        assert "conv" in by_type and "dwconv" in by_type
+
+    def test_dma_included_when_memory_plan_given(self, gap9, x4_layers):
+        plan = plan_memory(x4_layers, gap9)
+        with_dma = graph_cycles(x4_layers, 8, gap9, plan)
+        without_dma = graph_cycles(x4_layers, 8, gap9)
+        assert with_dma.dma_cycles > 0
+        assert without_dma.dma_cycles == 0
+        assert with_dma.total_cycles >= without_dma.total_cycles

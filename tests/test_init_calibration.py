@@ -1,0 +1,99 @@
+"""Weight initialization statistics and BatchNorm recalibration."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import init
+from repro.nn.calibration import batchnorm_modules, recalibrate_batchnorm
+from repro.nn.tensor import Tensor
+
+
+class TestInit:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = init.kaiming_normal((256, 128), rng)
+        expected_std = np.sqrt(2.0 / 128)
+        assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_kaiming_conv_fan_in(self):
+        rng = np.random.default_rng(0)
+        weights = init.kaiming_normal((64, 32, 3, 3), rng)
+        expected_std = np.sqrt(2.0 / (32 * 9))
+        assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        weights = init.xavier_uniform((100, 200), rng)
+        bound = np.sqrt(6.0 / 300)
+        assert np.abs(weights).max() <= bound + 1e-6
+
+    def test_uniform_bias_bound(self):
+        rng = np.random.default_rng(0)
+        bias = init.uniform_bias(64, (32,), rng)
+        assert np.abs(bias).max() <= 1 / np.sqrt(64) + 1e-6
+
+    def test_zeros_ones(self):
+        assert init.zeros((3, 3)).sum() == 0
+        assert init.ones((3, 3)).sum() == 9
+
+    def test_dtype(self):
+        rng = np.random.default_rng(0)
+        assert init.kaiming_uniform((4, 4), rng).dtype == np.float32
+        assert init.xavier_normal((4, 4), rng).dtype == np.float32
+
+
+class TestBatchNormRecalibration:
+    def build(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return nn.Sequential(
+            nn.Conv2d(3, 6, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(6),
+            nn.ReLU(),
+        )
+
+    def test_finds_batchnorm_modules(self):
+        net = self.build()
+        assert len(list(batchnorm_modules(net))) == 1
+
+    def test_recalibration_matches_dataset_statistics(self, rng):
+        net = self.build()
+        images = rng.standard_normal((64, 3, 8, 8)).astype(np.float32)
+        batches = recalibrate_batchnorm(net, images, batch_size=16)
+        assert batches == 4
+        bn = next(iter(batchnorm_modules(net)))
+        # Reference statistics: run the conv over the whole dataset at once.
+        with nn.no_grad():
+            conv_out = net[0](Tensor(images)).data
+        np.testing.assert_allclose(bn.running_mean, conv_out.mean(axis=(0, 2, 3)),
+                                    atol=1e-3)
+        np.testing.assert_allclose(bn.running_var, conv_out.var(axis=(0, 2, 3)),
+                                    rtol=0.1)
+
+    def test_momentum_restored_and_mode_preserved(self, rng):
+        net = self.build()
+        bn = next(iter(batchnorm_modules(net)))
+        original_momentum = bn.momentum
+        net.eval()
+        recalibrate_batchnorm(net, rng.standard_normal((8, 3, 8, 8)).astype(np.float32))
+        assert bn.momentum == original_momentum
+        assert not net.training
+
+    def test_no_batchnorm_is_a_noop(self, rng):
+        net = nn.Sequential(nn.Linear(4, 2))
+        assert recalibrate_batchnorm(net, rng.standard_normal((4, 4)).astype(np.float32)) == 0
+
+    def test_recalibration_closes_train_eval_gap(self, rng):
+        """After recalibration, eval-mode outputs track train-mode outputs."""
+        net = self.build(seed=1)
+        images = rng.standard_normal((64, 3, 8, 8)).astype(np.float32) * 2 + 1
+        # Miscalibrate on purpose: a single training step with default momentum.
+        net(Tensor(images[:8]))
+        recalibrate_batchnorm(net, images, batch_size=32)
+        net.eval()
+        with nn.no_grad():
+            eval_out = net(Tensor(images)).data
+        net.train()
+        with nn.no_grad():
+            train_out = net(Tensor(images)).data
+        assert np.abs(eval_out - train_out).mean() < 0.05

@@ -1,0 +1,156 @@
+"""Loss functions: values against manual references and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import losses
+from repro.nn.tensor import Tensor
+
+
+def make(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape).astype(np.float64),
+                  requires_grad=True)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 0.5, -1.0], [0.0, 1.0, 0.0]])
+        labels = np.array([0, 1])
+        loss = losses.cross_entropy(Tensor(logits), labels)
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -np.mean([log_probs[0, 0], log_probs[1, 1]])
+        assert float(loss.data) == pytest.approx(expected, rel=1e-6)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = losses.cross_entropy(Tensor(logits), np.array([0, 1]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_soft_targets_match_hard_targets_for_one_hot(self):
+        logits = make((4, 5), seed=1)
+        labels = np.array([0, 1, 2, 3])
+        hard = losses.cross_entropy(logits, labels)
+        soft = losses.cross_entropy(logits, F.one_hot(labels, 5))
+        assert float(hard.data) == pytest.approx(float(soft.data), rel=1e-6)
+
+    def test_label_smoothing_increases_loss_for_confident_model(self):
+        logits = Tensor(np.array([[10.0, -10.0]]))
+        labels = np.array([0])
+        plain = losses.cross_entropy(logits, labels)
+        smoothed = losses.cross_entropy(logits, labels, label_smoothing=0.2)
+        assert float(smoothed.data) > float(plain.data)
+
+    def test_gradient(self):
+        logits = make((5, 7), seed=2)
+        labels = np.random.default_rng(0).integers(0, 7, 5)
+        assert nn.check_gradients(lambda l: losses.cross_entropy(l, labels), [logits])
+
+
+class TestMultiMargin:
+    def test_zero_when_margin_satisfied(self):
+        sims = Tensor(np.array([[0.9, 0.1, 0.0]]))
+        loss = losses.multi_margin_loss(sims, np.array([0]), margin=0.1)
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-8)
+
+    def test_penalizes_margin_violations(self):
+        sims = Tensor(np.array([[0.5, 0.45, 0.0]]))
+        loss = losses.multi_margin_loss(sims, np.array([0]), margin=0.1, num_classes=3)
+        # violation = 0.1 - 0.5 + 0.45 = 0.05 -> squared / 3
+        assert float(loss.data) == pytest.approx(0.05 ** 2 / 3, rel=1e-5)
+
+    def test_normalizer_uses_num_classes(self):
+        sims = Tensor(np.array([[0.5, 0.45, 0.0]]))
+        loss_small = losses.multi_margin_loss(sims, np.array([0]), margin=0.1,
+                                              num_classes=3)
+        loss_large = losses.multi_margin_loss(sims, np.array([0]), margin=0.1,
+                                              num_classes=60)
+        assert float(loss_small.data) > float(loss_large.data)
+
+    def test_larger_margin_larger_loss(self):
+        sims = Tensor(np.random.default_rng(1).uniform(0, 1, (8, 10)))
+        labels = np.random.default_rng(2).integers(0, 10, 8)
+        small = losses.multi_margin_loss(sims, labels, margin=0.05)
+        large = losses.multi_margin_loss(sims, labels, margin=0.3)
+        assert float(large.data) >= float(small.data)
+
+    def test_gradient(self):
+        sims = make((6, 8), seed=3)
+        labels = np.random.default_rng(1).integers(0, 8, 6)
+        assert nn.check_gradients(
+            lambda s: losses.multi_margin_loss(F.sigmoid(s), labels, margin=0.1), [sims])
+
+
+class TestOrthogonality:
+    def test_orthogonal_features_have_low_covariance_loss(self):
+        features = Tensor(np.eye(6, dtype=np.float64)[:4] * 2.0)
+        loss = losses.orthogonality_loss(features, mode="covariance")
+        # Columns are orthogonal; the only penalty comes from the zero columns.
+        assert float(loss.data) <= 6.0 / 36.0 + 1e-6
+
+    def test_identical_features_penalized_more_than_orthogonal(self):
+        rng = np.random.default_rng(0)
+        orthogonal = Tensor(np.eye(8, dtype=np.float64)[:4])
+        collapsed = Tensor(np.tile(rng.standard_normal(8), (4, 1)))
+        for mode in ("gram", "covariance"):
+            low = losses.orthogonality_loss(orthogonal, mode=mode)
+            high = losses.orthogonality_loss(collapsed, mode=mode)
+            assert float(high.data) > float(low.data)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            losses.orthogonality_loss(Tensor(np.eye(3)), mode="nonsense")
+
+    def test_gradients_both_modes(self):
+        features = make((5, 7), seed=4)
+        for mode in ("gram", "covariance"):
+            assert nn.check_gradients(
+                lambda f, mode=mode: losses.orthogonality_loss(f, mode=mode), [features])
+
+
+class TestPretrainingLoss:
+    def test_reduces_to_ce_when_weight_zero(self):
+        logits, features = make((4, 6), seed=5), make((4, 8), seed=6)
+        labels = np.array([0, 1, 2, 3])
+        combined = losses.pretraining_loss(logits, labels, features, ortho_weight=0.0)
+        ce = losses.cross_entropy(logits, labels)
+        assert float(combined.data) == pytest.approx(float(ce.data), rel=1e-6)
+
+    def test_adds_weighted_ortho_term(self):
+        logits, features = make((4, 6), seed=7), make((4, 8), seed=8)
+        labels = np.array([0, 1, 2, 3])
+        ce = float(losses.cross_entropy(logits, labels).data)
+        ortho = float(losses.orthogonality_loss(features).data)
+        combined = float(losses.pretraining_loss(logits, labels, features,
+                                                 ortho_weight=0.5).data)
+        assert combined == pytest.approx(ce + 0.5 * ortho, rel=1e-5)
+
+    def test_gradient_through_both_terms(self):
+        logits, features = make((4, 6), seed=9), make((4, 8), seed=10)
+        labels = np.array([0, 1, 2, 3])
+        assert nn.check_gradients(
+            lambda l, f: losses.pretraining_loss(l, labels, f, ortho_weight=0.3),
+            [logits, features])
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        assert float(losses.mse_loss(pred, np.array([[0.0, 0.0]])).data) == pytest.approx(2.5)
+
+    def test_cosine_embedding_zero_for_parallel_vectors(self):
+        pred = Tensor(np.array([[1.0, 1.0], [2.0, 0.0]]))
+        target = np.array([[2.0, 2.0], [1.0, 0.0]])
+        assert float(losses.cosine_embedding_loss(pred, target).data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_embedding_max_for_antiparallel(self):
+        pred = Tensor(np.array([[1.0, 0.0]]))
+        assert float(losses.cosine_embedding_loss(pred, np.array([[-1.0, 0.0]])).data) == \
+            pytest.approx(2.0, rel=1e-6)
+
+    def test_gradients(self):
+        pred = make((4, 6), seed=11)
+        target = np.random.default_rng(3).standard_normal((4, 6))
+        assert nn.check_gradients(lambda p: losses.mse_loss(p, target), [pred])
+        assert nn.check_gradients(lambda p: losses.cosine_embedding_loss(p, target), [pred])

@@ -1,0 +1,135 @@
+"""Backbone architectures: shapes, parameter accounting, layer specs."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    GraphSummary,
+    MobileNetV2Backbone,
+    ResNet12Backbone,
+    ResNet20Backbone,
+    STRIDE_PLANS,
+    get_config,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestMobileNetV2:
+    def test_stride_plans_registered(self):
+        assert STRIDE_PLANS["x1"] == (1, 2, 2, 2, 1, 2, 1)
+        assert STRIDE_PLANS["x2"] == (1, 2, 2, 2, 1, 1, 1)
+        assert STRIDE_PLANS["x4"] == (1, 2, 2, 1, 1, 1, 1)
+
+    def test_invalid_stride_plan_length(self):
+        with pytest.raises(ValueError):
+            MobileNetV2Backbone(stride_plan=(1, 2))
+
+    def test_tiny_forward_shape(self):
+        config = get_config("mobilenetv2_tiny")
+        backbone = config.build(seed=0)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 16, 16)).astype(np.float32))
+        out = backbone(x)
+        assert out.shape == (2, config.feature_dim)
+
+    def test_output_dim_property(self):
+        backbone = get_config("mobilenetv2_tiny").build()
+        assert backbone.output_dim == backbone.feature_dim
+
+    def test_layer_specs_match_module_parameters(self):
+        """The analytic layer graph must count exactly the module's parameters
+        (excluding biases, which the spec folds into BN/requantization)."""
+        config = get_config("mobilenetv2_tiny")
+        backbone = config.build(seed=0)
+        specs = backbone.layer_specs((16, 16))
+        spec_params = sum(spec.params for spec in specs)
+        assert spec_params == backbone.num_parameters()
+
+    def test_layer_specs_spatial_consistency(self):
+        backbone = MobileNetV2Backbone(stride_plan="x4")
+        specs = backbone.layer_specs((32, 32))
+        # With the x4 stride plan the final feature map stays at 8x8.
+        conv_specs = [s for s in specs if s.op_type in ("conv", "dwconv")]
+        assert conv_specs[-1].out_hw == (8, 8)
+
+    def test_stride_plan_affects_macs_not_params(self):
+        x1 = get_config("mobilenetv2").summary(include_fcr=False)
+        x4 = get_config("mobilenetv2_x4").summary(include_fcr=False)
+        assert x1.total_params == x4.total_params
+        assert x4.total_macs > 4 * x1.total_macs
+
+    def test_residual_connections_only_when_shapes_match(self):
+        backbone = get_config("mobilenetv2_tiny").build()
+        for block in backbone.blocks:
+            if block.use_residual:
+                assert block.stride == 1
+
+    def test_gradients_flow_to_all_parameters(self):
+        backbone = get_config("mobilenetv2_tiny").build(seed=0)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 3, 16, 16)).astype(np.float32))
+        out = backbone(x)
+        (out ** 2).mean().backward()
+        missing = [name for name, p in backbone.named_parameters() if p.grad is None]
+        assert not missing
+
+
+class TestResNet:
+    def test_resnet12_forward_shape(self):
+        config = get_config("resnet12_tiny")
+        backbone = config.build(seed=0)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert backbone(x).shape == (2, config.feature_dim)
+
+    def test_resnet12_default_widths(self):
+        backbone = ResNet12Backbone()
+        assert backbone.feature_dim == 640
+        assert backbone.channels == (64, 160, 320, 640)
+
+    def test_resnet12_layer_specs_match_params(self):
+        config = get_config("resnet12_tiny")
+        backbone = config.build(seed=0)
+        spec_params = sum(spec.params for spec in backbone.layer_specs((16, 16)))
+        assert spec_params == backbone.num_parameters()
+
+    def test_resnet20_forward_shape(self):
+        config = get_config("resnet20_tiny")
+        backbone = config.build(seed=0)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert backbone(x).shape == (2, config.feature_dim)
+
+    def test_resnet20_layer_specs_match_params(self):
+        config = get_config("resnet20_tiny")
+        backbone = config.build(seed=0)
+        spec_params = sum(spec.params for spec in backbone.layer_specs((16, 16)))
+        assert spec_params == backbone.num_parameters()
+
+    def test_resnet20_downsampling(self):
+        backbone = ResNet20Backbone(widths=(8, 16, 32), blocks_per_stage=2)
+        specs = backbone.layer_specs((32, 32))
+        final_conv = [s for s in specs if s.op_type == "conv"][-1]
+        assert final_conv.out_hw == (8, 8)   # two stride-2 stages: 32 -> 16 -> 8
+
+    def test_resnet12_gradients_flow(self):
+        backbone = get_config("resnet12_tiny").build(seed=0)
+        x = Tensor(np.random.default_rng(2).standard_normal((2, 3, 16, 16)).astype(np.float32))
+        (backbone(x) ** 2).mean().backward()
+        assert all(p.grad is not None for p in backbone.parameters())
+
+
+class TestGraphSummary:
+    def test_totals(self):
+        config = get_config("mobilenetv2_tiny")
+        summary = config.summary()
+        assert summary.total_params > 0
+        assert summary.total_macs > 0
+        assert summary.total_weight_bytes(8) == pytest.approx(summary.total_params, abs=1)
+
+    def test_by_type(self):
+        summary = get_config("mobilenetv2_tiny").summary()
+        assert len(summary.by_type("dwconv")) > 0
+        assert len(summary.by_type("conv")) > 0
+        assert len(summary.by_type("linear")) == 1  # the FCR
+
+    def test_max_activation_bytes_positive(self):
+        summary = get_config("mobilenetv2_tiny").summary()
+        assert summary.max_activation_bytes(8) > 0

@@ -1,0 +1,120 @@
+"""The OFSCIL model object: feature extraction, online learning, inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import OFSCIL, OFSCILConfig
+from repro.models import get_config
+
+
+class TestConstruction:
+    def test_from_registry_dimensions(self, fresh_model):
+        config = get_config(fresh_model.config.backbone)
+        assert fresh_model.feature_dim == config.feature_dim
+        assert fresh_model.prototype_dim == config.prototype_dim
+        assert fresh_model.memory.dim == config.prototype_dim
+
+    def test_prototype_bits_propagate_to_memory(self):
+        model = OFSCIL.from_registry("mobilenetv2_tiny",
+                                     OFSCILConfig(backbone="mobilenetv2_tiny",
+                                                  prototype_bits=4))
+        assert model.memory.bits == 4
+
+
+class TestFeatureExtraction:
+    def test_embed_shapes(self, fresh_model, tiny_benchmark):
+        images = tiny_benchmark.base_train.images[:10]
+        theta_a = fresh_model.extract_backbone_features(images)
+        theta_p = fresh_model.project(theta_a)
+        assert theta_a.shape == (10, fresh_model.feature_dim)
+        assert theta_p.shape == (10, fresh_model.prototype_dim)
+        np.testing.assert_allclose(fresh_model.embed(images), theta_p, rtol=1e-5)
+
+    def test_batched_extraction_matches_single_pass(self, fresh_model, tiny_benchmark):
+        images = tiny_benchmark.base_train.images[:9]
+        fresh_model.config.feature_batch_size = 4
+        batched = fresh_model.extract_backbone_features(images)
+        fresh_model.config.feature_batch_size = 64
+        single = fresh_model.extract_backbone_features(images)
+        np.testing.assert_allclose(batched, single, rtol=1e-4, atol=1e-5)
+
+    def test_forward_is_differentiable(self, fresh_model, tiny_benchmark):
+        out = fresh_model(tiny_benchmark.base_train.images[:4])
+        assert out.requires_grad
+        out.sum().backward()
+
+
+class TestOnlineLearning:
+    def test_learn_class_adds_prototype_and_activation(self, fresh_model, tiny_benchmark):
+        images = tiny_benchmark.base_train.images[:5]
+        prototype = fresh_model.learn_class(images, class_id=42)
+        assert 42 in fresh_model.memory
+        assert prototype.shape == (fresh_model.prototype_dim,)
+        assert 42 in fresh_model.activation_memory
+        assert fresh_model.activation_memory[42].shape == (fresh_model.feature_dim,)
+
+    def test_prototype_is_mean_of_projected_features(self, fresh_model, tiny_benchmark):
+        images = tiny_benchmark.base_train.images[:5]
+        prototype = fresh_model.learn_class(images, class_id=7)
+        expected = fresh_model.embed(images).mean(axis=0)
+        np.testing.assert_allclose(prototype, expected, rtol=1e-4, atol=1e-5)
+
+    def test_learn_session_learns_every_class(self, fresh_model, tiny_benchmark):
+        fresh_model.memory.reset()
+        session = tiny_benchmark.session(1)
+        learned = fresh_model.learn_session(session.support)
+        assert set(learned) == set(session.class_ids.tolist())
+        assert fresh_model.memory.num_classes == len(session.class_ids)
+
+    def test_learn_base_session_max_per_class(self, fresh_model, tiny_benchmark):
+        fresh_model.memory.reset()
+        fresh_model.learn_base_session(tiny_benchmark.base_train, max_per_class=3)
+        assert fresh_model.memory.num_classes == tiny_benchmark.protocol.base_classes
+
+    def test_learning_is_single_pass_and_keeps_extractor_frozen(self, fresh_model,
+                                                                tiny_benchmark):
+        before = {name: param.data.copy()
+                  for name, param in fresh_model.backbone.named_parameters()}
+        fresh_model.learn_class(tiny_benchmark.base_train.images[:5], class_id=0)
+        after = dict(fresh_model.backbone.named_parameters())
+        for name, original in before.items():
+            np.testing.assert_array_equal(after[name].data, original)
+
+
+class TestInference:
+    def test_predict_returns_learned_labels(self, trained_model, tiny_benchmark):
+        trained_model.memory.reset()
+        trained_model.learn_base_session(tiny_benchmark.base_train)
+        predictions = trained_model.predict(tiny_benchmark.test_upto(0).images[:20])
+        learned = set(trained_model.memory.class_ids)
+        assert set(predictions.tolist()) <= learned
+
+    def test_accuracy_beats_chance_after_training(self, trained_model, tiny_benchmark):
+        trained_model.memory.reset()
+        trained_model.learn_base_session(tiny_benchmark.base_train)
+        accuracy = trained_model.accuracy(tiny_benchmark.test_upto(0))
+        chance = 1.0 / tiny_benchmark.protocol.base_classes
+        assert accuracy > 2 * chance
+
+    def test_similarity_scores_relu_sharpening(self, trained_model, tiny_benchmark):
+        trained_model.memory.reset()
+        trained_model.learn_base_session(tiny_benchmark.base_train, max_per_class=5)
+        sims, ids = trained_model.similarity_scores(tiny_benchmark.test.images[:8])
+        assert sims.shape == (8, trained_model.memory.num_classes)
+        assert np.all(sims >= 0.0)
+
+    def test_accuracy_on_empty_dataset_is_nan(self, trained_model, tiny_benchmark):
+        from repro.data import ArrayDataset
+        empty = ArrayDataset(np.zeros((0, 3, 16, 16), dtype=np.float32),
+                             np.zeros(0, dtype=np.int64))
+        assert np.isnan(trained_model.accuracy(empty))
+
+    def test_memory_footprint(self, fresh_model):
+        fresh_model.memory.reset()
+        expected = fresh_model.prototype_dim * 32 / 8.0
+        assert fresh_model.memory_footprint_bytes(1) == pytest.approx(expected)
+
+    def test_freeze_feature_extractor(self, fresh_model):
+        fresh_model.freeze_feature_extractor()
+        assert all(not p.requires_grad for p in fresh_model.backbone.parameters())
+        assert all(not p.requires_grad for p in fresh_model.fcr.parameters())

@@ -1,0 +1,147 @@
+"""Numerical gradient checks for every differentiable primitive."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import ops
+from repro.nn.tensor import Tensor
+
+
+def make(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape).astype(np.float64) * scale,
+                  requires_grad=True)
+
+
+@pytest.mark.parametrize("fn,shapes", [
+    (lambda a, b: (a + b).sum(), [(3, 4), (3, 4)]),
+    (lambda a, b: (a - b).sum(), [(3, 4), (3, 4)]),
+    (lambda a, b: ((a * b) ** 2).mean(), [(3, 4), (3, 4)]),
+    (lambda a, b: (a / (b.abs() + 1.0)).sum(), [(3, 4), (3, 4)]),
+    (lambda a, b: (a + b).sum(), [(3, 4), (4,)]),          # broadcasting
+    (lambda a, b: (a * b).sum(), [(2, 3, 4), (1, 3, 1)]),  # broadcasting
+    (lambda a, b: (a @ b).sum(), [(3, 4), (4, 5)]),
+    (lambda a, b: ((a @ b) ** 2).mean(), [(2, 3, 4), (2, 4, 5)]),  # batched matmul
+])
+def test_binary_op_gradients(fn, shapes):
+    inputs = [make(shape, seed=index + 1) for index, shape in enumerate(shapes)]
+    assert nn.check_gradients(fn, inputs)
+
+
+@pytest.mark.parametrize("fn,shape", [
+    (lambda a: (-a).sum(), (3, 4)),
+    (lambda a: (a ** 3).mean(), (3, 4)),
+    (lambda a: a.exp().sum(), (3, 3)),
+    (lambda a: (a.abs() + 1.0).log().sum(), (3, 3)),
+    (lambda a: (a.abs() + 0.5).sqrt().sum(), (3, 3)),
+    (lambda a: a.sum(axis=1).sum(), (4, 5)),
+    (lambda a: a.sum(axis=(0, 2), keepdims=True).sum(), (2, 3, 4)),
+    (lambda a: a.mean(axis=0).sum(), (4, 5)),
+    (lambda a: a.mean().sum(), (4, 5)),
+    (lambda a: a.reshape(20).sum(), (4, 5)),
+    (lambda a: a.transpose().sum(), (4, 5)),
+    (lambda a: a.flatten(1).mean(), (2, 3, 4)),
+    (lambda a: (a.clip(-0.5, 0.5) ** 2).sum(), (5, 5)),
+    (lambda a: F.relu(a).sum(), (5, 5)),
+    (lambda a: F.relu6(a * 4.0).sum(), (5, 5)),
+    (lambda a: F.sigmoid(a).sum(), (4, 4)),
+    (lambda a: F.tanh(a).sum(), (4, 4)),
+    (lambda a: (F.softmax(a, axis=-1) ** 2).sum(), (3, 6)),
+    (lambda a: (F.log_softmax(a, axis=-1) ** 2).mean(), (3, 6)),
+    (lambda a: F.l2_normalize(a, axis=-1).sum(), (4, 6)),
+    (lambda a: F.pad2d(a, 2).sum(), (2, 3, 4, 4)),
+    (lambda a: F.global_avg_pool2d(a).sum(), (2, 3, 4, 4)),
+])
+def test_unary_op_gradients(fn, shape):
+    assert nn.check_gradients(fn, [make(shape, seed=7)])
+
+
+def test_abs_gradient_away_from_zero():
+    x = Tensor(np.array([1.5, -2.0, 3.0]), requires_grad=True)
+    assert nn.check_gradients(lambda a: a.abs().sum(), [x])
+
+
+def test_max_gradient():
+    x = make((4, 5), seed=11)
+    assert nn.check_gradients(lambda a: a.max(axis=1).sum(), [x])
+
+
+def test_slice_gradient():
+    x = make((4, 5), seed=13)
+    assert nn.check_gradients(lambda a: (a[1:3, ::2] ** 2).sum(), [x])
+
+
+def test_stack_concat_gradients():
+    a, b = make((3, 4), seed=1), make((3, 4), seed=2)
+    assert nn.check_gradients(lambda a, b: (nn.stack([a, b], axis=0) ** 2).sum(), [a, b])
+    assert nn.check_gradients(
+        lambda a, b: (nn.concatenate([a, b], axis=1) ** 2).sum(), [a, b])
+
+
+def test_cosine_similarity_gradients():
+    a, b = make((4, 6), seed=3), make((4, 6), seed=4)
+    assert nn.check_gradients(
+        lambda a, b: F.cosine_similarity(a, b, axis=-1).sum(), [a, b])
+
+
+def test_cosine_similarity_matrix_gradients():
+    queries, prototypes = make((3, 5), seed=5), make((4, 5), seed=6)
+    assert nn.check_gradients(
+        lambda q, p: (F.cosine_similarity_matrix(q, p) ** 2).sum(),
+        [queries, prototypes])
+
+
+def test_linear_gradients():
+    x, w, b = make((4, 6), seed=8), make((3, 6), seed=9), make((3,), seed=10)
+    assert nn.check_gradients(lambda x, w, b: (F.linear(x, w, b) ** 2).mean(), [x, w, b])
+
+
+def test_dropout_gradient_scales_by_mask():
+    x = make((8, 8), seed=12)
+    out = F.dropout(x, p=0.5, training=True, seed=3)
+    out.sum().backward()
+    mask = (out.data != 0).astype(np.float64)
+    np.testing.assert_allclose(x.grad, mask * 2.0, atol=1e-6)
+
+
+def test_softmax_rows_sum_to_one():
+    x = make((5, 7), seed=21)
+    np.testing.assert_allclose(F.softmax(x, axis=-1).data.sum(axis=-1), np.ones(5),
+                               atol=1e-6)
+
+
+def test_log_softmax_matches_softmax():
+    x = make((5, 7), seed=22)
+    np.testing.assert_allclose(F.log_softmax(x, axis=-1).data,
+                               np.log(F.softmax(x, axis=-1).data), atol=1e-6)
+
+
+def test_one_hot():
+    out = F.one_hot(np.array([0, 2, 1]), 4)
+    assert out.shape == (3, 4)
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(3))
+    assert out[1, 2] == 1.0
+
+
+def test_embedding_gather_and_backward():
+    weight = make((6, 4), seed=30)
+    indices = np.array([0, 2, 2, 5])
+    out = ops.Embedding.apply(weight, indices)
+    assert out.shape == (4, 4)
+    out.sum().backward()
+    # Row 2 is gathered twice so it accumulates a gradient of 2.
+    np.testing.assert_allclose(weight.grad[2], np.full(4, 2.0))
+    np.testing.assert_allclose(weight.grad[1], np.zeros(4))
+
+
+def test_batchnorm_function_gradients():
+    x = make((6, 3, 4, 4), seed=31, scale=2.0)
+    weight = make((3,), seed=32)
+    bias = make((3,), seed=33)
+
+    def fn(x, weight, bias):
+        return (ops.BatchNormTrain.apply(x, weight, bias, 1e-5) ** 2).mean()
+
+    assert nn.check_gradients(fn, [x, weight, bias])

@@ -1,0 +1,150 @@
+"""Optimizers, schedulers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_problem(seed=0):
+    """Minimize ||x - target||^2; any reasonable optimizer must converge."""
+    rng = np.random.default_rng(seed)
+    param = Parameter(rng.standard_normal(8).astype(np.float32) * 3)
+    target = rng.standard_normal(8).astype(np.float32)
+
+    def loss_fn():
+        diff = param - Tensor(target)
+        return (diff * diff).sum()
+
+    return param, target, loss_fn
+
+
+class TestSGD:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_converges_on_quadratic(self):
+        param, target, loss_fn = quadratic_problem()
+        optimizer = SGD([param], lr=0.05)
+        for _ in range(200):
+            loss = loss_fn()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param, target, loss_fn = quadratic_problem(seed=1)
+            optimizer = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = loss_fn()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            return float(((param.data - target) ** 2).sum())
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.full(4, 10.0, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(4, dtype=np.float32)
+        optimizer.step()
+        assert np.all(np.abs(param.data) < 10.0)
+
+    def test_frozen_parameters_not_updated(self):
+        param = Parameter(np.ones(3, dtype=np.float32))
+        param.requires_grad = False
+        param.grad = np.ones(3, dtype=np.float32)
+        before = param.data.copy()
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, before)
+
+    def test_nesterov_converges(self):
+        param, target, loss_fn = quadratic_problem(seed=2)
+        optimizer = SGD([param], lr=0.02, momentum=0.9, nesterov=True)
+        for _ in range(150):
+            loss = loss_fn()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param, target, loss_fn = quadratic_problem(seed=3)
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(400):
+            loss = loss_fn()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=5e-2)
+
+    def test_step_counter_advances(self):
+        param = Parameter(np.ones(2, dtype=np.float32))
+        optimizer = Adam([param], lr=0.01)
+        param.grad = np.ones(2, dtype=np.float32)
+        optimizer.step()
+        optimizer.step()
+        assert optimizer._t == 2
+
+    def test_weight_decay(self):
+        param = Parameter(np.full(4, 5.0, dtype=np.float32))
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(4, dtype=np.float32)
+        optimizer.step()
+        assert np.all(param.data < 5.0)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        param = Parameter(np.ones(1, dtype=np.float32))
+        optimizer = SGD([param], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs[0] == pytest.approx(1.0)      # epoch 1
+        assert lrs[1] == pytest.approx(0.1)      # epoch 2
+        assert lrs[3] == pytest.approx(0.01)     # epoch 4
+
+    def test_cosine_decays_to_eta_min(self):
+        param = Parameter(np.ones(1, dtype=np.float32))
+        optimizer = SGD([param], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.05)
+        last = None
+        for _ in range(10):
+            last = scheduler.step()
+        assert last == pytest.approx(0.05, abs=1e-6)
+
+    def test_cosine_is_monotonically_decreasing_after_warmup(self):
+        param = Parameter(np.ones(1, dtype=np.float32))
+        optimizer = SGD([param], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=20, warmup_epochs=3)
+        lrs = [scheduler.step() for _ in range(23)]
+        assert lrs[0] < lrs[2]                       # warm-up increases
+        assert all(a >= b - 1e-9 for a, b in zip(lrs[3:], lrs[4:]))  # then decays
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        param = Parameter(np.ones(4, dtype=np.float32))
+        param.grad = np.full(4, 10.0, dtype=np.float32)
+        total = clip_grad_norm([param], max_norm=1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_no_clip_when_below_threshold(self):
+        param = Parameter(np.ones(4, dtype=np.float32))
+        param.grad = np.full(4, 0.1, dtype=np.float32)
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, np.full(4, 0.1))
+
+    def test_handles_missing_gradients(self):
+        param = Parameter(np.ones(4, dtype=np.float32))
+        assert clip_grad_norm([param], max_norm=1.0) == 0.0

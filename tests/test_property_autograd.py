@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) of the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+FLOATS = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False,
+                   allow_infinity=False, width=32)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=FLOATS)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_addition_gradient_is_ones(a, b):
+    x, y = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+    (x + y).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(a))
+    np.testing.assert_allclose(y.grad, np.ones_like(b))
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_product_rule(a, b):
+    x, y = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+    (x * y).sum().backward()
+    np.testing.assert_allclose(x.grad, b, atol=1e-6)
+    np.testing.assert_allclose(y.grad, a, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((4, 3)), arrays((3, 5)))
+def test_matmul_gradient_shapes_and_values(a, b):
+    x, y = Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+    (x @ y).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones((4, 5)) @ b.T, atol=1e-5)
+    np.testing.assert_allclose(y.grad, a.T @ np.ones((4, 5)), atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((2, 3, 4)))
+def test_sum_then_broadcast_recovers_shape(a):
+    x = Tensor(a, requires_grad=True)
+    x.sum(axis=1).sum().backward()
+    assert x.grad.shape == a.shape
+    np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((3, 5)))
+def test_softmax_outputs_are_distributions(a):
+    out = F.softmax(Tensor(a), axis=-1).data
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), atol=1e-5)
+    assert np.all(out >= 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((4, 6)))
+def test_l2_normalize_produces_unit_vectors(a):
+    out = F.l2_normalize(Tensor(a + 0.1), axis=-1).data
+    norms = np.linalg.norm(out, axis=-1)
+    np.testing.assert_allclose(norms, np.ones(4), atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((3, 4)), st.floats(min_value=0.1, max_value=2.0))
+def test_relu_is_idempotent_and_nonnegative(a, scale):
+    once = F.relu(Tensor(a * scale)).data
+    twice = F.relu(F.relu(Tensor(a * scale))).data
+    np.testing.assert_allclose(once, twice)
+    assert np.all(once >= 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(arrays((2, 2, 4, 4)))
+def test_global_avg_pool_matches_numpy_mean(a):
+    out = F.global_avg_pool2d(Tensor(a)).data
+    np.testing.assert_allclose(out, a.mean(axis=(2, 3)), atol=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=2, max_value=5))
+def test_cosine_similarity_bounded(batch, dim):
+    rng = np.random.default_rng(batch * 10 + dim)
+    a = Tensor(rng.standard_normal((batch, dim)) + 0.01)
+    b = Tensor(rng.standard_normal((batch, dim)) + 0.01)
+    sims = F.cosine_similarity(a, b, axis=-1).data
+    assert np.all(sims <= 1.0 + 1e-5) and np.all(sims >= -1.0 - 1e-5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(arrays((4, 4)))
+def test_gradcheck_holds_for_composite_expression(a):
+    x = Tensor(a, requires_grad=True)
+
+    def fn(x):
+        # Smooth composite expression (abs/relu kinks are excluded on purpose:
+        # the numerical gradient is undefined at those points).
+        return (F.sigmoid(x) * x + (x * x + 0.3).sqrt()).mean()
+
+    assert nn.check_gradients(fn, [x], atol=5e-3)

@@ -1,0 +1,107 @@
+"""Property-based tests of the explicit memory, quantization and FSCIL splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import ExplicitMemory, quantize_prototype
+from repro.data import build_protocol
+from repro.quant import quantize_dequantize, scale_from_threshold, select_threshold
+
+FEATURE_ELEMENTS = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                             allow_infinity=False, width=32)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float32, (5, 16), elements=FEATURE_ELEMENTS))
+def test_em_prototype_is_mean_of_features(features):
+    memory = ExplicitMemory(dim=16)
+    memory.update_class(0, features)
+    np.testing.assert_allclose(memory.prototype(0), features.mean(axis=0),
+                               rtol=1e-4, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float32, (3, 8), elements=FEATURE_ELEMENTS),
+       hnp.arrays(np.float32, (4, 8), elements=FEATURE_ELEMENTS))
+def test_em_incremental_update_equals_batch_update(first, second):
+    incremental = ExplicitMemory(dim=8)
+    incremental.update_class(0, first)
+    incremental.update_class(0, second)
+    batch = ExplicitMemory(dim=8)
+    batch.update_class(0, np.concatenate([first, second]))
+    np.testing.assert_allclose(incremental.prototype(0), batch.prototype(0),
+                               rtol=1e-3, atol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float32, (20,),
+                  elements=st.floats(min_value=-5, max_value=5, width=32,
+                                     allow_nan=False)),
+       st.integers(min_value=2, max_value=8))
+def test_prototype_quantization_respects_bit_range(prototype, bits):
+    quantized = quantize_prototype(prototype, bits=bits)
+    limit = 2 ** (bits - 1)
+    assert np.all(np.abs(quantized) <= limit)
+    assert np.all(quantized == np.round(quantized))
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float32, (64,),
+                  elements=st.floats(min_value=-4, max_value=4, width=32,
+                                     allow_nan=False)),
+       st.integers(min_value=4, max_value=8))
+def test_quantize_dequantize_error_bounded_by_step(values, bits):
+    threshold = max(float(np.max(np.abs(values))), 1e-3)
+    reconstructed = quantize_dequantize(values, threshold, bits)
+    step = scale_from_threshold(threshold, bits)
+    assert np.max(np.abs(values - reconstructed)) <= step / 2 + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float32, (128,),
+                  elements=st.floats(min_value=-2, max_value=2, width=32,
+                                     allow_nan=False)))
+def test_quantization_is_idempotent(values):
+    threshold = select_threshold(values, bits=8)
+    once = quantize_dequantize(values, threshold, 8)
+    twice = quantize_dequantize(once, threshold, 8)
+    # Re-quantizing an already-quantized tensor may only move values that sit
+    # exactly on a rounding boundary of the float32 representation, i.e. by at
+    # most one quantization step.
+    step = scale_from_threshold(threshold, 8)
+    assert np.max(np.abs(once - twice)) <= step + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=10),   # ways
+       st.integers(min_value=1, max_value=8),    # shots
+       st.integers(min_value=1, max_value=6),    # sessions
+       st.integers(min_value=5, max_value=30))   # base classes
+def test_fscil_protocol_invariants(ways, shots, sessions, base_classes):
+    num_classes = base_classes + ways * sessions
+    protocol = build_protocol("test", num_classes=num_classes,
+                              base_classes=base_classes, ways=ways, shots=shots,
+                              num_sessions=sessions)
+    seen = set()
+    for session in range(sessions + 1):
+        classes = set(protocol.session_classes(session).tolist())
+        # Sessions are disjoint and sized correctly.
+        assert not (classes & seen)
+        expected_size = base_classes if session == 0 else ways
+        assert len(classes) == expected_size
+        seen |= classes
+        # seen_classes is the running union.
+        assert set(protocol.seen_classes(session).tolist()) == seen
+    assert seen == set(range(num_classes))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=8, max_value=512),
+       st.sampled_from([1, 2, 3, 4, 8, 16, 32]))
+def test_em_memory_footprint_scales_linearly(num_classes, dim, bits):
+    memory = ExplicitMemory(dim=dim, bits=bits)
+    footprint = memory.memory_bytes(num_classes)
+    assert footprint == pytest.approx(num_classes * dim * bits / 8.0)

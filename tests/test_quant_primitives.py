@@ -1,0 +1,141 @@
+"""Quantization primitives: fake quant, TQT thresholds, observers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.quant import (
+    FakeQuant,
+    MinMaxObserver,
+    MovingAverageObserver,
+    PercentileObserver,
+    TQTQuantizer,
+    fake_quantize,
+    integer_bounds,
+    make_observer,
+    power_of_two_candidates,
+    quantization_error,
+    quantize,
+    quantize_dequantize,
+    scale_from_threshold,
+    select_threshold,
+)
+
+
+class TestFakeQuantPrimitives:
+    def test_integer_bounds(self):
+        assert integer_bounds(8) == (-127, 127)
+        assert integer_bounds(4) == (-7, 7)
+        assert integer_bounds(8, symmetric=False) == (-128, 127)
+
+    def test_bounds_require_two_bits(self):
+        with pytest.raises(ValueError):
+            integer_bounds(1)
+
+    def test_scale_from_threshold(self):
+        assert scale_from_threshold(1.27, 8) == pytest.approx(0.01)
+
+    def test_quantize_clips_to_grid(self):
+        values = np.array([-10.0, 0.004, 10.0])
+        codes = quantize(values, scale=0.01, bits=8)
+        np.testing.assert_allclose(codes, [-127, 0, 127])
+
+    def test_round_trip_error_bounded_by_half_step(self, rng):
+        values = rng.uniform(-1, 1, 1000).astype(np.float32)
+        reconstructed = quantize_dequantize(values, threshold=1.0, bits=8)
+        step = scale_from_threshold(1.0, 8)
+        assert np.max(np.abs(values - reconstructed)) <= step / 2 + 1e-7
+
+    def test_error_decreases_with_more_bits(self, rng):
+        values = rng.standard_normal(2000).astype(np.float32)
+        errors = [quantization_error(values, threshold=4.0, bits=bits)
+                  for bits in (2, 4, 6, 8)]
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+
+    def test_fake_quant_ste_gradient_mask(self, rng):
+        values = Tensor(np.array([-3.0, -0.5, 0.2, 0.9, 5.0]), requires_grad=True)
+        out = fake_quantize(values, threshold=1.0, bits=8)
+        out.sum().backward()
+        np.testing.assert_allclose(values.grad, [0.0, 1.0, 1.0, 1.0, 0.0])
+
+    def test_fake_quant_output_on_grid(self, rng):
+        values = Tensor(rng.uniform(-1, 1, 100).astype(np.float32))
+        out = fake_quantize(values, threshold=1.0, bits=4)
+        scale = scale_from_threshold(1.0, 4)
+        codes = out.data / scale
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-5)
+
+
+class TestThresholdSelection:
+    def test_power_of_two_candidates_bracket_max(self):
+        candidates = power_of_two_candidates(3.0)
+        assert any(c >= 3.0 for c in candidates)
+        assert any(c < 3.0 for c in candidates)
+        assert all(np.isclose(np.log2(c) % 1, 0) for c in candidates)
+
+    def test_maxabs_method_power_of_two(self, rng):
+        values = rng.uniform(-3, 3, 100)
+        threshold = select_threshold(values, method="maxabs")
+        assert threshold >= np.abs(values).max()
+        assert np.isclose(np.log2(threshold) % 1, 0)
+
+    def test_mse_method_at_least_as_good_as_maxabs(self, rng):
+        values = rng.standard_normal(5000).astype(np.float32)
+        mse_threshold = select_threshold(values, bits=8, method="mse")
+        maxabs_threshold = select_threshold(values, bits=8, method="maxabs")
+        assert quantization_error(values, mse_threshold, 8) <= \
+            quantization_error(values, maxabs_threshold, 8) + 1e-9
+
+    def test_unknown_method_raises(self, rng):
+        with pytest.raises(ValueError):
+            select_threshold(rng.standard_normal(10), method="magic")
+
+    def test_tqt_quantizer_lifecycle(self, rng):
+        quantizer = TQTQuantizer(bits=8)
+        assert not quantizer.calibrated
+        with pytest.raises(RuntimeError):
+            quantizer(np.ones(4))
+        quantizer.calibrate(rng.standard_normal(1000))
+        assert quantizer.calibrated
+        out = quantizer(rng.standard_normal(100))
+        assert out.dtype == np.float32
+        codes = quantizer.to_integers(rng.standard_normal(100))
+        assert np.all(np.abs(codes) <= 127)
+
+    def test_tqt_power_of_two_threshold(self, rng):
+        quantizer = TQTQuantizer(bits=8).calibrate(rng.standard_normal(500))
+        assert np.isclose(np.log2(quantizer.threshold) % 1, 0)
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([1.0, 2.0]))
+        observer.observe(np.array([-5.0, 0.5]))
+        value_range = observer.range()
+        assert value_range.min_value == -5.0 and value_range.max_value == 2.0
+        assert value_range.max_abs == 5.0
+
+    def test_uncalibrated_observer_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().range()
+
+    def test_moving_average_smooths(self):
+        observer = MovingAverageObserver(momentum=0.5)
+        observer.observe(np.array([0.0, 4.0]))
+        observer.observe(np.array([0.0, 0.0]))
+        assert 0.0 < observer.range().max_value < 4.0
+
+    def test_percentile_ignores_outliers(self, rng):
+        observer = PercentileObserver(percentile=95)
+        data = rng.standard_normal(4000).astype(np.float32)
+        data[0] = 1000.0
+        observer.observe(data)
+        assert observer.range().max_abs < 100.0
+
+    def test_make_observer_factory(self):
+        assert isinstance(make_observer("minmax"), MinMaxObserver)
+        assert isinstance(make_observer("moving_average"), MovingAverageObserver)
+        assert isinstance(make_observer("percentile"), PercentileObserver)
+        with pytest.raises(ValueError):
+            make_observer("unknown")

@@ -1,0 +1,72 @@
+"""Reporting helpers: tables and experiment records."""
+
+import numpy as np
+import pytest
+
+from repro.report import (
+    ExperimentRecord,
+    dict_rows_to_table,
+    format_table,
+    load_records,
+    relative_error,
+    save_records,
+)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.23456], ["bbb", 2.0]])
+        lines = table.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.235" in table   # default precision 3
+
+    def test_format_table_with_title(self):
+        table = format_table(["x"], [[1]], title="My title")
+        assert table.splitlines()[0] == "My title"
+
+    def test_dict_rows_to_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        table = dict_rows_to_table(rows)
+        assert "a" in table and "4.500" in table
+
+    def test_dict_rows_column_selection(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        table = dict_rows_to_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_empty_rows(self):
+        assert "(empty table)" in dict_rows_to_table([])
+
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(90.0, 100.0) == pytest.approx(-0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == np.inf
+
+
+class TestRecords:
+    def test_json_roundtrip(self, tmp_path):
+        record = ExperimentRecord(
+            experiment_id="table4", description="energy", workload="5-shot",
+            measured={"energy_mj": 11.2}, paper={"energy_mj": 11.35},
+            notes="within 2%")
+        restored = ExperimentRecord.from_json(record.to_json())
+        assert restored.experiment_id == "table4"
+        assert restored.measured["energy_mj"] == pytest.approx(11.2)
+
+    def test_numpy_values_serialize(self):
+        record = ExperimentRecord(
+            experiment_id="fig3", description="", workload="",
+            measured={"acc": np.float32(0.5), "curve": np.array([1.0, 2.0])})
+        text = record.to_json()
+        assert "0.5" in text
+
+    def test_save_and_load_records(self, tmp_path):
+        records = [ExperimentRecord(experiment_id=f"exp{i}", description="d",
+                                    workload="w", measured={"x": i})
+                   for i in range(3)]
+        path = save_records(records, tmp_path / "out" / "records.json")
+        assert path.exists()
+        loaded = load_records(path)
+        assert len(loaded) == 3
+        assert loaded[1].measured["x"] == 1

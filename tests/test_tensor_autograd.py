@@ -1,0 +1,210 @@
+"""Tests of the Tensor class and the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor, concatenate, no_grad, ones, randn, stack, tensor, zeros
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float32 or np.issubdtype(t.dtype, np.floating)
+
+    def test_integer_input_is_cast_to_float(self):
+        t = Tensor(np.arange(6).reshape(2, 3))
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros((2, 2), dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 3)" in repr(Tensor(np.zeros((2, 3))))
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(2.5)).item() == pytest.approx(2.5)
+
+    def test_len_and_size(self):
+        t = zeros((4, 5))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_factory_functions(self):
+        assert zeros((2, 2)).data.sum() == 0
+        assert ones((2, 2)).data.sum() == 4
+        r = randn(3, 4, rng=np.random.default_rng(0))
+        assert r.shape == (3, 4)
+
+    def test_astype_returns_new_dtype(self):
+        t = ones((2,))
+        assert t.astype(np.float64).dtype == np.float64
+
+
+class TestArithmeticForward:
+    def test_add_sub_mul_div(self):
+        a = Tensor([1.0, 2.0, 3.0])
+        b = Tensor([4.0, 5.0, 6.0])
+        np.testing.assert_allclose((a + b).data, [5, 7, 9])
+        np.testing.assert_allclose((a - b).data, [-3, -3, -3])
+        np.testing.assert_allclose((a * b).data, [4, 10, 18])
+        np.testing.assert_allclose((a / b).data, [0.25, 0.4, 0.5])
+
+    def test_scalar_operands(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1).data, [2, 3])
+        np.testing.assert_allclose((1 + a).data, [2, 3])
+        np.testing.assert_allclose((2 * a).data, [2, 4])
+        np.testing.assert_allclose((a - 1).data, [0, 1])
+        np.testing.assert_allclose((3 - a).data, [2, 1])
+        np.testing.assert_allclose((a / 2).data, [0.5, 1.0])
+        np.testing.assert_allclose((2 / a).data, [2.0, 1.0])
+
+    def test_neg_pow(self):
+        a = Tensor([1.0, -2.0])
+        np.testing.assert_allclose((-a).data, [-1, 2])
+        np.testing.assert_allclose((a ** 2).data, [1, 4])
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_reductions(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert (a.sum()).data == pytest.approx(15.0)
+        np.testing.assert_allclose(a.sum(axis=0).data, [3, 5, 7])
+        np.testing.assert_allclose(a.mean(axis=1).data, [1, 4])
+        np.testing.assert_allclose(a.max(axis=1).data, [2, 5])
+
+    def test_reshape_transpose_flatten(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert a.reshape(3, 2).shape == (3, 2)
+        assert a.T.shape == (3, 2)
+        assert a.reshape((6,)).shape == (6,)
+        assert Tensor(np.zeros((2, 3, 4))).flatten(1).shape == (2, 12)
+
+    def test_elementwise_math(self):
+        a = Tensor([0.25, 1.0])
+        np.testing.assert_allclose(a.sqrt().data, [0.5, 1.0])
+        np.testing.assert_allclose(a.exp().data, np.exp(a.data), rtol=1e-6)
+        np.testing.assert_allclose(a.log().data, np.log(a.data), rtol=1e-6)
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).abs().data, [1, 2])
+        np.testing.assert_allclose(Tensor([-1.0, 7.0]).clip(0, 6).data, [0, 6])
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).relu().data, [0, 2])
+
+    def test_getitem(self):
+        a = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        np.testing.assert_allclose(a[1].data, [4, 5, 6, 7])
+        np.testing.assert_allclose(a[:, 2].data, [2, 6, 10])
+
+    def test_stack_and_concatenate(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert stack([a, b]).shape == (2, 2)
+        assert concatenate([a, b]).shape == (4,)
+
+    def test_comparisons_return_arrays(self):
+        a = Tensor([1.0, 2.0, 3.0])
+        assert (a > 1.5).tolist() == [False, True, True]
+        assert (a <= 2.0).tolist() == [True, True, False]
+
+
+class TestAutograd:
+    def test_simple_backward(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [4.0, 6.0])
+
+    def test_chain_rule(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = ((x * 3.0 + 1.0) ** 2).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2 * (3 * 1 + 1) * 3])
+
+    def test_broadcast_backward(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        ((x + b) * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((3,), 4.0))
+
+    def test_grad_accumulates_over_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_reused_node_accumulates_once_per_path(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = x * 2.0
+        z = (y + y).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 2.0))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_no_grad_restores_state(self):
+        assert nn.is_grad_enabled()
+        with no_grad():
+            assert not nn.is_grad_enabled()
+            with nn.enable_grad():
+                assert nn.is_grad_enabled()
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_getitem_backward_scatter(self):
+        x = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+        (x[0] * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [[2, 2, 2], [0, 0, 0]])
+
+    def test_max_backward_splits_ties(self):
+        x = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5])
+
+    def test_matmul_backward_shapes(self):
+        a = Tensor(np.random.default_rng(0).standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).standard_normal((4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4, 5)
+
+    def test_transpose_backward(self):
+        a = Tensor(np.random.default_rng(0).standard_normal((2, 3, 4)),
+                   requires_grad=True)
+        a.transpose(2, 0, 1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3, 4)))

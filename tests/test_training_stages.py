@@ -1,0 +1,223 @@
+"""Pretraining, metalearning and on-device FCR fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FinetuneConfig,
+    MetalearnConfig,
+    OFSCIL,
+    OFSCILConfig,
+    PretrainConfig,
+    evaluate_classifier,
+    finetune_fcr,
+    metalearn,
+    pretrain,
+)
+
+BACKBONE = "mobilenetv2_x4_tiny"
+
+
+def build_model(seed=0):
+    return OFSCIL.from_registry(BACKBONE, OFSCILConfig(backbone=BACKBONE), seed=seed)
+
+
+class TestPretrain:
+    @pytest.fixture(scope="class")
+    def pretrained(self, tiny_benchmark):
+        model = build_model(seed=11)
+        result = pretrain(model.backbone, model.fcr, tiny_benchmark.base_train,
+                          num_classes=tiny_benchmark.protocol.base_classes,
+                          config=PretrainConfig(epochs=5, batch_size=32,
+                                                learning_rate=0.1, seed=0))
+        return model, result
+
+    def test_history_has_one_entry_per_epoch(self, pretrained):
+        _, result = pretrained
+        assert len(result.history) == 5
+        assert {"epoch", "loss", "accuracy", "lr"} <= set(result.history[0])
+
+    def test_loss_decreases(self, pretrained):
+        _, result = pretrained
+        assert result.history[-1]["loss"] < result.history[0]["loss"]
+
+    def test_training_accuracy_improves_over_chance(self, pretrained, tiny_benchmark):
+        _, result = pretrained
+        chance = 1.0 / tiny_benchmark.protocol.base_classes
+        assert result.final_accuracy > chance
+
+    def test_classifier_returned_and_evaluable(self, pretrained, tiny_benchmark):
+        model, result = pretrained
+        assert result.classifier is not None
+        accuracy = evaluate_classifier(model.backbone, model.fcr, result.classifier,
+                                       tiny_benchmark.test_upto(0))
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_modules_left_in_eval_mode(self, pretrained):
+        model, _ = pretrained
+        assert not model.backbone.training
+        assert not model.fcr.training
+
+    def test_reusing_classifier(self, tiny_benchmark):
+        model = build_model(seed=12)
+        config = PretrainConfig(epochs=1, batch_size=32, seed=0)
+        first = pretrain(model.backbone, model.fcr, tiny_benchmark.base_train,
+                         tiny_benchmark.protocol.base_classes, config)
+        second = pretrain(model.backbone, model.fcr, tiny_benchmark.base_train,
+                          tiny_benchmark.protocol.base_classes, config,
+                          classifier=first.classifier)
+        assert second.classifier is first.classifier
+
+    def test_ablation_flags_change_behaviour(self, tiny_benchmark):
+        """Disabling augmentation/orthogonality must not crash and should give
+        a different training trajectory."""
+        model_a, model_b = build_model(seed=13), build_model(seed=13)
+        base = dict(epochs=1, batch_size=32, seed=0)
+        result_a = pretrain(model_a.backbone, model_a.fcr, tiny_benchmark.base_train,
+                            tiny_benchmark.protocol.base_classes,
+                            PretrainConfig(**base))
+        result_b = pretrain(model_b.backbone, model_b.fcr, tiny_benchmark.base_train,
+                            tiny_benchmark.protocol.base_classes,
+                            PretrainConfig(use_augmentation=False,
+                                           use_feature_interpolation=False,
+                                           ortho_weight=0.0, **base))
+        assert result_a.final_loss != pytest.approx(result_b.final_loss, rel=1e-6)
+
+
+class TestMetalearn:
+    @pytest.fixture(scope="class")
+    def metalearned(self, tiny_benchmark):
+        model = build_model(seed=21)
+        pretrain(model.backbone, model.fcr, tiny_benchmark.base_train,
+                 tiny_benchmark.protocol.base_classes,
+                 PretrainConfig(epochs=3, batch_size=32, learning_rate=0.1,
+                                use_feature_interpolation=False, seed=0))
+        result = metalearn(model.backbone, model.fcr, tiny_benchmark.base_train,
+                           MetalearnConfig(iterations=6, meta_shots=3,
+                                           queries_per_class=2, seed=0))
+        return model, result
+
+    def test_history_length(self, metalearned):
+        _, result = metalearned
+        assert len(result.history) == 6
+
+    def test_losses_are_finite_and_nonnegative(self, metalearned):
+        _, result = metalearned
+        losses = [entry["loss"] for entry in result.history]
+        assert all(np.isfinite(losses)) and all(loss >= 0 for loss in losses)
+
+    def test_episode_uses_all_base_classes_by_default(self, metalearned, tiny_benchmark):
+        _, result = metalearned
+        assert result.history[0]["episode_classes"] == tiny_benchmark.protocol.base_classes
+
+    def test_classes_per_episode_subsampling(self, tiny_benchmark):
+        model = build_model(seed=22)
+        result = metalearn(model.backbone, model.fcr, tiny_benchmark.base_train,
+                           MetalearnConfig(iterations=2, meta_shots=2,
+                                           queries_per_class=1,
+                                           classes_per_episode=4, seed=0))
+        assert result.history[0]["episode_classes"] == 4
+
+    def test_cross_entropy_variant_runs(self, tiny_benchmark):
+        model = build_model(seed=23)
+        result = metalearn(model.backbone, model.fcr, tiny_benchmark.base_train,
+                           MetalearnConfig(iterations=2, meta_shots=2,
+                                           queries_per_class=1,
+                                           loss="cross_entropy", seed=0))
+        assert len(result.history) == 2
+
+    def test_unknown_loss_raises(self, tiny_benchmark):
+        model = build_model(seed=24)
+        with pytest.raises(ValueError):
+            metalearn(model.backbone, model.fcr, tiny_benchmark.base_train,
+                      MetalearnConfig(iterations=1, loss="hinge"))
+
+    def test_metalearning_updates_parameters(self, tiny_benchmark):
+        model = build_model(seed=25)
+        before = model.fcr.linear.weight.data.copy()
+        metalearn(model.backbone, model.fcr, tiny_benchmark.base_train,
+                  MetalearnConfig(iterations=2, meta_shots=2, queries_per_class=1,
+                                  learning_rate=0.05, seed=0))
+        assert not np.allclose(before, model.fcr.linear.weight.data)
+
+
+class TestFinetune:
+    @pytest.fixture()
+    def model_with_classes(self, tiny_benchmark):
+        model = build_model(seed=31)
+        model.learn_base_session(tiny_benchmark.base_train, max_per_class=5)
+        return model
+
+    def test_requires_learned_classes(self):
+        model = build_model(seed=32)
+        with pytest.raises(RuntimeError):
+            finetune_fcr(model, FinetuneConfig(iterations=1))
+
+    def test_history_and_loss_decrease(self, model_with_classes):
+        result = finetune_fcr(model_with_classes,
+                              FinetuneConfig(iterations=30, learning_rate=0.05,
+                                             sub_batch_size=4, seed=0))
+        assert len(result.history) == 30
+        first = np.mean([h["loss"] for h in result.history[:5]])
+        last = np.mean([h["loss"] for h in result.history[-5:]])
+        assert last < first
+
+    def test_prototypes_recomputed_with_updated_fcr(self, model_with_classes):
+        class_id = model_with_classes.memory.class_ids[0]
+        before = model_with_classes.memory.prototype(class_id).copy()
+        finetune_fcr(model_with_classes,
+                     FinetuneConfig(iterations=20, learning_rate=0.05, seed=0))
+        after = model_with_classes.memory.prototype(class_id)
+        assert not np.allclose(before, after)
+
+    def test_bipolar_prototype_update_mode(self, model_with_classes):
+        finetune_fcr(model_with_classes,
+                     FinetuneConfig(iterations=5, update_prototypes="bipolar", seed=0))
+        prototype = model_with_classes.memory.prototype(
+            model_with_classes.memory.class_ids[0])
+        assert set(np.unique(prototype)) <= {-1.0, 1.0}
+
+    def test_none_update_mode_keeps_prototypes(self, model_with_classes):
+        class_id = model_with_classes.memory.class_ids[0]
+        before = model_with_classes.memory.prototype(class_id).copy()
+        finetune_fcr(model_with_classes,
+                     FinetuneConfig(iterations=5, update_prototypes="none", seed=0))
+        np.testing.assert_array_equal(before, model_with_classes.memory.prototype(class_id))
+
+    def test_mse_loss_variant(self, model_with_classes):
+        result = finetune_fcr(model_with_classes,
+                              FinetuneConfig(iterations=5, loss="mse", seed=0))
+        assert np.isfinite(result.final_loss)
+
+    def test_invalid_options_raise(self, model_with_classes):
+        with pytest.raises(ValueError):
+            finetune_fcr(model_with_classes, FinetuneConfig(iterations=1, loss="bad"))
+        with pytest.raises(ValueError):
+            finetune_fcr(model_with_classes,
+                         FinetuneConfig(iterations=1, update_prototypes="bad"))
+
+    def test_backbone_untouched_by_finetune(self, model_with_classes):
+        before = {name: p.data.copy()
+                  for name, p in model_with_classes.backbone.named_parameters()}
+        finetune_fcr(model_with_classes, FinetuneConfig(iterations=5, seed=0))
+        for name, param in model_with_classes.backbone.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_improves_alignment_with_bipolar_targets(self, model_with_classes):
+        from repro.core.explicit_memory import bipolarize
+        class_ids = sorted(model_with_classes.activation_memory)
+        activations = np.stack([model_with_classes.activation_memory[c]
+                                for c in class_ids])
+        targets = bipolarize(model_with_classes.memory.prototype_matrix(class_ids)[0])
+
+        def mean_cosine():
+            projected = model_with_classes.project(activations)
+            num = (projected * targets).sum(axis=1)
+            den = np.linalg.norm(projected, axis=1) * np.linalg.norm(targets, axis=1)
+            return float((num / den).mean())
+
+        before = mean_cosine()
+        finetune_fcr(model_with_classes,
+                     FinetuneConfig(iterations=60, learning_rate=0.05,
+                                    update_prototypes="none", seed=0))
+        assert mean_cosine() > before
