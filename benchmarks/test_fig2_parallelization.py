@@ -9,6 +9,10 @@ import pytest
 from repro.hw import FIG2_CORE_COUNTS, GAP9Profiler
 from repro.report import format_table
 
+# Full-scale benchmark reproduction: minutes of training; excluded from
+# the default (fast) suite by the `slow` marker — run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def profiler():

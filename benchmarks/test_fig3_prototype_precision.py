@@ -6,10 +6,13 @@ accumulators) and measures session-0 and final-session accuracy, together
 with the EM storage footprint for 100 classes at the paper's d_p = 256.
 """
 
-import numpy as np
 import pytest
 
 from repro.quant import FIG3_BIT_WIDTHS, format_precision_table, prototype_precision_sweep
+
+# Full-scale benchmark reproduction: minutes of training; excluded from
+# the default (fast) suite by the `slow` marker — run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

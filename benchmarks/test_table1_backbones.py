@@ -9,6 +9,10 @@ import pytest
 from repro.models import table1_rows
 from repro.report import format_table, relative_error
 
+# Full-scale benchmark reproduction: minutes of training; excluded from
+# the default (fast) suite by the `slow` marker — run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
+
 
 def compute_table1():
     return table1_rows()

@@ -15,7 +15,6 @@ variant is at least as good as the x1 variant.
 
 import copy
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -26,6 +25,10 @@ from repro.core import (
     raw_pixel_ncm,
 )
 from repro.quant import QuantizationConfig, quantize_ofscil_model
+
+# Full-scale benchmark reproduction: minutes of training; excluded from
+# the default (fast) suite by the `slow` marker — run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 BACKBONES = {
     "mobilenetv2_tiny": "MobileNetV2 (x1 strides)",

@@ -21,6 +21,10 @@ from repro.core import (
 )
 from repro.data import build_synthetic_fscil
 
+# Full-scale benchmark reproduction: minutes of training; excluded from
+# the default (fast) suite by the `slow` marker — run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
+
 ABLATION_EPOCHS = int(os.environ.get("REPRO_BENCH_ABLATION_EPOCHS", "12"))
 
 

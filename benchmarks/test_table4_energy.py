@@ -10,6 +10,10 @@ import pytest
 from repro.hw import GAP9Profiler, PAPER_TABLE4_REFERENCE, format_table4
 from repro.report import relative_error
 
+# Full-scale benchmark reproduction: minutes of training; excluded from
+# the default (fast) suite by the `slow` marker — run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def profiler():
@@ -37,6 +41,20 @@ def test_table4_headline_12mj_per_class(profiler):
     print(f"\nEM update on MobileNetV2: {report.energy_mj:.2f} mJ per class "
           f"({report.time_ms:.1f} ms @ {report.power_mw:.1f} mW) — paper: 11.35 mJ")
     assert 8.0 < report.energy_mj < 16.0
+
+
+def test_batched_inference_amortizes_overheads(profiler):
+    """Micro-batching (the repro.runtime deployment mode) must never cost
+    more per sample than batch-1 inference, and the memory-bound MobileNetV2
+    variants should see a tangible win from amortized weight streaming."""
+    for backbone in ("mobilenetv2", "mobilenetv2_x2", "mobilenetv2_x4"):
+        speedups = [profiler.batched_speedup(backbone, batch)
+                    for batch in (2, 4, 8)]
+        print(f"\n{backbone}: per-sample speedup at batch 2/4/8 = "
+              + "/".join(f"{s:.2f}x" for s in speedups))
+        assert all(s >= 1.0 for s in speedups)
+        assert speedups == sorted(speedups)
+    assert profiler.batched_speedup("mobilenetv2", 8) > 1.2
 
 
 def test_table4_finetuning_cost_ratio(profiler):

@@ -64,6 +64,8 @@ def main() -> None:
     metalearn(model.backbone, model.fcr, benchmark.base_train,
               MetalearnConfig(iterations=args.metalearn_iters, meta_shots=5,
                               queries_per_class=2, seed=args.seed))
+    # The sweep embeds every test image once through the batched runtime and
+    # then requantizes only the stored prototypes per precision level.
     sweep = prototype_precision_sweep(model, benchmark)
     print(format_precision_table(sweep))
     print("\nAccuracy stays close to the float reference down to a few bits per "

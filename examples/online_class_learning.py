@@ -18,8 +18,6 @@ Run:  python examples/online_class_learning.py [--shots 5] [--finetune]
 
 import argparse
 
-import numpy as np
-
 from repro.core import (
     FinetuneConfig,
     MetalearnConfig,
@@ -31,13 +29,12 @@ from repro.core import (
     pretrain,
 )
 from repro.data import build_synthetic_fscil
+from repro.runtime import assert_parity
 
 
-def accuracy_on(model, dataset, class_ids=None) -> float:
-    if len(dataset) == 0:
-        return float("nan")
-    predictions = model.predict(dataset.images, class_ids)
-    return float((predictions == dataset.labels).mean())
+def accuracy_on(predictor, dataset, class_ids=None) -> float:
+    """Batched nearest-prototype accuracy through the inference runtime."""
+    return predictor.accuracy(dataset, class_ids)
 
 
 def main() -> None:
@@ -67,8 +64,16 @@ def main() -> None:
     print("=== Deployment: freeze the feature extractor, learn base prototypes ===")
     model.freeze_feature_extractor()
     model.learn_base_session(benchmark.base_train)
+
+    # Deploy-time inference goes through the batched runtime: the backbone is
+    # compiled into a flat fused-op plan and the prototype matrix is cached.
+    predictor = model.runtime_predictor()
+    parity = assert_parity(model, benchmark.test.images[:32],
+                           predictor=predictor)
+    print(f"runtime self-check: {parity.summary()}")
+
     base_test = benchmark.test_upto(0)
-    print(f"base-session accuracy: {100 * accuracy_on(model, base_test):.1f}% "
+    print(f"base-session accuracy: {100 * accuracy_on(predictor, base_test):.1f}% "
           f"over {benchmark.protocol.base_classes} classes")
 
     print(f"\n=== Online learning: one class at a time, {args.shots} shots each ===")
@@ -81,8 +86,8 @@ def main() -> None:
 
             new_class_test = benchmark.test.filter_classes([class_id])
             old_test = benchmark.test.filter_classes(seen_classes[:-1])
-            new_accuracy = accuracy_on(model, new_class_test)
-            old_accuracy = accuracy_on(model, old_test)
+            new_accuracy = accuracy_on(predictor, new_class_test)
+            old_accuracy = accuracy_on(predictor, old_test)
             print(f"  learned class {class_id:3d} "
                   f"(memory: {model.memory.num_classes:3d} prototypes, "
                   f"{model.memory_footprint_bytes() / 1e3:6.1f} kB) | "
@@ -91,14 +96,14 @@ def main() -> None:
 
     final_test = benchmark.test_upto(benchmark.num_sessions)
     print(f"\nfinal accuracy over all {len(seen_classes)} classes: "
-          f"{100 * accuracy_on(model, final_test):.1f}%")
+          f"{100 * accuracy_on(predictor, final_test):.1f}%")
 
     if args.finetune:
         print("\n=== Optional on-device FCR fine-tuning (Section V-B) ===")
-        before = accuracy_on(model, final_test)
+        before = accuracy_on(predictor, final_test)
         finetune_fcr(model, FinetuneConfig(iterations=50, learning_rate=0.02,
                                            seed=args.seed))
-        after = accuracy_on(model, final_test)
+        after = accuracy_on(predictor, final_test)
         print(f"accuracy before {100 * before:.1f}% -> after fine-tuning "
               f"{100 * after:.1f}%")
 

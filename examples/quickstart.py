@@ -79,6 +79,22 @@ def main() -> None:
     print("Learning one more (hypothetical) class would require a single forward "
           "pass over its few shots — no gradient computation on device.")
 
+    # Deploy-time serving numbers: the batched inference runtime vs the
+    # eager per-sample autograd path.
+    predictor = model.runtime_predictor()
+    images = benchmark.test.images
+    start = time.time()
+    predictor.predict(images)
+    batched_rate = len(images) / (time.time() - start)
+    probe = images[: min(16, len(images))]
+    start = time.time()
+    for sample in probe:
+        model.predict(sample[None], use_runtime=False)
+    eager_rate = len(probe) / (time.time() - start)
+    print(f"\nBatched runtime serves {batched_rate:.0f} samples/s "
+          f"(eager per-sample path: {eager_rate:.0f} samples/s, "
+          f"{batched_rate / eager_rate:.1f}x speedup).")
+
 
 if __name__ == "__main__":
     main()

@@ -9,10 +9,13 @@ Top-level subpackages:
 * :mod:`repro.core` — the paper's contribution: explicit memory, O-FSCIL
   model, pretraining, metalearning, fine-tuning, evaluation, baselines.
 * :mod:`repro.quant` — TQT-style int8 quantization and prototype precision.
+* :mod:`repro.runtime` — batched inference runtime (compiled op plans with
+  fused kernels; the deploy-time fast path used by all evaluation).
 * :mod:`repro.hw` — GAP9 MCU simulator (memory, cycles, power, profiler).
 * :mod:`repro.report` — experiment records and table formatting.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["nn", "models", "data", "core", "quant", "hw", "report", "__version__"]
+__all__ = ["nn", "models", "data", "core", "quant", "runtime", "hw", "report",
+           "__version__"]

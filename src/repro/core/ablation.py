@@ -14,7 +14,7 @@ session-8 (final) accuracy and the session average.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..data.fscil_split import FSCILBenchmark

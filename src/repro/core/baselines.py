@@ -17,7 +17,6 @@ benchmark harness can produce a comparison table with the same structure:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
@@ -25,7 +24,7 @@ import numpy as np
 from .. import nn
 from ..data.dataset import ArrayDataset
 from ..data.fscil_split import FSCILBenchmark
-from ..models.heads import CosineClassifier, FullyConnectedReductor, simplex_etf
+from ..models.heads import CosineClassifier, simplex_etf
 from ..models.registry import get_config
 from ..nn import losses
 from ..nn.optim import SGD

@@ -62,8 +62,8 @@ def evaluate_fscil(model: OFSCIL, benchmark: FSCILBenchmark,
                    method: str = "O-FSCIL", backbone: str = "",
                    base_max_per_class: Optional[int] = None,
                    finetune_config: Optional[FinetuneConfig] = None,
-                   session_callback: Optional[Callable[[int, float], None]] = None
-                   ) -> FSCILResult:
+                   session_callback: Optional[Callable[[int, float], None]] = None,
+                   use_runtime: Optional[bool] = None) -> FSCILResult:
     """Run the complete FSCIL protocol with an (already trained) O-FSCIL model.
 
     The model's EM is reset, base-class prototypes are learned from the base
@@ -82,17 +82,23 @@ def evaluate_fscil(model: OFSCIL, benchmark: FSCILBenchmark,
             (Section V-B) is run after every session before evaluation — this
             is the "+ FT" configuration of Table II and mutates the FCR.
         session_callback: optional hook called with (session, accuracy).
+        use_runtime: route evaluation through the batched inference runtime
+            (:mod:`repro.runtime`); defaults to the model's configuration.
     """
     model.memory.reset()
     model.activation_memory.clear()
     model.freeze_feature_extractor()
+
+    runtime_on = model.config.use_runtime if use_runtime is None else use_runtime
+    predictor = model.runtime_predictor() if runtime_on else None
 
     result = FSCILResult(method=method, backbone=backbone or model.config.backbone)
 
     # The backbone is frozen for the whole protocol, so its test-set features
     # can be extracted once; only the (cheap) FCR projection is re-applied per
     # session, which also stays correct when fine-tuning modifies the FCR.
-    test_theta_a = model.extract_backbone_features(benchmark.test.images)
+    test_theta_a = model.extract_backbone_features(benchmark.test.images,
+                                                   use_runtime=runtime_on)
     test_labels = benchmark.test.labels
 
     def evaluate_session(session_index: int) -> float:
@@ -100,8 +106,14 @@ def evaluate_fscil(model: OFSCIL, benchmark: FSCILBenchmark,
         mask = np.isin(test_labels, seen)
         if not mask.any():
             return float("nan")
-        theta_p = model.project(test_theta_a[mask])
-        predictions = model.memory.predict(theta_p)
+        if predictor is not None:
+            # Whole-session batched path: one projection GEMM plus one
+            # similarity GEMM against the cached prototype matrix.
+            theta_p = predictor.project(test_theta_a[mask])
+            predictions = predictor.predict_features(theta_p)
+        else:
+            theta_p = model.project(test_theta_a[mask], use_runtime=False)
+            predictions = model.memory.predict(theta_p)
         return float((predictions == test_labels[mask]).mean())
 
     model.learn_base_session(benchmark.base_train, max_per_class=base_max_per_class)
@@ -125,6 +137,7 @@ def evaluate_fscil(model: OFSCIL, benchmark: FSCILBenchmark,
     result.metadata["num_classes_final"] = int(model.memory.num_classes)
     result.metadata["prototype_bits"] = int(model.memory.bits)
     result.metadata["finetuned"] = finetune_config is not None
+    result.metadata["runtime"] = bool(runtime_on)
     return result
 
 

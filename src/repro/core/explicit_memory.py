@@ -79,6 +79,17 @@ class ExplicitMemory:
     _prototypes: Dict[int, np.ndarray] = field(default_factory=dict)
     _counts: Dict[int, int] = field(default_factory=dict)
     _float_prototypes: Dict[int, np.ndarray] = field(default_factory=dict)
+    _version: int = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation.
+
+        Consumers that cache derived state (e.g. the batched predictor's
+        normalised prototype matrix) compare versions instead of hashing the
+        prototype contents.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Prototype management
@@ -117,6 +128,7 @@ class ExplicitMemory:
         stored = mean if self.bits >= 32 else quantize_prototype(
             mean, self.bits, self.accumulator_bits)
         self._prototypes[class_id] = stored.astype(np.float32)
+        self._version += 1
         return self._prototypes[class_id]
 
     def set_prototype(self, class_id: int, prototype: np.ndarray) -> None:
@@ -129,16 +141,19 @@ class ExplicitMemory:
             prototype, self.bits, self.accumulator_bits)
         self._prototypes[class_id] = stored
         self._counts.setdefault(class_id, 1)
+        self._version += 1
 
     def remove_class(self, class_id: int) -> None:
         self._prototypes.pop(class_id, None)
         self._counts.pop(class_id, None)
         self._float_prototypes.pop(class_id, None)
+        self._version += 1
 
     def reset(self) -> None:
         self._prototypes.clear()
         self._counts.clear()
         self._float_prototypes.clear()
+        self._version += 1
 
     def requantize(self, bits: int) -> "ExplicitMemory":
         """Return a copy of the memory with prototypes stored at ``bits``."""

@@ -10,7 +10,7 @@ into a prototype that is appended to the EM.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,10 @@ class OFSCILConfig:
     prototype_bits: int = 32
     feature_batch_size: int = 64
     relu_sharpening: bool = True
+    #: route inference (feature extraction, projection, prediction) through
+    #: the batched runtime (:mod:`repro.runtime`) instead of the per-batch
+    #: autograd modules; training always uses the autograd path.
+    use_runtime: bool = True
     seed: int = 0
 
 
@@ -53,6 +57,26 @@ class OFSCIL(nn.Module):
         # Average backbone activations per class, kept for optional on-device
         # FCR fine-tuning (Section V-B "activation memory").
         self.activation_memory: Dict[int, np.ndarray] = {}
+        self._predictor = None
+
+    # ------------------------------------------------------------------
+    # Batched inference runtime
+    # ------------------------------------------------------------------
+    def runtime_predictor(self):
+        """The model's cached :class:`~repro.runtime.BatchedPredictor`.
+
+        Compiled lazily on first use; the predictor recompiles itself when
+        backbone weights are rebound (training, quantization) and refreshes
+        its prototype cache through the memory's version counter.
+        """
+        if self._predictor is None:
+            from ..runtime import BatchedPredictor
+            self._predictor = BatchedPredictor(
+                self, micro_batch=self.config.feature_batch_size)
+        return self._predictor
+
+    def _runtime_enabled(self, use_runtime: Optional[bool]) -> bool:
+        return self.config.use_runtime if use_runtime is None else use_runtime
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -78,8 +102,17 @@ class OFSCIL(nn.Module):
     def feature_dim(self) -> int:
         return self.fcr.in_features
 
-    def extract_backbone_features(self, images: np.ndarray) -> np.ndarray:
-        """Compute ``theta_a`` for a batch of images (no gradients)."""
+    def extract_backbone_features(self, images: np.ndarray,
+                                  use_runtime: Optional[bool] = None
+                                  ) -> np.ndarray:
+        """Compute ``theta_a`` for a batch of images (no gradients).
+
+        Goes through the compiled batched runtime unless disabled via
+        ``use_runtime`` (or ``config.use_runtime``); the eager fallback runs
+        the autograd modules under ``no_grad``.
+        """
+        if self._runtime_enabled(use_runtime):
+            return self.runtime_predictor().extract_backbone_features(images)
         images = np.asarray(images, dtype=np.float32)
         outputs: List[np.ndarray] = []
         batch = self.config.feature_batch_size
@@ -90,15 +123,21 @@ class OFSCIL(nn.Module):
                 outputs.append(self.backbone(chunk).data)
         return np.concatenate(outputs, axis=0)
 
-    def project(self, theta_a: np.ndarray) -> np.ndarray:
+    def project(self, theta_a: np.ndarray,
+                use_runtime: Optional[bool] = None) -> np.ndarray:
         """Map backbone features ``theta_a`` to prototypical features ``theta_p``."""
+        if self._runtime_enabled(use_runtime):
+            return self.runtime_predictor().project(theta_a)
         self.fcr.eval()
         with nn.no_grad():
             return self.fcr(Tensor(np.asarray(theta_a, dtype=np.float32))).data
 
-    def embed(self, images: np.ndarray) -> np.ndarray:
+    def embed(self, images: np.ndarray,
+              use_runtime: Optional[bool] = None) -> np.ndarray:
         """Full feature path: images -> ``theta_p``."""
-        return self.project(self.extract_backbone_features(images))
+        return self.project(
+            self.extract_backbone_features(images, use_runtime=use_runtime),
+            use_runtime=use_runtime)
 
     def forward(self, images) -> Tensor:
         """Differentiable forward pass (used by the server-side training)."""
@@ -109,30 +148,34 @@ class OFSCIL(nn.Module):
     # ------------------------------------------------------------------
     # Online learning (Fig. 1b)
     # ------------------------------------------------------------------
-    def learn_class(self, images: np.ndarray, class_id: int) -> np.ndarray:
+    def learn_class(self, images: np.ndarray, class_id: int,
+                    use_runtime: Optional[bool] = None) -> np.ndarray:
         """Learn one class from its labelled shots in a single pass.
 
         Also updates the activation memory with the average ``theta_a`` of
         the shots, enabling optional FCR fine-tuning later.
         """
-        theta_a = self.extract_backbone_features(images)
-        theta_p = self.project(theta_a)
+        theta_a = self.extract_backbone_features(images, use_runtime=use_runtime)
+        theta_p = self.project(theta_a, use_runtime=use_runtime)
         prototype = self.memory.update_class(int(class_id), theta_p)
         self.activation_memory[int(class_id)] = theta_a.mean(axis=0).astype(np.float32)
         return prototype
 
-    def learn_session(self, dataset: ArrayDataset) -> List[int]:
+    def learn_session(self, dataset: ArrayDataset,
+                      use_runtime: Optional[bool] = None) -> List[int]:
         """Learn every class present in a support dataset (one session)."""
         learned = []
         for class_id in dataset.classes:
             mask = dataset.labels == class_id
-            self.learn_class(dataset.images[mask], int(class_id))
+            self.learn_class(dataset.images[mask], int(class_id),
+                             use_runtime=use_runtime)
             learned.append(int(class_id))
         return learned
 
     def learn_base_session(self, dataset: ArrayDataset,
                            max_per_class: Optional[int] = None,
-                           seed: int = 0) -> List[int]:
+                           seed: int = 0,
+                           use_runtime: Optional[bool] = None) -> List[int]:
         """Populate the EM with base-class prototypes after metalearning."""
         rng = np.random.default_rng(seed)
         learned = []
@@ -140,7 +183,8 @@ class OFSCIL(nn.Module):
             indices = np.flatnonzero(dataset.labels == class_id)
             if max_per_class is not None and len(indices) > max_per_class:
                 indices = rng.choice(indices, size=max_per_class, replace=False)
-            self.learn_class(dataset.images[indices], int(class_id))
+            self.learn_class(dataset.images[indices], int(class_id),
+                             use_runtime=use_runtime)
             learned.append(int(class_id))
         return learned
 
@@ -148,28 +192,43 @@ class OFSCIL(nn.Module):
     # Inference (Fig. 1a)
     # ------------------------------------------------------------------
     def classify_features(self, theta_p: np.ndarray,
-                          class_ids: Optional[Iterable[int]] = None) -> np.ndarray:
+                          class_ids: Optional[Iterable[int]] = None,
+                          use_runtime: Optional[bool] = None) -> np.ndarray:
+        if self._runtime_enabled(use_runtime):
+            # The predictor normalises the prototype matrix once per memory
+            # version instead of once per query batch.
+            return self.runtime_predictor().predict_features(theta_p, class_ids)
         return self.memory.predict(theta_p, class_ids)
 
     def predict(self, images: np.ndarray,
-                class_ids: Optional[Iterable[int]] = None) -> np.ndarray:
+                class_ids: Optional[Iterable[int]] = None,
+                use_runtime: Optional[bool] = None) -> np.ndarray:
         """Classify images against the prototypes currently stored in the EM."""
-        return self.classify_features(self.embed(images), class_ids)
+        return self.classify_features(self.embed(images, use_runtime=use_runtime),
+                                      class_ids, use_runtime=use_runtime)
 
     def similarity_scores(self, images: np.ndarray,
-                          class_ids: Optional[Iterable[int]] = None
+                          class_ids: Optional[Iterable[int]] = None,
+                          use_runtime: Optional[bool] = None
                           ) -> Tuple[np.ndarray, np.ndarray]:
-        sims, ids = self.memory.similarities(self.embed(images), class_ids)
+        features = self.embed(images, use_runtime=use_runtime)
+        if self._runtime_enabled(use_runtime):
+            sims, ids = self.runtime_predictor().similarities_from_features(
+                features, class_ids)
+        else:
+            sims, ids = self.memory.similarities(features, class_ids)
         if self.config.relu_sharpening:
             sims = np.maximum(sims, 0.0)
         return sims, ids
 
     def accuracy(self, dataset: ArrayDataset,
-                 class_ids: Optional[Iterable[int]] = None) -> float:
+                 class_ids: Optional[Iterable[int]] = None,
+                 use_runtime: Optional[bool] = None) -> float:
         """Top-1 accuracy of nearest-prototype classification on a dataset."""
         if len(dataset) == 0:
             return float("nan")
-        predictions = self.predict(dataset.images, class_ids)
+        predictions = self.predict(dataset.images, class_ids,
+                                   use_runtime=use_runtime)
         return float((predictions == dataset.labels).mean())
 
     # ------------------------------------------------------------------

@@ -31,6 +31,9 @@ class PipelineConfig:
     use_finetuning: bool = False
     quantize_int8: bool = False
     prototype_bits: int = 32
+    #: evaluate through the batched inference runtime (repro.runtime);
+    #: training always runs on the autograd path.
+    use_runtime: bool = True
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "PipelineConfig":
@@ -62,6 +65,7 @@ class OFSCILPipeline:
     def build_model(self) -> OFSCIL:
         model_config = OFSCILConfig(backbone=self.config.backbone,
                                     prototype_bits=self.config.prototype_bits,
+                                    use_runtime=self.config.use_runtime,
                                     seed=self.config.seed)
         return OFSCIL.from_registry(self.config.backbone, model_config,
                                     seed=self.config.seed)
@@ -93,7 +97,8 @@ class OFSCILPipeline:
 
         fscil_result = evaluate_fscil(model, self.benchmark,
                                       method=self._method_name(),
-                                      backbone=self.config.backbone)
+                                      backbone=self.config.backbone,
+                                      use_runtime=self.config.use_runtime)
 
         if self.config.use_finetuning:
             # Re-run the protocol with per-session on-device FCR fine-tuning
@@ -101,7 +106,8 @@ class OFSCILPipeline:
             fscil_ft = evaluate_fscil(model, self.benchmark,
                                       method=self._method_name() + " + FT",
                                       backbone=self.config.backbone,
-                                      finetune_config=self.config.finetune)
+                                      finetune_config=self.config.finetune,
+                                      use_runtime=self.config.use_runtime)
             extras["fscil_after_finetune"] = fscil_ft
 
         return PipelineResult(config=self.config, model=model, fscil=fscil_result,

@@ -22,7 +22,6 @@ from ..data.dataset import ArrayDataset, DataLoader
 from ..data.mixup import FeatureInterpolation
 from ..models.heads import FullyConnectedClassifier, FullyConnectedReductor
 from ..nn import losses
-from ..nn.functional import one_hot
 from ..nn.calibration import recalibrate_batchnorm
 from ..nn.optim import SGD, CosineAnnealingLR
 from ..nn.tensor import Tensor
@@ -90,7 +89,6 @@ def pretrain(backbone: nn.Module, fcr: FullyConnectedReductor,
         :class:`PretrainResult` with the per-epoch history and the FCC.
     """
     config = config or PretrainConfig()
-    rng = np.random.default_rng(config.seed)
 
     if classifier is None:
         classifier = FullyConnectedClassifier(fcr.out_features, num_classes,

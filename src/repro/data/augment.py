@@ -7,7 +7,7 @@ implemented in :mod:`repro.data.mixup`.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 from scipy import ndimage

@@ -8,7 +8,7 @@ targets become soft mixtures of the two source labels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

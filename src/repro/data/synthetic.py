@@ -95,7 +95,6 @@ class SyntheticImageGenerator:
         Returns:
             ``(N, C, H, W)`` float32 images.
         """
-        cfg = self.config
         amplitudes = np.einsum("nl,clb->ncb", latents, self.latent_to_basis)
         images = np.einsum("ncb,bhw->nchw", amplitudes, self.basis)
         images = np.tanh(images + self.channel_bias[None, :, None, None])

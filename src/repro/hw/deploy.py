@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..models.graph import GraphSummary, LayerSpec
+from ..models.graph import LayerSpec
 from .kernels import GraphCost, graph_cycles
 from .memory import MemoryPlan, plan_memory
 from .soc import GAP9Config

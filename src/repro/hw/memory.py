@@ -9,7 +9,7 @@ computes the DMA cycle cost of moving tensors between levels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..models.graph import LayerSpec
 from .soc import GAP9Config, MemoryConfig

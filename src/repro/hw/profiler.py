@@ -80,6 +80,46 @@ class GAP9Profiler:
             compute_utilization=utilization["compute"],
             l3_utilization=utilization["l3"], macs=cost.total_macs, cores=cores)
 
+    def profile_batched_inference(self, backbone: str, batch: int = 8,
+                                  cores: int = 8) -> EnergyReport:
+        """Backbone inference over a micro-batch of ``batch`` samples.
+
+        Models what the host-side batched runtime (:mod:`repro.runtime`)
+        exploits on the MCU as well: weight DMA streams and per-layer launch
+        overhead are paid once per micro-batch instead of once per sample,
+        so every layer runs ``max(batch * compute, weight_dma) + overhead``
+        instead of ``batch * (max(compute, weight_dma) + overhead)``.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        plan = self.deployment(backbone)
+        cost = plan.cost(cores)
+        total_cycles = 0.0
+        compute_cycles = 0.0
+        l3_cycles = 0.0
+        for layer_cost, layer in zip(cost.layers, plan.layers):
+            compute = batch * layer_cost.compute_cycles
+            cycles = max(compute, layer_cost.dma_cycles) + \
+                layer_cost.overhead_cycles
+            total_cycles += cycles
+            compute_cycles += min(compute, cycles)
+            placement = plan.memory_plan.placement(layer.name)
+            if placement.weight_level == "L3":
+                l3_cycles += min(layer_cost.dma_cycles, cycles)
+        return self.power_model.report(
+            operation=f"BB batch-{batch}", backbone=backbone,
+            cycles=total_cycles,
+            compute_utilization=min(compute_cycles / total_cycles, 1.0),
+            l3_utilization=min(l3_cycles / total_cycles, 1.0),
+            macs=batch * cost.total_macs, cores=cores)
+
+    def batched_speedup(self, backbone: str, batch: int = 8,
+                        cores: int = 8) -> float:
+        """Per-sample speedup of batch-``batch`` inference over batch-1."""
+        per_sample = self.profile_backbone_inference(backbone, cores)
+        batched = self.profile_batched_inference(backbone, batch, cores)
+        return per_sample.time_ms / (batched.time_ms / batch)
+
     def fcr_cycles(self, backbone: str, cores: int = 8,
                    batch: int = 1, weights_in_l3: bool = True) -> Dict[str, float]:
         """Cycle breakdown of projecting ``batch`` features through the FCR."""

@@ -23,7 +23,6 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
-from ..nn import functional as F
 from ..nn.tensor import Tensor
 from .graph import (
     LayerSpec,

@@ -12,11 +12,11 @@ Two families of configurations exist:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from .graph import GraphSummary, LayerSpec, linear_spec
 from .heads import FullyConnectedClassifier, FullyConnectedReductor
-from .mobilenetv2 import MobileNetV2Backbone, STRIDE_PLANS
+from .mobilenetv2 import MobileNetV2Backbone
 from .resnet import ResNet12Backbone, ResNet20Backbone
 
 

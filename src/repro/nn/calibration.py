@@ -10,8 +10,6 @@ dataset statistics regardless of how short the preceding training was.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
-
 import numpy as np
 
 from .modules import BatchNorm1d, BatchNorm2d, Module

@@ -6,7 +6,7 @@ O-FSCIL reproduction needs, implemented on top of :mod:`repro.nn.ops`.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 

@@ -8,7 +8,7 @@ quantization-aware refinement needs.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

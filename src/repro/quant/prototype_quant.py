@@ -9,12 +9,12 @@ Fig. 3 and the memory accounting (9.6 kB for 100 classes at 3 bits).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.explicit_memory import ExplicitMemory, quantize_prototype
+from ..core.explicit_memory import ExplicitMemory
 from ..core.ofscil import OFSCIL
 from ..data.fscil_split import FSCILBenchmark
 

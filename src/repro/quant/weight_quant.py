@@ -10,13 +10,13 @@ requantization arithmetic modelled in :mod:`repro.hw`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
 from ..nn.modules import Conv2d, Linear, Module
 from .fake_quant import quantize_dequantize
-from .tqt import TQTQuantizer, select_threshold
+from .tqt import select_threshold
 
 
 @dataclass

@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
-import numpy as np
-
 from ..core.metalearn import MetalearnConfig, metalearn
 from ..core.ofscil import OFSCIL
 from ..core.pretrain import PretrainConfig, pretrain

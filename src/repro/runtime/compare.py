@@ -1,0 +1,114 @@
+"""Parity checking between the batched runtime and the eager autograd path.
+
+The runtime is only worth trusting if it computes the same function as the
+module tree it was compiled from; these helpers make that check one call.
+They are used by the test suite and can be run against a deployed model as a
+self-check (``assert_parity(model, calibration_images)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .predictor import BatchedPredictor
+
+#: Tolerance used by default; fused float32 kernels reorder additions, so
+#: exact bit equality is not expected, but 1e-5 holds across the backbones.
+DEFAULT_ATOL = 1e-5
+
+
+def normalized_error(actual: np.ndarray, reference: np.ndarray) -> float:
+    """Max absolute error normalised by the reference dynamic range.
+
+    ``max |a - r| / (1 + max |r|)``: a plain max-absolute error is
+    meaningless across feature scales (an untrained ResNet emits activations
+    of magnitude ~50, where float32 rounding alone produces ~1e-5 absolute
+    deviations); dividing by the tensor's own scale makes one threshold
+    meaningful for similarities (O(1)) and raw features alike.
+    """
+    if actual.size == 0:
+        return 0.0
+    scale = 1.0 + float(np.max(np.abs(reference)))
+    return float(np.max(np.abs(actual - reference)) / scale)
+
+
+@dataclass
+class ParityReport:
+    """Outcome of one runtime-vs-eager comparison."""
+
+    num_samples: int
+    max_feature_error: float
+    max_similarity_error: float
+    prediction_agreement: float
+    atol: float
+
+    @property
+    def features_match(self) -> bool:
+        return self.max_feature_error <= self.atol
+
+    @property
+    def similarities_match(self) -> bool:
+        return np.isnan(self.max_similarity_error) or \
+            self.max_similarity_error <= self.atol
+
+    @property
+    def ok(self) -> bool:
+        return self.features_match and self.similarities_match
+
+    def summary(self) -> str:
+        return (f"parity over {self.num_samples} samples: "
+                f"max |theta_p| err {self.max_feature_error:.2e}, "
+                f"max |sims| err {self.max_similarity_error:.2e}, "
+                f"prediction agreement {self.prediction_agreement:.3f} "
+                f"(atol {self.atol:.0e})")
+
+
+def compare_with_eager(model, images: np.ndarray,
+                       class_ids: Optional[Iterable[int]] = None,
+                       predictor: Optional[BatchedPredictor] = None,
+                       atol: float = DEFAULT_ATOL) -> ParityReport:
+    """Run ``images`` through both paths and measure the divergence.
+
+    Features are always compared; similarities and predictions are compared
+    only when the model's explicit memory holds at least one prototype.
+    """
+    images = np.asarray(images, dtype=np.float32)
+    predictor = predictor or BatchedPredictor(model)
+
+    eager_features = model.embed(images, use_runtime=False)
+    runtime_features = predictor.embed(images)
+    feature_error = normalized_error(runtime_features, eager_features)
+
+    if model.memory.num_classes > 0:
+        eager_sims, eager_ids = model.memory.similarities(eager_features,
+                                                          class_ids)
+        runtime_sims, runtime_ids = predictor.similarities_from_features(
+            runtime_features, class_ids)
+        np.testing.assert_array_equal(eager_ids, runtime_ids)
+        similarity_error = normalized_error(runtime_sims, eager_sims)
+        eager_pred = eager_ids[np.argmax(eager_sims, axis=1)]
+        runtime_pred = runtime_ids[np.argmax(runtime_sims, axis=1)]
+        agreement = float((eager_pred == runtime_pred).mean())
+    else:
+        similarity_error = float("nan")
+        agreement = 1.0
+
+    return ParityReport(num_samples=int(len(images)),
+                        max_feature_error=feature_error,
+                        max_similarity_error=similarity_error,
+                        prediction_agreement=agreement, atol=atol)
+
+
+def assert_parity(model, images: np.ndarray,
+                  class_ids: Optional[Iterable[int]] = None,
+                  predictor: Optional[BatchedPredictor] = None,
+                  atol: float = DEFAULT_ATOL) -> ParityReport:
+    """Raise ``AssertionError`` unless runtime and eager paths agree."""
+    report = compare_with_eager(model, images, class_ids=class_ids,
+                                predictor=predictor, atol=atol)
+    if not report.ok:
+        raise AssertionError(f"runtime/eager divergence: {report.summary()}")
+    return report

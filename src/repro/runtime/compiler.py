@@ -1,0 +1,276 @@
+"""Compile module trees into flat inference plans.
+
+The compiler walks the structure of the model (no tracing pass is needed —
+the architectures used by the reproduction are static) and emits one
+:class:`~repro.runtime.plan.Step` per fused operation:
+
+* ``Conv2d -> BatchNorm2d -> ReLU/ReLU6`` chains collapse into a single
+  ``conv`` step whose weights have the batch-norm scale folded in and whose
+  activation is applied in place on the GEMM output;
+* ``Linear`` layers become ``linear`` steps that read their weights from the
+  live module at execution time, so in-place fine-tuning needs no recompile;
+* residual additions become explicit ``add`` steps over named registers;
+* any module that carries forward hooks anywhere in its subtree (activation
+  fake-quantisation attaches hooks) — or whose type the compiler does not
+  know — is kept as an ``opaque`` step that calls the module eagerly, so
+  compilation never changes semantics, only speed.
+
+Known model classes (:class:`MobileNetV2Backbone`, :class:`ResNet12Backbone`,
+:class:`ResNet20Backbone` and the composite blocks they are built from) get
+dedicated lowering rules; everything else falls back to generic traversal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..models.heads import FullyConnectedReductor
+from ..models.mobilenetv2 import ConvBNReLU, InvertedResidual, MobileNetV2Backbone
+from ..models.resnet import (
+    BasicBlock,
+    ResNet12Backbone,
+    ResNet12Block,
+    ResNet20Backbone,
+)
+from ..nn.modules import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    ReLU6,
+    Sequential,
+)
+from .plan import InferencePlan, Step
+
+
+def has_hooks(module: Module) -> bool:
+    """True when any module in the subtree carries forward hooks."""
+    return any(sub._forward_hooks for sub in module.modules())
+
+
+def fold_conv_bn(conv: Conv2d, bn: Optional[BatchNorm2d]
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold an eval-mode batch norm into the convolution weight and bias.
+
+    ``y = gamma * (conv(x) - mean) / sqrt(var + eps) + beta`` becomes a plain
+    convolution with per-output-channel rescaled weights and a bias.
+    """
+    weight = conv.weight.data.astype(np.float32)
+    bias = conv.bias.data.astype(np.float32) if conv.bias is not None \
+        else np.zeros(weight.shape[0], dtype=np.float32)
+    if bn is None:
+        return weight, bias
+    scale, shift = bn_scale_shift(bn)
+    folded_weight = weight * scale[:, None, None, None]
+    folded_bias = bias * scale + shift
+    return folded_weight.astype(np.float32), folded_bias.astype(np.float32)
+
+
+def bn_scale_shift(bn) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce an eval-mode BatchNorm(1d/2d) to per-channel scale and shift."""
+    var = np.asarray(bn.running_var, dtype=np.float32)
+    mean = np.asarray(bn.running_mean, dtype=np.float32)
+    inv_std = 1.0 / np.sqrt(var + bn.eps)
+    if bn.affine:
+        scale = bn.weight.data.astype(np.float32) * inv_std
+        shift = bn.bias.data.astype(np.float32) - mean * scale
+    else:
+        scale = inv_std.astype(np.float32)
+        shift = (-mean * inv_std).astype(np.float32)
+    return scale, shift
+
+
+class PlanBuilder:
+    """Accumulates steps while threading register names through the graph."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.steps = []
+        self._counter = itertools.count()
+
+    def register(self, hint: str) -> str:
+        return f"%{next(self._counter)}_{hint}"
+
+    def emit(self, op: str, name: str, inputs: Tuple[str, ...], *,
+             arrays=None, attrs=None, module=None, hint: str = "t") -> str:
+        output = self.register(hint)
+        self.steps.append(Step(op=op, name=name, inputs=inputs, output=output,
+                               arrays=arrays or {}, attrs=attrs or {},
+                               module=module))
+        return output
+
+    def build(self, input_register: str, output_register: str) -> InferencePlan:
+        return InferencePlan(steps=self.steps, input_register=input_register,
+                             output_register=output_register, name=self.name)
+
+
+def compile_module(module: Module, name: str = "") -> InferencePlan:
+    """Compile any supported module into a flat inference plan."""
+    builder = PlanBuilder(name or module.__class__.__name__)
+    out = _lower(builder, module, name or module.__class__.__name__, "x")
+    return builder.build("x", out)
+
+
+def compile_backbone(backbone: Module) -> InferencePlan:
+    """Compile a feature-extractor backbone (images -> ``theta_a``)."""
+    return compile_module(backbone, backbone.__class__.__name__)
+
+
+def compile_ofscil(model) -> InferencePlan:
+    """Compile the full deploy-time feature path of an O-FSCIL model.
+
+    The plan maps images to the prototypical feature ``theta_p`` (backbone
+    followed by the FCR); prototype comparison lives in the predictor where
+    the prototype matrix can be cached across calls.
+    """
+    builder = PlanBuilder(f"OFSCIL[{model.config.backbone}]")
+    features = _lower(builder, model.backbone, "backbone", "x")
+    out = _lower(builder, model.fcr, "fcr", features)
+    return builder.build("x", out)
+
+
+# ---------------------------------------------------------------------------
+# Lowering rules
+# ---------------------------------------------------------------------------
+def _lower(builder: PlanBuilder, module: Module, name: str, x: str) -> str:
+    """Emit steps computing ``module(x)`` and return the output register."""
+    if has_hooks(module):
+        # Hooked modules (activation fake-quantisation, probes, ...) must run
+        # through the eager path to keep their side effects and rewrites.
+        return builder.emit("opaque", name, (x,), module=module, hint="opq")
+
+    if isinstance(module, ConvBNReLU):
+        return _lower_conv_bn_act(builder, name, x, module.conv, module.bn,
+                                  "relu6")
+    if isinstance(module, InvertedResidual):
+        return _lower_inverted_residual(builder, module, name, x)
+    if isinstance(module, ResNet12Block):
+        return _lower_resnet12_block(builder, module, name, x)
+    if isinstance(module, BasicBlock):
+        return _lower_basic_block(builder, module, name, x)
+    if isinstance(module, MobileNetV2Backbone):
+        out = _lower(builder, module.stem, f"{name}.stem", x)
+        out = _lower(builder, module.blocks, f"{name}.blocks", out)
+        out = _lower(builder, module.head, f"{name}.head", out)
+        return builder.emit("global_pool", f"{name}.pool", (out,), hint="gap")
+    if isinstance(module, ResNet12Backbone):
+        out = _lower(builder, module.blocks, f"{name}.blocks", x)
+        return builder.emit("global_pool", f"{name}.pool", (out,), hint="gap")
+    if isinstance(module, ResNet20Backbone):
+        out = _lower_conv_bn_act(builder, f"{name}.stem", x, module.stem,
+                                 module.stem_bn, "relu")
+        out = _lower(builder, module.blocks, f"{name}.blocks", out)
+        return builder.emit("global_pool", f"{name}.pool", (out,), hint="gap")
+    if isinstance(module, FullyConnectedReductor):
+        return _lower(builder, module.linear, f"{name}.linear", x)
+    if isinstance(module, Sequential):
+        out = x
+        for index in range(len(module)):
+            out = _lower(builder, module[index], f"{name}.{index}", out)
+        return out
+    if isinstance(module, Conv2d):
+        weight, bias = fold_conv_bn(module, None)
+        return builder.emit(
+            "conv", name, (x,), arrays={"weight": weight, "bias": bias},
+            attrs={"stride": module.stride, "padding": module.padding,
+                   "groups": module.groups, "act": None}, hint="conv")
+    if isinstance(module, (BatchNorm2d, BatchNorm1d)):
+        scale, shift = bn_scale_shift(module)
+        return builder.emit("bn", name, (x,),
+                            arrays={"scale": scale, "shift": shift},
+                            attrs={"act": None}, hint="bn")
+    if isinstance(module, Linear):
+        return builder.emit("linear", name, (x,), module=module,
+                            attrs={"act": None}, hint="fc")
+    if isinstance(module, ReLU):
+        return builder.emit("act", name, (x,), attrs={"act": "relu"},
+                            hint="relu")
+    if isinstance(module, ReLU6):
+        return builder.emit("act", name, (x,), attrs={"act": "relu6"},
+                            hint="relu6")
+    if isinstance(module, GlobalAvgPool2d):
+        return builder.emit("global_pool", name, (x,), hint="gap")
+    if isinstance(module, MaxPool2d):
+        return builder.emit("max_pool", name, (x,),
+                            attrs={"kernel_size": module.kernel_size,
+                                   "stride": module.stride}, hint="maxp")
+    if isinstance(module, AvgPool2d):
+        return builder.emit("avg_pool", name, (x,),
+                            attrs={"kernel_size": module.kernel_size,
+                                   "stride": module.stride}, hint="avgp")
+    if isinstance(module, Flatten):
+        return builder.emit("flatten", name, (x,), hint="flat")
+    if isinstance(module, (Identity, Dropout)):
+        # Dropout is the identity at inference time.
+        return x
+    # Unknown module: keep it, eagerly.
+    return builder.emit("opaque", name, (x,), module=module, hint="opq")
+
+
+def _lower_conv_bn_act(builder: PlanBuilder, name: str, x: str, conv: Conv2d,
+                       bn: Optional[BatchNorm2d], act: Optional[str]) -> str:
+    weight, bias = fold_conv_bn(conv, bn)
+    return builder.emit(
+        "conv", name, (x,), arrays={"weight": weight, "bias": bias},
+        attrs={"stride": conv.stride, "padding": conv.padding,
+               "groups": conv.groups, "act": act}, hint="conv")
+
+
+def _lower_inverted_residual(builder: PlanBuilder, module: InvertedResidual,
+                             name: str, x: str) -> str:
+    out = x
+    if module.expand is not None:
+        out = _lower(builder, module.expand, f"{name}.expand", out)
+    out = _lower(builder, module.depthwise, f"{name}.dw", out)
+    out = _lower_conv_bn_act(builder, f"{name}.project", out, module.project,
+                             module.project_bn, None)
+    if module.use_residual:
+        out = builder.emit("add", f"{name}.residual", (out, x),
+                           attrs={"act": None}, hint="add")
+    return out
+
+
+def _lower_resnet12_block(builder: PlanBuilder, module: ResNet12Block,
+                          name: str, x: str) -> str:
+    residual = _lower_conv_bn_act(builder, f"{name}.shortcut", x,
+                                  module.shortcut, module.shortcut_bn, None)
+    out = _lower_conv_bn_act(builder, f"{name}.conv1", x, module.conv1,
+                             module.bn1, "relu")
+    out = _lower_conv_bn_act(builder, f"{name}.conv2", out, module.conv2,
+                             module.bn2, "relu")
+    out = _lower_conv_bn_act(builder, f"{name}.conv3", out, module.conv3,
+                             module.bn3, None)
+    out = builder.emit("add", f"{name}.residual", (out, residual),
+                       attrs={"act": "relu"}, hint="add")
+    if module.pool is not None:
+        out = builder.emit("max_pool", f"{name}.pool", (out,),
+                           attrs={"kernel_size": module.pool.kernel_size,
+                                  "stride": module.pool.stride}, hint="maxp")
+    return out
+
+
+def _lower_basic_block(builder: PlanBuilder, module: BasicBlock, name: str,
+                       x: str) -> str:
+    if module.downsample is not None:
+        residual = _lower_conv_bn_act(builder, f"{name}.downsample", x,
+                                      module.downsample, module.downsample_bn,
+                                      None)
+    else:
+        residual = x
+    out = _lower_conv_bn_act(builder, f"{name}.conv1", x, module.conv1,
+                             module.bn1, "relu")
+    out = _lower_conv_bn_act(builder, f"{name}.conv2", out, module.conv2,
+                             module.bn2, None)
+    return builder.emit("add", f"{name}.residual", (out, residual),
+                        attrs={"act": "relu"}, hint="add")

@@ -1,0 +1,209 @@
+"""Fused inference kernels for the batched runtime.
+
+These kernels operate on raw ``numpy`` arrays — no :class:`~repro.nn.tensor.Tensor`
+wrappers, no autograd bookkeeping.  Three ideas keep them fast:
+
+* **stride-tricks im2col with buffer reuse** — the sliding-window view of the
+  padded input is materialised into a column buffer that is allocated once
+  per (shape, dtype) and reused across calls through :class:`BufferCache`,
+  so steady-state batched inference allocates nothing on the conv path;
+* **fusion** — batch-norm is folded into the convolution weights at plan
+  compile time, and the bias add + activation clip are applied in place on
+  the GEMM output, so every conv layer makes a single pass over its output;
+* **batched GEMM** — dense and pointwise convolutions are expressed as
+  ``matmul`` over the whole micro-batch, hitting BLAS instead of Python
+  loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.conv import conv_output_size
+
+#: Supported fused activations (applied in place on the layer output).
+ACTIVATIONS = (None, "relu", "relu6")
+
+
+def apply_activation(out: np.ndarray, act: Optional[str]) -> np.ndarray:
+    """Apply ``act`` to ``out`` in place and return it."""
+    if act is None:
+        return out
+    if act == "relu":
+        return np.maximum(out, 0.0, out=out)
+    if act == "relu6":
+        return np.clip(out, 0.0, 6.0, out=out)
+    raise ValueError(f"unknown activation {act!r}; expected one of {ACTIVATIONS}")
+
+
+class BufferCache:
+    """Reusable scratch buffers keyed by (tag, shape, dtype).
+
+    The engine keeps one cache per plan so that consecutive ``run`` calls
+    with the same micro-batch shape reuse the same im2col / padding buffers
+    instead of reallocating them for every layer of every batch.
+    """
+
+    def __init__(self):
+        self._buffers: Dict[Tuple, np.ndarray] = {}
+
+    def get(self, tag: str, shape: Tuple[int, ...],
+            dtype=np.float32) -> np.ndarray:
+        key = (tag, shape, np.dtype(dtype).str)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+
+def sliding_window_view(x: np.ndarray, kh: int, kw: int,
+                        stride: int) -> np.ndarray:
+    """Zero-copy ``(N, C, kh, kw, out_h, out_w)`` window view of ``x``.
+
+    ``x`` must already be padded.  The view aliases ``x``; callers copy it
+    into a contiguous buffer before feeding a GEMM.
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False)
+
+
+def im2col_cached(x: np.ndarray, kh: int, kw: int, stride: int, padding: int,
+                  cache: Optional[BufferCache] = None) -> np.ndarray:
+    """im2col into a cached contiguous buffer of shape (N, C, kh*kw, oh*ow)."""
+    n, c, h, w = x.shape
+    if padding > 0:
+        padded_shape = (n, c, h + 2 * padding, w + 2 * padding)
+        if cache is not None:
+            padded = cache.get("pad", padded_shape, x.dtype)
+            padded.fill(0.0)
+        else:
+            padded = np.zeros(padded_shape, dtype=x.dtype)
+        padded[:, :, padding:padding + h, padding:padding + w] = x
+        x = padded
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    view = sliding_window_view(x, kh, kw, stride)
+    cols_shape = (n, c, kh, kw, out_h, out_w)
+    if cache is not None:
+        cols = cache.get("col", cols_shape, x.dtype)
+    else:
+        cols = np.empty(cols_shape, dtype=x.dtype)
+    np.copyto(cols, view)
+    return cols.reshape(n, c, kh * kw, out_h * out_w)
+
+
+def fused_conv(x: np.ndarray, weight: np.ndarray,
+               bias: Optional[np.ndarray] = None, stride: int = 1,
+               padding: int = 0, groups: int = 1, act: Optional[str] = None,
+               cache: Optional[BufferCache] = None) -> np.ndarray:
+    """Grouped 2-D convolution with the bias add and activation fused in.
+
+    ``weight`` is ``(out_c, in_c // groups, kh, kw)`` — typically the
+    BN-folded weight produced by the plan compiler, with ``bias`` holding the
+    folded BN shift.
+    """
+    n, c, h, w = x.shape
+    out_c, c_per_group, kh, kw = weight.shape
+    if c != c_per_group * groups:
+        raise ValueError(
+            f"input channels ({c}) incompatible with weight {weight.shape} "
+            f"and groups={groups}")
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    spatial = out_h * out_w
+
+    pointwise = (kh == 1 and kw == 1 and stride == 1 and padding == 0
+                 and groups == 1)
+    if pointwise:
+        out = np.matmul(weight.reshape(out_c, c), x.reshape(n, c, spatial))
+    else:
+        cols = im2col_cached(x, kh, kw, stride, padding, cache)
+        depthwise = groups == c and groups == out_c
+        if groups == 1:
+            out = np.matmul(weight.reshape(out_c, c * kh * kw),
+                            cols.reshape(n, c * kh * kw, spatial))
+        elif depthwise:
+            out = np.einsum("nckl,ck->ncl", cols, weight.reshape(c, kh * kw))
+        else:
+            cols_g = cols.reshape(n, groups, c_per_group * kh * kw, spatial)
+            weight_g = weight.reshape(groups, out_c // groups,
+                                      c_per_group * kh * kw)
+            out = np.einsum("gok,ngkl->ngol", weight_g, cols_g, optimize=True)
+    out = np.ascontiguousarray(out).reshape(n, out_c, spatial)
+    if bias is not None:
+        out += bias.reshape(1, out_c, 1)
+    apply_activation(out, act)
+    return out.reshape(n, out_c, out_h, out_w)
+
+
+def fused_linear(x: np.ndarray, weight: np.ndarray,
+                 bias: Optional[np.ndarray] = None,
+                 act: Optional[str] = None) -> np.ndarray:
+    """``x @ weight.T + bias`` with the activation fused in (weight (out, in))."""
+    out = np.matmul(x, weight.T)
+    if bias is not None:
+        out += bias
+    return apply_activation(out, act)
+
+
+def batchnorm_inference(x: np.ndarray, scale: np.ndarray, shift: np.ndarray,
+                        act: Optional[str] = None) -> np.ndarray:
+    """Eval-mode batch norm reduced to a per-channel affine map.
+
+    ``scale``/``shift`` are the precomputed ``gamma / sqrt(var + eps)`` and
+    ``beta - mean * scale`` vectors; works for both NCHW and (N, C) inputs.
+    """
+    if x.ndim == 4:
+        out = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+    else:
+        out = x * scale.reshape(1, -1) + shift.reshape(1, -1)
+    return apply_activation(out, act)
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """Global average pooling of NCHW down to (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def max_pool(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+    """Max pooling over square windows via the zero-copy window view."""
+    view = sliding_window_view(x, kernel_size, kernel_size, stride)
+    return view.max(axis=(2, 3))
+
+
+def avg_pool(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+    """Average pooling over square windows via the zero-copy window view."""
+    view = sliding_window_view(x, kernel_size, kernel_size, stride)
+    return view.mean(axis=(2, 3))
+
+
+def cosine_similarities(features: np.ndarray, prototypes_normed: np.ndarray,
+                        eps: float = 1e-12) -> np.ndarray:
+    """Cosine similarity of raw features against pre-normalised prototypes.
+
+    Normalising the prototype matrix once per memory version (instead of per
+    query batch) is what makes whole-session prediction a single GEMM.
+    """
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    normed = features / (norms + eps)
+    return normed @ prototypes_normed.T

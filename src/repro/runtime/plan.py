@@ -1,0 +1,156 @@
+"""Flat op plans for the inference runtime.
+
+A plan is a linear sequence of :class:`Step` objects operating on a small
+register file (plain dict of arrays).  There is no ``Function`` tape and no
+gradient bookkeeping: each step reads its input registers, writes one output
+register, and the executor frees registers after their last use so residual
+branches do not pin activations longer than needed.
+
+Plans are produced by :mod:`repro.runtime.compiler` (which folds batch norm
+into the preceding convolution and fuses activations into their producer)
+and executed by :class:`repro.runtime.engine.InferenceEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..nn.tensor import Tensor, no_grad
+from . import kernels
+
+
+@dataclass
+class Step:
+    """One operation of a flat inference plan."""
+
+    op: str                       # conv | linear | bn | act | add | global_pool |
+                                  # max_pool | avg_pool | flatten | opaque
+    name: str                     # human-readable layer name (for debugging)
+    inputs: Tuple[str, ...]       # register names read by the step
+    output: str                   # register name written by the step
+    #: static ndarray attributes (folded weights, biases, bn scale/shift)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: scalar attributes (stride, padding, groups, kernel_size, act, ...)
+    attrs: Dict[str, object] = field(default_factory=dict)
+    #: live module references (``linear`` reads weights at execution time so
+    #: in-place fine-tuning is picked up; ``opaque`` calls the module eagerly)
+    module: Optional[Module] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Step({self.op!r}, {self.name!r}, "
+                f"{','.join(self.inputs)} -> {self.output})")
+
+
+@dataclass
+class InferencePlan:
+    """A compiled, autograd-free forward pass."""
+
+    steps: List[Step]
+    input_register: str = "x"
+    output_register: str = ""
+    name: str = "plan"
+
+    def __post_init__(self):
+        if not self.output_register and self.steps:
+            self.output_register = self.steps[-1].output
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # ------------------------------------------------------------------
+    def last_use(self) -> Dict[str, int]:
+        """Index of the final step reading each register (for freeing)."""
+        uses: Dict[str, int] = {}
+        for index, step in enumerate(self.steps):
+            for register in step.inputs:
+                uses[register] = index
+        # The plan output must survive the whole execution.
+        uses[self.output_register] = len(self.steps)
+        return uses
+
+    def describe(self) -> str:
+        """Human-readable plan listing (one line per step)."""
+        lines = [f"# plan {self.name!r}: {len(self.steps)} steps"]
+        for step in self.steps:
+            attrs = ", ".join(f"{k}={v}" for k, v in sorted(step.attrs.items())
+                              if v is not None)
+            lines.append(f"{step.output:>8} = {step.op}({', '.join(step.inputs)}"
+                         f"{'; ' + attrs if attrs else ''})  # {step.name}")
+        return "\n".join(lines)
+
+    def num_fused(self) -> int:
+        """Number of conv/linear steps carrying a fused activation."""
+        return sum(1 for step in self.steps
+                   if step.op in ("conv", "linear")
+                   and step.attrs.get("act") is not None)
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray,
+                cache: Optional[kernels.BufferCache] = None) -> np.ndarray:
+        """Run the plan on one micro-batch of raw arrays."""
+        registers: Dict[str, np.ndarray] = {self.input_register: x}
+        last_use = self.last_use()
+        for index, step in enumerate(self.steps):
+            registers[step.output] = _execute_step(step, registers, cache)
+            for register in step.inputs:
+                if last_use.get(register, -1) <= index and \
+                        register != self.output_register:
+                    registers.pop(register, None)
+        return registers[self.output_register]
+
+
+def _execute_step(step: Step, registers: Dict[str, np.ndarray],
+                  cache: Optional[kernels.BufferCache]) -> np.ndarray:
+    x = registers[step.inputs[0]]
+    op = step.op
+    if op == "conv":
+        return kernels.fused_conv(
+            x, step.arrays["weight"], step.arrays.get("bias"),
+            stride=step.attrs.get("stride", 1),
+            padding=step.attrs.get("padding", 0),
+            groups=step.attrs.get("groups", 1),
+            act=step.attrs.get("act"), cache=cache)
+    if op == "linear":
+        # Weights are read from the live module so in-place updates (e.g. the
+        # on-device FCR fine-tuning) are reflected without recompiling.
+        module = step.module
+        weight = module.weight.data
+        bias = module.bias.data if module.bias is not None else None
+        return kernels.fused_linear(x, weight, bias, act=step.attrs.get("act"))
+    if op == "bn":
+        return kernels.batchnorm_inference(x, step.arrays["scale"],
+                                           step.arrays["shift"],
+                                           act=step.attrs.get("act"))
+    if op == "act":
+        return kernels.apply_activation(x.copy(), step.attrs["act"])
+    if op == "add":
+        out = x + registers[step.inputs[1]]
+        return kernels.apply_activation(out, step.attrs.get("act"))
+    if op == "global_pool":
+        return kernels.global_avg_pool(x)
+    if op == "max_pool":
+        return kernels.max_pool(x, step.attrs["kernel_size"],
+                                step.attrs["stride"])
+    if op == "avg_pool":
+        return kernels.avg_pool(x, step.attrs["kernel_size"],
+                                step.attrs["stride"])
+    if op == "flatten":
+        return x.reshape(x.shape[0], -1)
+    if op == "opaque":
+        # Fallback for unknown modules (or modules carrying forward hooks,
+        # e.g. activation fake-quantisation): call the module eagerly with
+        # gradients off.  Slower, but always correct.
+        module = step.module
+        was_training = module.training
+        module.eval()
+        try:
+            with no_grad():
+                out = module(Tensor(x)).data
+        finally:
+            module.train(was_training)
+        return out
+    raise ValueError(f"unknown op {op!r} in step {step.name!r}")

@@ -1,0 +1,185 @@
+"""Batched deploy-time predictor over the inference runtime.
+
+:class:`BatchedPredictor` is the serving façade of an O-FSCIL model: it owns
+a compiled backbone plan, micro-batches incoming samples through it, caches
+the (quantized) prototype matrix of the :class:`ExplicitMemory` between
+calls, and answers ``predict`` / ``similarities`` for whole sessions with a
+single GEMM against the cached prototypes.
+
+The prototype cache is invalidated through the memory's ``version`` counter,
+so learning a new class online is immediately visible to the predictor; the
+FCR projection reads its weights from the live module, so in-place
+fine-tuning needs no recompilation either.  Only backbone weights are frozen
+into the plan (they are frozen in the deployment configuration anyway) — use
+:meth:`refresh` after mutating them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from .compiler import compile_backbone, compile_module
+from .engine import DEFAULT_MICRO_BATCH, InferenceEngine
+from .kernels import cosine_similarities
+
+
+class BatchedPredictor:
+    """Inference-only, batched view of an O-FSCIL model."""
+
+    def __init__(self, model, micro_batch: int = DEFAULT_MICRO_BATCH):
+        self.model = model
+        self.micro_batch = micro_batch
+        self._backbone_engine: Optional[InferenceEngine] = None
+        self._backbone_state: list = []
+        self._fcr_engine: Optional[InferenceEngine] = None
+        self._fcr_hooks = -1
+        # (memory version, class-id selection) -> (normalised matrix, ids)
+        self._proto_cache: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Engines
+    # ------------------------------------------------------------------
+    def _current_backbone_state(self) -> list:
+        """Identity snapshot of everything the compiled plan froze in.
+
+        All weight mutations in the codebase rebind ``param.data`` (optimizer
+        steps, weight quantization) or the BN buffers (``update_buffer``), so
+        comparing array identities detects staleness without touching the
+        values.  Hook attachment/removal flips layers between fused and
+        opaque lowering, so the hook count participates too.
+        """
+        backbone = self.model.backbone
+        arrays = [parameter.data for parameter in backbone.parameters()]
+        arrays.extend(buffer for _, buffer in backbone.named_buffers())
+        hook_count = sum(len(module._forward_hooks)
+                         for module in backbone.modules())
+        return [arrays, hook_count]
+
+    @property
+    def backbone_engine(self) -> InferenceEngine:
+        state = self._current_backbone_state()
+        stale = self._backbone_engine is None
+        if not stale:
+            arrays, hooks = state
+            old_arrays, old_hooks = self._backbone_state
+            stale = (hooks != old_hooks or len(arrays) != len(old_arrays)
+                     or any(a is not b for a, b in zip(arrays, old_arrays)))
+        if stale:
+            self._backbone_engine = InferenceEngine(
+                compile_backbone(self.model.backbone),
+                micro_batch=self.micro_batch)
+            self._backbone_state = state
+        return self._backbone_engine
+
+    @property
+    def fcr_engine(self) -> InferenceEngine:
+        # The ``linear`` step reads FCR weights from the live module, so only
+        # hook changes (which flip fused vs opaque lowering) force a rebuild.
+        hooks = sum(len(module._forward_hooks)
+                    for module in self.model.fcr.modules())
+        if self._fcr_engine is None or hooks != self._fcr_hooks:
+            self._fcr_engine = InferenceEngine(
+                compile_module(self.model.fcr, "fcr"),
+                micro_batch=max(self.micro_batch, 512))
+            self._fcr_hooks = hooks
+        return self._fcr_engine
+
+    def refresh(self) -> None:
+        """Drop compiled plans and caches.
+
+        Weight rebinds and hook changes are detected automatically; calling
+        this is only needed after mutating arrays *in place* (``data[...] =``),
+        which nothing in the codebase currently does.
+        """
+        self._backbone_engine = None
+        self._backbone_state = []
+        self._fcr_engine = None
+        self._fcr_hooks = -1
+        self._proto_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Feature path (mirrors the eager OFSCIL API)
+    # ------------------------------------------------------------------
+    def extract_backbone_features(self, images: np.ndarray) -> np.ndarray:
+        """Images -> ``theta_a`` through the compiled backbone plan."""
+        return self.backbone_engine.run(images)
+
+    def project(self, theta_a: np.ndarray) -> np.ndarray:
+        """``theta_a`` -> ``theta_p`` through the live FCR weights."""
+        theta_a = np.asarray(theta_a, dtype=np.float32)
+        if theta_a.ndim == 1:               # a single feature vector
+            return self.fcr_engine.run(theta_a[None])[0]
+        return self.fcr_engine.run(theta_a)
+
+    def embed(self, images: np.ndarray) -> np.ndarray:
+        """Full feature path: images -> ``theta_p``."""
+        return self.project(self.extract_backbone_features(images))
+
+    # ------------------------------------------------------------------
+    # Prototype cache
+    # ------------------------------------------------------------------
+    def prototypes(self, class_ids: Optional[Iterable[int]] = None
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """L2-normalised prototype matrix + ids, cached per memory version."""
+        memory = self.model.memory
+        selection = tuple(int(c) for c in class_ids) \
+            if class_ids is not None else None
+        key = (memory.version, selection)
+        cached = self._proto_cache.get(key)
+        if cached is None:
+            matrix, ids = memory.prototype_matrix(
+                selection if selection is not None else None)
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            cached = ((matrix / (norms + 1e-12)).astype(np.float32), ids)
+            # Keep the cache tiny: stale versions are useless after learning.
+            self._proto_cache = {key: cached}
+        return cached
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def similarities_from_features(self, theta_p: np.ndarray,
+                                   class_ids: Optional[Iterable[int]] = None
+                                   ) -> Tuple[np.ndarray, np.ndarray]:
+        matrix, ids = self.prototypes(class_ids)
+        theta_p = np.asarray(theta_p, dtype=np.float32)
+        if theta_p.ndim == 1:
+            theta_p = theta_p[None, :]
+        return cosine_similarities(theta_p, matrix), ids
+
+    def predict_features(self, theta_p: np.ndarray,
+                         class_ids: Optional[Iterable[int]] = None
+                         ) -> np.ndarray:
+        sims, ids = self.similarities_from_features(theta_p, class_ids)
+        return ids[np.argmax(sims, axis=1)]
+
+    def predict(self, images: np.ndarray,
+                class_ids: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Classify images against the cached prototype matrix."""
+        return self.predict_features(self.embed(images), class_ids)
+
+    def similarities(self, images: np.ndarray,
+                     class_ids: Optional[Iterable[int]] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Similarity scores, with the model's ReLU sharpening applied."""
+        sims, ids = self.similarities_from_features(self.embed(images),
+                                                    class_ids)
+        if getattr(self.model.config, "relu_sharpening", False):
+            sims = np.maximum(sims, 0.0)
+        return sims, ids
+
+    def accuracy(self, dataset,
+                 class_ids: Optional[Iterable[int]] = None) -> float:
+        """Top-1 accuracy of batched nearest-prototype classification."""
+        if len(dataset) == 0:
+            return float("nan")
+        predictions = self.predict(dataset.images, class_ids)
+        return float((predictions == dataset.labels).mean())
+
+    # ------------------------------------------------------------------
+    @property
+    def samples_served(self) -> int:
+        engine = self._backbone_engine
+        return engine.samples_run if engine is not None else 0

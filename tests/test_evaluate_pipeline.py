@@ -88,20 +88,26 @@ class TestEvaluateFSCIL:
         assert len(result.session_accuracy) == tiny_benchmark.num_sessions + 1
 
 
-class TestPipeline:
-    @pytest.fixture(scope="class")
-    def quick_config(self):
-        return PipelineConfig(
-            backbone=BACKBONE, profile="test",
-            pretrain=PretrainConfig(epochs=2, batch_size=32, learning_rate=0.1, seed=0),
-            metalearn=MetalearnConfig(iterations=2, meta_shots=3, queries_per_class=1,
-                                      seed=0),
-            finetune=FinetuneConfig(iterations=5, seed=0),
-            seed=0)
+# Building and training a pipeline takes seconds; module scope ensures the
+# trained result is shared by every test in this file instead of being
+# rebuilt per test class.
+@pytest.fixture(scope="module")
+def quick_config():
+    return PipelineConfig(
+        backbone=BACKBONE, profile="test",
+        pretrain=PretrainConfig(epochs=2, batch_size=32, learning_rate=0.1, seed=0),
+        metalearn=MetalearnConfig(iterations=2, meta_shots=3, queries_per_class=1,
+                                  seed=0),
+        finetune=FinetuneConfig(iterations=5, seed=0),
+        seed=0)
 
-    @pytest.fixture(scope="class")
-    def pipeline_result(self, quick_config, tiny_benchmark):
-        return OFSCILPipeline(quick_config, benchmark=tiny_benchmark).run()
+
+@pytest.fixture(scope="module")
+def pipeline_result(quick_config, tiny_benchmark):
+    return OFSCILPipeline(quick_config, benchmark=tiny_benchmark).run()
+
+
+class TestPipeline:
 
     def test_result_structure(self, pipeline_result, tiny_benchmark):
         assert len(pipeline_result.fscil.session_accuracy) == \

@@ -1,6 +1,5 @@
 """GAP9 deployment plan, power model and the Table IV / Fig. 2 profiler."""
 
-import numpy as np
 import pytest
 
 from repro.hw import (

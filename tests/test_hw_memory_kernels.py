@@ -1,12 +1,10 @@
 """GAP9 simulator: SoC config, memory planning, DMA and cycle kernels."""
 
-import numpy as np
 import pytest
 
 from repro.hw import (
     GAP9Config,
     GraphCost,
-    MemoryConfig,
     OPERATING_POINTS,
     dma_cycles,
     graph_cycles,
@@ -14,9 +12,8 @@ from repro.hw import (
     layer_dma_cycles,
     plan_memory,
     row_parallel_utilization,
-    per_core_throughput,
-)
-from repro.models import conv_spec, get_config, linear_spec
+    per_core_throughput)
+from repro.models import conv_spec, get_config
 
 
 @pytest.fixture(scope="module")

@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.models import (
-    GraphSummary,
     MobileNetV2Backbone,
     ResNet12Backbone,
     ResNet20Backbone,

@@ -4,16 +4,13 @@ import numpy as np
 import pytest
 
 from repro.models import (
-    BackboneConfig,
     CosineClassifier,
     FullyConnectedClassifier,
     FullyConnectedReductor,
-    MobileNetV2Backbone,
     get_config,
     list_configs,
     simplex_etf,
-    table1_rows,
-)
+    table1_rows)
 from repro.models.registry import register
 from repro.nn.tensor import Tensor
 

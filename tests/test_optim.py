@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.nn.modules import Parameter
 from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
 from repro.nn.tensor import Tensor

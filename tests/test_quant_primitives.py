@@ -5,7 +5,6 @@ import pytest
 
 from repro.nn.tensor import Tensor
 from repro.quant import (
-    FakeQuant,
     MinMaxObserver,
     MovingAverageObserver,
     PercentileObserver,
@@ -18,8 +17,7 @@ from repro.quant import (
     quantize,
     quantize_dequantize,
     scale_from_threshold,
-    select_threshold,
-)
+    select_threshold)
 
 
 class TestFakeQuantPrimitives:

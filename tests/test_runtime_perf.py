@@ -1,0 +1,95 @@
+"""Perf-regression harness: batched runtime vs eager per-sample evaluation.
+
+Benchmarks nearest-prototype classification on the MobileNetV2-style tiny
+backbone through both execution paths, writes the measurements to
+``BENCH_runtime.json`` at the repository root, and fails if the batched
+runtime drops below the required speedup over the eager per-sample path —
+the regression guard for the ISSUE 1 acceptance criterion.
+
+The numbers on a current laptop-class CPU are ~8x; the 3x threshold leaves
+headroom for noisy CI machines while still catching a real regression (e.g.
+losing conv+bn fusion or the im2col buffer cache).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import OFSCIL, OFSCILConfig
+from repro.runtime import compare_with_eager
+
+BACKBONE = "mobilenetv2_x4_tiny"
+REQUIRED_SPEEDUP = 3.0
+BATCHED_SAMPLES = 192
+PER_SAMPLE_PROBE = 16
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
+
+
+@pytest.fixture(scope="module")
+def bench_model():
+    model = OFSCIL.from_registry(BACKBONE, OFSCILConfig(backbone=BACKBONE),
+                                 seed=0)
+    model.freeze_feature_extractor()
+    rng = np.random.default_rng(0)
+    shots = rng.standard_normal((40, 3, 16, 16)).astype(np.float32)
+    for class_id in range(8):
+        model.learn_class(shots[class_id * 5:(class_id + 1) * 5], class_id)
+    return model
+
+
+def test_batched_runtime_meets_speedup_floor(bench_model):
+    rng = np.random.default_rng(1)
+    images = rng.standard_normal((BATCHED_SAMPLES, 3, 16, 16)).astype(np.float32)
+    predictor = bench_model.runtime_predictor()
+
+    # Warm both paths (compile the plan, fault in the buffer cache / BLAS).
+    predictor.predict(images[:32])
+    bench_model.predict(images[:1], use_runtime=False)
+
+    start = time.perf_counter()
+    predictor.predict(images)
+    batched_seconds = time.perf_counter() - start
+    batched_rate = BATCHED_SAMPLES / batched_seconds
+
+    start = time.perf_counter()
+    for sample in images[:PER_SAMPLE_PROBE]:
+        bench_model.predict(sample[None], use_runtime=False)
+    eager_seconds = time.perf_counter() - start
+    eager_rate = PER_SAMPLE_PROBE / eager_seconds
+
+    speedup = batched_rate / eager_rate
+    parity = compare_with_eager(bench_model, images[:32])
+
+    record = {
+        "backbone": BACKBONE,
+        "batched_samples": BATCHED_SAMPLES,
+        "per_sample_probe": PER_SAMPLE_PROBE,
+        "batched_samples_per_s": round(batched_rate, 1),
+        "eager_per_sample_samples_per_s": round(eager_rate, 1),
+        "speedup": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "parity_max_feature_error": parity.max_feature_error,
+        "parity_max_similarity_error": parity.max_similarity_error,
+        "parity_prediction_agreement": parity.prediction_agreement,
+        "plan_steps": len(predictor.backbone_engine.plan),
+        "fused_steps": predictor.backbone_engine.plan.num_fused(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert parity.ok, f"parity broken before perf comparison: {parity.summary()}"
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched runtime is only {speedup:.2f}x faster than the eager "
+        f"per-sample path (required >= {REQUIRED_SPEEDUP}x); see {BENCH_PATH}")
+
+
+def test_bench_record_is_written_and_valid(bench_model):
+    # Runs after the benchmark in file order; guards the artefact contract
+    # that downstream tooling (README workflow, CI) relies on.
+    record = json.loads(BENCH_PATH.read_text())
+    assert record["backbone"] == BACKBONE
+    assert record["speedup"] >= REQUIRED_SPEEDUP
+    assert record["batched_samples_per_s"] > 0

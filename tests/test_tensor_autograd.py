@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.nn.tensor import Tensor, concatenate, no_grad, ones, randn, stack, tensor, zeros
+from repro.nn.tensor import Tensor, concatenate, no_grad, ones, randn, stack, zeros
 
 
 class TestTensorBasics:
