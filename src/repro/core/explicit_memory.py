@@ -191,6 +191,11 @@ class ExplicitMemory:
         missing = [c for c in ids if c not in self._prototypes]
         if missing:
             raise KeyError(f"classes {missing} are not stored in the memory")
+        if not ids:
+            # An empty (but well-shaped) matrix: similarity queries against a
+            # fresh/reset memory yield (N, 0) scores instead of crashing.
+            return (np.zeros((0, self.dim), dtype=np.float32),
+                    np.asarray([], dtype=np.int64))
         matrix = np.stack([self._prototypes[c] for c in ids]).astype(np.float32)
         return matrix, np.asarray(ids, dtype=np.int64)
 
@@ -223,6 +228,9 @@ class ExplicitMemory:
                 class_ids: Optional[Iterable[int]] = None) -> np.ndarray:
         """Nearest-prototype prediction under cosine similarity."""
         sims, ids = self.similarities(features, class_ids)
+        if ids.size == 0:
+            raise ValueError("cannot predict with an empty explicit memory; "
+                             "learn at least one class first")
         return ids[np.argmax(sims, axis=1)]
 
     def bipolar_prototypes(self, class_ids: Optional[Iterable[int]] = None

@@ -75,6 +75,18 @@ class OFSCIL(nn.Module):
                 self, micro_batch=self.config.feature_batch_size)
         return self._predictor
 
+    def serve(self, num_workers: int = 2, **kwargs):
+        """Spin up a sharded multi-worker :class:`~repro.serve.Server`.
+
+        The model is snapshotted (compiled plans + prototype state) and
+        replicated across ``num_workers`` worker processes; the returned
+        server exposes ``predict`` / ``similarities`` / ``learn_class`` and
+        keeps worker prototype replicas in sync with this model's memory.
+        Use as a context manager (or call ``close()``) to stop the workers.
+        """
+        from ..serve import Server
+        return Server(self, num_workers=num_workers, **kwargs)
+
     def _runtime_enabled(self, use_runtime: Optional[bool]) -> bool:
         return self.config.use_runtime if use_runtime is None else use_runtime
 

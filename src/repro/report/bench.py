@@ -1,0 +1,71 @@
+"""Benchmark artefact files with an append-only run history.
+
+The perf-regression harnesses (``tests/test_runtime_perf.py``,
+``tests/test_serve_perf.py``) record their measurements in JSON files at the
+repository root.  Overwriting a single record on every run made the bench
+trajectory invisible; :func:`append_bench_record` keeps a bounded history
+instead::
+
+    {
+      "latest":  {...most recent record...},
+      "history": [{...oldest...}, ..., {...most recent...}]
+    }
+
+Legacy single-record files (the pre-history format) are migrated in place:
+the old record becomes the first history entry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+#: Default cap on retained history entries per bench file.
+DEFAULT_HISTORY_LIMIT = 100
+
+
+def load_bench(path) -> dict:
+    """Read a bench file into ``{"latest": ..., "history": [...]}`` form.
+
+    Missing, unreadable, or legacy files normalise into the same shape so
+    callers never branch on the on-disk format.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {"latest": None, "history": []}
+    try:
+        data = json.loads(path.read_text())
+    except (ValueError, OSError):
+        return {"latest": None, "history": []}
+    if not isinstance(data, dict):
+        return {"latest": None, "history": []}
+    if "history" in data:
+        history = [entry for entry in data.get("history", [])
+                   if isinstance(entry, dict)]
+        latest = data.get("latest") or (history[-1] if history else None)
+        return {"latest": latest, "history": history}
+    if data:                               # legacy single-record file
+        return {"latest": data, "history": [data]}
+    return {"latest": None, "history": []}
+
+
+def append_bench_record(path, record: dict,
+                        limit: Optional[int] = DEFAULT_HISTORY_LIMIT) -> dict:
+    """Append ``record`` to the bench file at ``path`` and return the data.
+
+    Args:
+        path: JSON file location (created if missing).
+        record: the new measurement; becomes ``latest`` and the last
+            ``history`` entry.
+        limit: maximum history entries to retain (oldest dropped first);
+            ``None`` keeps everything.
+    """
+    data = load_bench(path)
+    data["history"].append(record)
+    if limit is not None and len(data["history"]) > limit:
+        # NB: a plain [-limit:] slice would keep everything at limit=0.
+        data["history"] = data["history"][-limit:] if limit > 0 else []
+    data["latest"] = record
+    Path(path).write_text(json.dumps(data, indent=2) + "\n")
+    return data

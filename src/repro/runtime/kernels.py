@@ -197,6 +197,17 @@ def avg_pool(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
     return view.mean(axis=(2, 3))
 
 
+def normalize_prototypes(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Row-wise L2 normalisation of a prototype matrix (float32).
+
+    Shared by the predictor's prototype cache and the serving snapshots
+    (:mod:`repro.serve`) so every execution path serves bit-identical
+    similarity scores from the same normalised matrix.
+    """
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return (matrix / (norms + eps)).astype(np.float32)
+
+
 def cosine_similarities(features: np.ndarray, prototypes_normed: np.ndarray,
                         eps: float = 1e-12) -> np.ndarray:
     """Cosine similarity of raw features against pre-normalised prototypes.

@@ -117,9 +117,15 @@ def _execute_step(step: Step, registers: Dict[str, np.ndarray],
     if op == "linear":
         # Weights are read from the live module so in-place updates (e.g. the
         # on-device FCR fine-tuning) are reflected without recompiling.
+        # Serialized plans (repro.serve snapshots) carry no module references;
+        # their weights are frozen into the step arrays instead.
         module = step.module
-        weight = module.weight.data
-        bias = module.bias.data if module.bias is not None else None
+        if module is not None:
+            weight = module.weight.data
+            bias = module.bias.data if module.bias is not None else None
+        else:
+            weight = step.arrays["weight"]
+            bias = step.arrays.get("bias")
         return kernels.fused_linear(x, weight, bias, act=step.attrs.get("act"))
     if op == "bn":
         return kernels.batchnorm_inference(x, step.arrays["scale"],

@@ -22,7 +22,7 @@ import numpy as np
 
 from .compiler import compile_backbone, compile_module
 from .engine import DEFAULT_MICRO_BATCH, InferenceEngine
-from .kernels import cosine_similarities
+from .kernels import cosine_similarities, normalize_prototypes
 
 
 class BatchedPredictor:
@@ -37,6 +37,12 @@ class BatchedPredictor:
         self._fcr_hooks = -1
         # (memory version, class-id selection) -> (normalised matrix, ids)
         self._proto_cache: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
+
+    #: Cap on cached class-id selections per memory version.  Long-lived
+    #: frozen deployments (no learning, so no version bumps) can see an
+    #: unbounded variety of per-request selections; beyond this many, the
+    #: oldest selection is dropped FIFO.
+    MAX_CACHED_SELECTIONS = 16
 
     # ------------------------------------------------------------------
     # Engines
@@ -131,10 +137,15 @@ class BatchedPredictor:
         if cached is None:
             matrix, ids = memory.prototype_matrix(
                 selection if selection is not None else None)
-            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-            cached = ((matrix / (norms + 1e-12)).astype(np.float32), ids)
-            # Keep the cache tiny: stale versions are useless after learning.
-            self._proto_cache = {key: cached}
+            cached = (normalize_prototypes(matrix), ids)
+            # Evict entries from stale memory versions (useless after any
+            # learning step) while keeping other class-id selections of the
+            # current version, e.g. session-restricted evaluation views.
+            self._proto_cache = {k: v for k, v in self._proto_cache.items()
+                                 if k[0] == key[0]}
+            self._proto_cache[key] = cached
+            while len(self._proto_cache) > self.MAX_CACHED_SELECTIONS:
+                self._proto_cache.pop(next(iter(self._proto_cache)))
         return cached
 
     # ------------------------------------------------------------------
@@ -153,6 +164,9 @@ class BatchedPredictor:
                          class_ids: Optional[Iterable[int]] = None
                          ) -> np.ndarray:
         sims, ids = self.similarities_from_features(theta_p, class_ids)
+        if ids.size == 0:
+            raise ValueError("cannot predict with an empty explicit memory; "
+                             "learn at least one class first")
         return ids[np.argmax(sims, axis=1)]
 
     def predict(self, images: np.ndarray,

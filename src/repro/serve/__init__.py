@@ -1,0 +1,62 @@
+"""Sharded multi-worker serving on top of the batched inference runtime.
+
+:mod:`repro.runtime` compiles a model into flat op plans and serves it from
+one process; this package scales that out to a pool of worker processes:
+
+* :mod:`repro.serve.snapshot` — freezes compiled plans and prototype state
+  into fully picklable, module-ref-free snapshots that can cross process
+  boundaries (opaque fallbacks are inlined or rejected with an explicit
+  :class:`PlanSerializationError`);
+* :mod:`repro.serve.sharded` — :class:`ShardedEngine`, a multiprocessing
+  worker pool where each worker owns a plan replica plus its own buffer
+  cache and executes micro-batches pushed by the coordinator;
+* :mod:`repro.serve.server` — :class:`Server`, the dynamic batcher: it
+  coalesces single-sample requests under a latency budget, round-robins
+  micro-batches over the shards, and keeps worker prototype replicas in
+  sync with the explicit memory through its ``version`` counter.
+
+Typical use::
+
+    from repro.serve import Server
+
+    with Server(model, num_workers=4) as server:   # or model.serve(4)
+        labels = server.predict(images)            # == BatchedPredictor, bit-for-bit
+        server.learn_class(shots, class_id=42)     # broadcast to every worker
+        future = server.submit(image)              # dynamic-batched single query
+        print(server.stats_dict())
+"""
+
+from .server import DEFAULT_MAX_LATENCY_S, Server
+from .sharded import (
+    DEFAULT_NUM_WORKERS,
+    DEFAULT_START_METHOD,
+    RemoteWorkerError,
+    ShardedEngine,
+)
+from .snapshot import (
+    ModelSnapshot,
+    PlanSerializationError,
+    PlanSnapshot,
+    PrototypeState,
+    snapshot_model,
+    snapshot_plan,
+    snapshot_prototypes,
+)
+from .stats import ServeStats
+
+__all__ = [
+    "Server",
+    "DEFAULT_MAX_LATENCY_S",
+    "ShardedEngine",
+    "RemoteWorkerError",
+    "DEFAULT_NUM_WORKERS",
+    "DEFAULT_START_METHOD",
+    "ModelSnapshot",
+    "PlanSnapshot",
+    "PrototypeState",
+    "PlanSerializationError",
+    "snapshot_plan",
+    "snapshot_model",
+    "snapshot_prototypes",
+    "ServeStats",
+]

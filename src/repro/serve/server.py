@@ -1,0 +1,275 @@
+"""Dynamic-batching, sharded serving front-end for an O-FSCIL model.
+
+:class:`Server` sits on top of a :class:`~repro.serve.sharded.ShardedEngine`
+and exposes the deploy-time API of the model — ``predict`` /
+``similarities`` / ``learn_class`` — backed by a pool of worker processes:
+
+* **Synchronous batch path** — whole query batches are split at the same
+  micro-batch boundaries the single-process engine uses and round-robinned
+  over the shards.  Workers run the conv-heavy backbone; the FCR projection
+  and the prototype GEMM run once on the coordinator through the model's own
+  :class:`~repro.runtime.BatchedPredictor`.  Backbone kernels are bitwise
+  per-sample stable, so ``Server.predict`` matches ``BatchedPredictor.predict``
+  *bit-for-bit* regardless of shard count or chunking — sharding is a pure
+  throughput decision, never an accuracy one.
+* **Asynchronous single-sample path** — :meth:`submit` hands one image to
+  the dynamic batcher, which coalesces requests into micro-batches under a
+  max-latency budget and dispatches each batch to one shard, where the full
+  replica (backbone + FCR + prototype state) answers in a single hop.
+* **Online learning** — :meth:`learn_class` embeds the shots through the
+  shards, updates the coordinator's explicit memory, and broadcasts the new
+  prototype state to every worker; staleness is tracked through the
+  memory's ``version`` counter, so a broadcast happens only when the memory
+  actually changed.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .sharded import DEFAULT_START_METHOD, ShardedEngine
+from .snapshot import snapshot_model, snapshot_prototypes
+from .stats import ServeStats
+
+#: Default time budget the dynamic batcher waits to fill a micro-batch.
+DEFAULT_MAX_LATENCY_S = 0.01
+
+
+@dataclass
+class _PendingRequest:
+    image: np.ndarray
+    future: Future
+
+
+def _resolve_quietly(future: Future, result=None, exception=None) -> None:
+    """Complete a request future without ever raising at the resolver.
+
+    A future a client cancelled or that was already failed by ``close()``
+    must not take down the batcher thread or an engine callback.
+    """
+    try:
+        if exception is not None:
+            future.set_exception(exception)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass
+
+
+class Server:
+    """Serve one O-FSCIL model from a pool of sharded worker replicas."""
+
+    def __init__(self, model, num_workers: int = 2,
+                 micro_batch: Optional[int] = None,
+                 max_batch: Optional[int] = None,
+                 max_latency_s: float = DEFAULT_MAX_LATENCY_S,
+                 start_method: str = DEFAULT_START_METHOD,
+                 blas_threads_per_worker: Optional[int] = 1):
+        self.model = model
+        self.predictor = model.runtime_predictor()
+        self.micro_batch = micro_batch or self.predictor.micro_batch
+        snapshot = snapshot_model(model, micro_batch=self.micro_batch)
+        self.engine = ShardedEngine(
+            snapshot, num_workers=num_workers, start_method=start_method,
+            blas_threads_per_worker=blas_threads_per_worker)
+        self.max_batch = max_batch or self.micro_batch
+        self.max_latency_s = max_latency_s
+        self.stats = ServeStats()
+        self._proto_version = snapshot.prototypes.version
+        self._proto_lock = threading.Lock()
+        self._requests: "queue.Queue[_PendingRequest]" = queue.Queue()
+        self._stop = threading.Event()
+        # Serialises submit() against close() so no request can slip into the
+        # queue after the close-time drain and hang its caller forever.
+        self._lifecycle_lock = threading.Lock()
+        self._batcher = threading.Thread(target=self._batch_loop,
+                                         name="repro-serve-batcher",
+                                         daemon=True)
+        self._batcher.start()
+
+    # ------------------------------------------------------------------
+    # Prototype synchronisation
+    # ------------------------------------------------------------------
+    def sync_prototypes(self, force: bool = False) -> int:
+        """Broadcast the memory's prototype state to every worker.
+
+        No-op while ``ExplicitMemory.version`` matches the last broadcast
+        version, so calling this on every request is cheap.
+        """
+        with self._proto_lock:
+            version = self.model.memory.version
+            if force or version != self._proto_version:
+                state = snapshot_prototypes(self.model.memory)
+                self.engine.set_prototypes(state)
+                self._proto_version = state.version
+                self.stats.observe_broadcast()
+            return self._proto_version
+
+    # ------------------------------------------------------------------
+    # Synchronous batch API (bit-for-bit with BatchedPredictor)
+    # ------------------------------------------------------------------
+    def extract_backbone_features(self, images: np.ndarray) -> np.ndarray:
+        """Images -> ``theta_a``, scattered over the worker shards."""
+        return self.engine.scatter("backbone", images)
+
+    def embed(self, images: np.ndarray) -> np.ndarray:
+        """Images -> ``theta_p`` (backbone on shards, FCR on coordinator)."""
+        return self.predictor.project(self.extract_backbone_features(images))
+
+    def predict(self, images: np.ndarray,
+                class_ids: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Classify a batch; bit-for-bit equal to ``BatchedPredictor.predict``."""
+        features = self.embed(images)
+        self.stats.observe_batch_request(features.shape[0])
+        return self.predictor.predict_features(features, class_ids)
+
+    def similarities(self, images: np.ndarray,
+                     class_ids: Optional[Iterable[int]] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Similarity scores with the model's ReLU sharpening applied."""
+        features = self.embed(images)
+        self.stats.observe_batch_request(features.shape[0])
+        sims, ids = self.predictor.similarities_from_features(features,
+                                                              class_ids)
+        if getattr(self.model.config, "relu_sharpening", False):
+            sims = np.maximum(sims, 0.0)
+        return sims, ids
+
+    def accuracy(self, dataset,
+                 class_ids: Optional[Iterable[int]] = None) -> float:
+        if len(dataset) == 0:
+            return float("nan")
+        predictions = self.predict(dataset.images, class_ids)
+        return float((predictions == dataset.labels).mean())
+
+    # ------------------------------------------------------------------
+    # Online learning
+    # ------------------------------------------------------------------
+    def learn_class(self, images: np.ndarray, class_id: int) -> np.ndarray:
+        """Learn one class from its shots and broadcast the new prototypes.
+
+        Mirrors ``OFSCIL.learn_class`` exactly (same feature path, same
+        activation-memory update), then pushes the refreshed prototype state
+        to every worker replica.
+        """
+        theta_a = self.extract_backbone_features(
+            np.asarray(images, dtype=np.float32))
+        theta_p = self.predictor.project(theta_a)
+        prototype = self.model.memory.update_class(int(class_id), theta_p)
+        self.model.activation_memory[int(class_id)] = \
+            theta_a.mean(axis=0).astype(np.float32)
+        self.sync_prototypes()
+        return prototype
+
+    # ------------------------------------------------------------------
+    # Asynchronous single-sample API (dynamic batching)
+    # ------------------------------------------------------------------
+    def submit(self, image: np.ndarray) -> Future:
+        """Enqueue one query image; resolves to its predicted class id.
+
+        Requests are coalesced into micro-batches of up to ``max_batch``
+        samples, waiting at most ``max_latency_s`` after the first request
+        of a batch, and each batch is answered end-to-end by one shard.
+        """
+        if self._stop.is_set():
+            raise RuntimeError("server is closed")
+        self.sync_prototypes()
+        future: Future = Future()
+        future.set_running_or_notify_cancel()   # cancel() can never race us
+        request = _PendingRequest(np.asarray(image, dtype=np.float32), future)
+        with self._lifecycle_lock:
+            if self._stop.is_set():
+                raise RuntimeError("server is closed")
+            self._requests.put(request)
+        self.stats.observe_submit(self._requests.qsize())
+        return request.future
+
+    def predict_one(self, image: np.ndarray, timeout: float = 120.0) -> int:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(image).result(timeout=timeout)
+
+    def _batch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._requests.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.max_latency_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._requests.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: List[_PendingRequest]) -> None:
+        self.stats.observe_dispatch(len(batch))
+        try:
+            images = np.stack([request.image for request in batch])
+            future = self.engine.submit("predict", (images, None))
+        except Exception as exc:  # noqa: BLE001 - fail the whole batch
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+
+        def resolve(done: Future, batch=batch) -> None:
+            try:
+                labels = done.result()
+            except Exception as exc:  # noqa: BLE001
+                for request in batch:
+                    _resolve_quietly(request.future, exception=exc)
+                return
+            for request, label in zip(batch, labels):
+                _resolve_quietly(request.future, result=int(label))
+
+        future.add_done_callback(resolve)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self.engine.num_workers
+
+    def worker_stats(self) -> List[dict]:
+        return self.engine.stats()
+
+    def stats_dict(self) -> dict:
+        """Server counters plus per-worker replica statistics."""
+        report = self.stats.as_dict()
+        report["num_workers"] = self.num_workers
+        report["prototype_version"] = self._proto_version
+        report["workers"] = self.worker_stats()
+        return report
+
+    def close(self, timeout: float = 10.0) -> None:
+        with self._lifecycle_lock:
+            if self._stop.is_set():
+                return
+            self._stop.set()
+        self._batcher.join(timeout=timeout)
+        while True:                      # fail whatever never got dispatched
+            try:
+                request = self._requests.get_nowait()
+            except queue.Empty:
+                break
+            _resolve_quietly(request.future,
+                             exception=RuntimeError("server closed"))
+        self.engine.close(timeout=timeout)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

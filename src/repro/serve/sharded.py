@@ -1,0 +1,227 @@
+"""Multiprocessing worker pool executing micro-batches on model replicas.
+
+:class:`ShardedEngine` owns N worker processes, each holding a model replica
+restored from a picklable :class:`~repro.serve.snapshot.ModelSnapshot` (its
+own compiled plans, its own buffer caches).  Work items are pushed onto
+per-worker request queues — round-robin by default — and a collector thread
+resolves the shared result queue into per-item futures, so callers can
+overlap requests across every shard.
+
+Workers default to the ``spawn`` start method: it exercises the snapshot's
+picklability end-to-end (``fork`` would silently inherit live state) and
+sidesteps fork-after-BLAS hazards.  BLAS threading inside each worker is
+pinned to one thread by default so that process-level sharding, not library
+threading, owns the parallelism — the saturation benchmark compares worker
+counts under identical per-worker settings.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import threading
+from concurrent.futures import Future, InvalidStateError
+from contextlib import contextmanager
+from typing import List, Optional
+
+import numpy as np
+
+from .snapshot import ModelSnapshot, PrototypeState
+from .worker import worker_main
+
+DEFAULT_NUM_WORKERS = 2
+DEFAULT_TIMEOUT = 120.0
+DEFAULT_START_METHOD = "spawn"
+
+#: Environment knobs that cap BLAS/OpenMP threading inside worker processes.
+_BLAS_ENV_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+                  "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS",
+                  "VECLIB_MAXIMUM_THREADS")
+
+
+class RemoteWorkerError(RuntimeError):
+    """An exception raised inside a worker process, re-raised at the caller."""
+
+
+@contextmanager
+def _blas_threads_env(threads: Optional[int]):
+    """Temporarily pin BLAS thread env vars so started children inherit them."""
+    if threads is None:
+        yield
+        return
+    saved = {name: os.environ.get(name) for name in _BLAS_ENV_VARS}
+    os.environ.update({name: str(threads) for name in _BLAS_ENV_VARS})
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+class ShardedEngine:
+    """A pool of worker processes serving replicas of one model snapshot."""
+
+    def __init__(self, snapshot: ModelSnapshot,
+                 num_workers: int = DEFAULT_NUM_WORKERS,
+                 start_method: str = DEFAULT_START_METHOD,
+                 blas_threads_per_worker: Optional[int] = 1,
+                 startup_timeout: float = DEFAULT_TIMEOUT):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.snapshot = snapshot
+        self.micro_batch = snapshot.micro_batch
+        context = mp.get_context(start_method)
+        self._result_queue = context.Queue()
+        self._request_queues = []
+        self._processes = []
+        self._pending: dict = {}
+        self._lock = threading.Lock()
+        self._tickets = itertools.count()
+        self._round_robin = itertools.count()
+        self._closed = False
+        with _blas_threads_env(blas_threads_per_worker):
+            for worker_id in range(num_workers):
+                queue = context.Queue()
+                process = context.Process(
+                    target=worker_main,
+                    args=(worker_id, snapshot, queue, self._result_queue),
+                    daemon=True, name=f"repro-serve-worker-{worker_id}")
+                process.start()
+                self._request_queues.append(queue)
+                self._processes.append(process)
+        self._collector = threading.Thread(target=self._collect,
+                                           name="repro-serve-collector",
+                                           daemon=True)
+        self._collector.start()
+        # Block until every worker finished importing + restoring its replica
+        # (spawn pays the interpreter startup here, not on the first request).
+        self.broadcast("ping", timeout=startup_timeout)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._processes)
+
+    def _collect(self) -> None:
+        while True:
+            item = self._result_queue.get()
+            if item[0] is None:            # close() sentinel
+                break
+            ticket, worker_id, ok, payload = item
+            with self._lock:
+                future = self._pending.pop(ticket, None)
+            if future is None:             # e.g. the shutdown ack
+                continue
+            # The collector must survive anything a caller did to the future
+            # (a cancelled/raced future must not kill the loop and hang every
+            # later request on the engine).
+            try:
+                if ok:
+                    future.set_result(payload)
+                else:
+                    future.set_exception(
+                        RemoteWorkerError(f"worker {worker_id}: {payload}"))
+            except InvalidStateError:
+                pass
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, payload=None,
+               worker: Optional[int] = None) -> Future:
+        """Enqueue one work item; returns a future for its result."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        future: Future = Future()
+        # Mark the future running immediately: cancel() then always returns
+        # False, so the collector's set_result cannot race a cancellation.
+        future.set_running_or_notify_cancel()
+        with self._lock:
+            ticket = next(self._tickets)
+            self._pending[ticket] = future
+        index = worker if worker is not None \
+            else next(self._round_robin) % self.num_workers
+        self._request_queues[index].put((kind, ticket, payload))
+        return future
+
+    def scatter(self, kind: str, images: np.ndarray,
+                timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
+        """Split ``images`` into micro-batches, round-robin them over the
+        shards, and reassemble the results in submission order.
+
+        The chunking replicates :meth:`InferenceEngine.run` exactly (same
+        ``micro_batch`` boundaries), so per-chunk results are bit-identical
+        to the single-process engine's.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim == 3:
+            images = images[None]
+        if images.shape[0] == 0:
+            raise ValueError("cannot scatter an empty batch")
+        futures = [self.submit(kind, np.ascontiguousarray(
+                       images[start:start + self.micro_batch]))
+                   for start in range(0, images.shape[0], self.micro_batch)]
+        outputs = [future.result(timeout=timeout) for future in futures]
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs)
+
+    def broadcast(self, kind: str, payload=None,
+                  timeout: float = DEFAULT_TIMEOUT) -> List:
+        """Send one work item to *every* worker and wait for all replies."""
+        futures = [self.submit(kind, payload, worker=index)
+                   for index in range(self.num_workers)]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def set_prototypes(self, state: PrototypeState,
+                       timeout: float = DEFAULT_TIMEOUT) -> List[int]:
+        """Broadcast a prototype state; returns the acked version per worker.
+
+        Request queues are FIFO per worker, so once this returns every
+        previously enqueued item has executed and every later item sees the
+        new prototypes.
+        """
+        return self.broadcast("set_prototypes", state, timeout=timeout)
+
+    def stats(self, timeout: float = DEFAULT_TIMEOUT) -> List[dict]:
+        return self.broadcast("stats", timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut down workers and the collector; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._request_queues:
+            try:
+                queue.put(("shutdown", -1, None))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._result_queue.put((None, None, True, None))
+        self._collector.join(timeout=5.0)
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(RuntimeError("engine closed"))
+        for queue in (*self._request_queues, self._result_queue):
+            queue.close()
+            queue.cancel_join_thread()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close(timeout=1.0)
+        except Exception:
+            pass

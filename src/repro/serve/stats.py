@@ -1,0 +1,76 @@
+"""Serving statistics: throughput counters, queue depth, batch histogram."""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ServeStats:
+    """Thread-safe counters for one :class:`~repro.serve.server.Server`.
+
+    ``batch_size_histogram`` maps coalesced-batch size to occurrence count —
+    the shape of this histogram is the dynamic batcher's report card: a
+    saturating workload should pile mass at ``max_batch``, a trickle of
+    single requests should sit at 1 with ``max_latency`` bounding the wait.
+    """
+
+    single_requests: int = 0
+    batch_requests: int = 0
+    samples: int = 0
+    batches_dispatched: int = 0
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+    max_queue_depth: int = 0
+    prototype_broadcasts: int = 0
+    started_at: float = field(default_factory=time.perf_counter)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # ------------------------------------------------------------------
+    def observe_submit(self, queue_depth: int) -> None:
+        with self._lock:
+            self.single_requests += 1
+            if queue_depth > self.max_queue_depth:
+                self.max_queue_depth = queue_depth
+
+    def observe_batch_request(self, num_samples: int) -> None:
+        with self._lock:
+            self.batch_requests += 1
+            self.samples += num_samples
+
+    def observe_dispatch(self, batch_size: int) -> None:
+        with self._lock:
+            self.batches_dispatched += 1
+            self.samples += batch_size
+            self.batch_size_histogram[batch_size] = \
+                self.batch_size_histogram.get(batch_size, 0) + 1
+
+    def observe_broadcast(self) -> None:
+        with self._lock:
+            self.prototype_broadcasts += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    @property
+    def samples_per_s(self) -> float:
+        elapsed = self.elapsed_s
+        return self.samples / elapsed if elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "single_requests": self.single_requests,
+                "batch_requests": self.batch_requests,
+                "samples": self.samples,
+                "batches_dispatched": self.batches_dispatched,
+                "batch_size_histogram": dict(self.batch_size_histogram),
+                "max_queue_depth": self.max_queue_depth,
+                "prototype_broadcasts": self.prototype_broadcasts,
+                "elapsed_s": self.elapsed_s,
+                "samples_per_s": self.samples_per_s,
+            }

@@ -1,0 +1,115 @@
+"""Worker process main loop for the sharded serving engine.
+
+Each worker owns a full model replica restored from a
+:class:`~repro.serve.snapshot.ModelSnapshot` — backbone and FCR engines with
+their own :class:`~repro.runtime.kernels.BufferCache` — plus the current
+:class:`~repro.serve.snapshot.PrototypeState`.  It pops work items from its
+request queue, executes them, and pushes ``(ticket, worker_id, ok, payload)``
+tuples onto the shared result queue.
+
+Work item kinds:
+
+==================  ========================================  =================
+kind                payload                                   result
+==================  ========================================  =================
+``ping``            ``None``                                  ``None``
+``backbone``        images ``(N, C, H, W)``                   ``theta_a``
+``embed``           images                                    ``theta_p``
+``predict``         ``(images, class_ids | None)``            labels ``int64``
+``similarities``    ``(images, class_ids | None)``            ``(sims, ids)``
+``set_prototypes``  :class:`PrototypeState`                   acked ``version``
+``stats``           ``None``                                  stats ``dict``
+``shutdown``        ``None``                                  ``None`` (stops)
+==================  ========================================  =================
+
+Exceptions never kill the loop: they are captured per work item and re-raised
+at the caller as :class:`~repro.serve.sharded.RemoteWorkerError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.engine import InferenceEngine
+from ..runtime.kernels import cosine_similarities
+from .snapshot import ModelSnapshot, PrototypeState
+
+
+class _WorkerState:
+    """Model replica plus serving counters inside one worker process."""
+
+    def __init__(self, worker_id: int, snapshot: ModelSnapshot):
+        self.worker_id = worker_id
+        self.backbone = InferenceEngine(snapshot.backbone.restore(),
+                                        micro_batch=snapshot.micro_batch)
+        self.fcr = InferenceEngine(snapshot.fcr.restore(),
+                                   micro_batch=max(snapshot.micro_batch, 512))
+        self.prototypes: PrototypeState = snapshot.prototypes
+        self.relu_sharpening = snapshot.relu_sharpening
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    def embed(self, images: np.ndarray) -> np.ndarray:
+        return self.fcr.run(self.backbone.run(images))
+
+    def similarities(self, images: np.ndarray,
+                     class_ids: Optional[Sequence[int]]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        matrix, ids = self.prototypes.select(class_ids)
+        if ids.size == 0:
+            raise ValueError("worker has an empty prototype state; broadcast "
+                             "prototypes (Server.sync_prototypes) first")
+        return cosine_similarities(self.embed(images), matrix), ids
+
+    def handle(self, kind: str, payload):
+        self.requests += 1
+        if kind == "ping":
+            return None
+        if kind == "backbone":
+            return self.backbone.run(payload)
+        if kind == "embed":
+            return self.embed(payload)
+        if kind == "predict":
+            images, class_ids = payload
+            sims, ids = self.similarities(images, class_ids)
+            return ids[np.argmax(sims, axis=1)]
+        if kind == "similarities":
+            images, class_ids = payload
+            sims, ids = self.similarities(images, class_ids)
+            if self.relu_sharpening:
+                sims = np.maximum(sims, 0.0)
+            return sims, ids
+        if kind == "set_prototypes":
+            self.prototypes = payload
+            return self.prototypes.version
+        if kind == "stats":
+            return {
+                "worker_id": self.worker_id,
+                "requests": self.requests,
+                "samples_run": self.backbone.samples_run,
+                "batches_run": self.backbone.batches_run,
+                "prototype_version": self.prototypes.version,
+                "prototype_classes": self.prototypes.num_classes,
+                "plan_steps": len(self.backbone.plan),
+                "cache_bytes": self.backbone.cache_bytes,
+            }
+        raise ValueError(f"unknown work item kind {kind!r}")
+
+
+def worker_main(worker_id: int, snapshot: ModelSnapshot, request_queue,
+                result_queue) -> None:
+    """Entry point of a worker process (must stay importable for spawn)."""
+    state = _WorkerState(worker_id, snapshot)
+    while True:
+        kind, ticket, payload = request_queue.get()
+        if kind == "shutdown":
+            result_queue.put((ticket, worker_id, True, None))
+            break
+        try:
+            result_queue.put((ticket, worker_id, True,
+                              state.handle(kind, payload)))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the caller
+            result_queue.put((ticket, worker_id, False,
+                              f"{type(exc).__name__}: {exc}"))

@@ -61,6 +61,57 @@ class TestPrototypeManagement:
             memory.prototype_matrix([0, 9])
 
 
+class TestVersionCounter:
+    def test_version_bumps_on_every_mutation_kind(self, memory, rng):
+        version = memory.version
+        memory.update_class(0, rng.standard_normal((2, 8)))
+        assert memory.version == version + 1
+        memory.set_prototype(1, rng.standard_normal(8).astype(np.float32))
+        assert memory.version == version + 2
+        memory.remove_class(1)
+        assert memory.version == version + 3
+        memory.reset()
+        assert memory.version == version + 4
+
+    def test_relearning_existing_class_bumps_version(self, memory, rng):
+        memory.update_class(5, rng.standard_normal((3, 8)))
+        version = memory.version
+        before = memory.prototype(5).copy()
+        memory.update_class(5, rng.standard_normal((3, 8)))
+        assert memory.version > version
+        assert not np.array_equal(memory.prototype(5), before)
+
+    def test_requantize_does_not_mutate_source_version(self, memory, rng):
+        memory.update_class(0, rng.standard_normal((2, 8)))
+        version = memory.version
+        clone = memory.requantize(4)
+        assert memory.version == version
+        assert clone.version > 0          # the clone counted its own inserts
+
+    def test_empty_memory_prototype_matrix_is_well_shaped(self, memory):
+        matrix, ids = memory.prototype_matrix()
+        assert matrix.shape == (0, 8) and matrix.dtype == np.float32
+        assert ids.shape == (0,) and ids.dtype == np.int64
+
+    def test_reset_memory_returns_to_empty_matrix(self, memory, rng):
+        memory.update_class(0, rng.standard_normal((2, 8)))
+        memory.reset()
+        matrix, ids = memory.prototype_matrix()
+        assert matrix.shape == (0, 8) and ids.size == 0
+
+    def test_similarities_against_empty_memory(self, memory, rng):
+        sims, ids = memory.similarities(rng.standard_normal((3, 8)))
+        assert sims.shape == (3, 0) and ids.size == 0
+
+    def test_predict_against_empty_memory_raises(self, memory, rng):
+        with pytest.raises(ValueError, match="empty"):
+            memory.predict(rng.standard_normal((2, 8)))
+        memory.update_class(0, rng.standard_normal((1, 8)))
+        memory.reset()
+        with pytest.raises(ValueError, match="empty"):
+            memory.predict(rng.standard_normal((2, 8)))
+
+
 class TestClassification:
     def test_predicts_nearest_prototype(self, memory):
         memory.set_prototype(10, np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=np.float32))

@@ -320,6 +320,56 @@ class TestPredictorCaching:
         memory.reset()
         assert memory.version > version
 
+    def test_stale_version_cache_entries_are_evicted(self, rng):
+        model = make_model("mobilenetv2_x4_tiny")
+        images = rng.standard_normal((20, 3, 16, 16)).astype(np.float32)
+        predictor = model.runtime_predictor()
+        for class_id in range(3):
+            model.learn_class(images[class_id * 5:(class_id + 1) * 5], class_id)
+        # Multiple selections of the SAME version coexist in the cache...
+        predictor.prototypes()
+        predictor.prototypes([0, 1])
+        predictor.prototypes([2])
+        assert len(predictor._proto_cache) == 3
+        # ...but a new memory version evicts every stale entry at once.
+        model.learn_class(images[15:], 3)
+        predictor.prototypes()
+        versions = {key[0] for key in predictor._proto_cache}
+        assert versions == {model.memory.version}
+        assert len(predictor._proto_cache) == 1
+
+    def test_selection_cache_is_bounded_within_one_version(self, rng):
+        # A frozen deployment never bumps the memory version, so per-request
+        # class-id selections must not grow the cache without bound.
+        model = make_model("mobilenetv2_x4_tiny")
+        predictor = model.runtime_predictor()
+        features = rng.standard_normal((40, model.prototype_dim))
+        for class_id in range(30):
+            model.memory.update_class(class_id, features[:2])
+        cap = predictor.MAX_CACHED_SELECTIONS
+        for first in range(cap + 10):
+            predictor.prototypes([first, first + 1])
+        assert len(predictor._proto_cache) == cap
+
+    def test_cache_invalidation_across_relearn_and_reset(self, rng):
+        model = make_model("mobilenetv2_x4_tiny")
+        images = rng.standard_normal((10, 3, 16, 16)).astype(np.float32)
+        predictor = model.runtime_predictor()
+        model.learn_class(images[:5], 0)
+        matrix_first, _ = predictor.prototypes()
+        # Re-learning the SAME class refines the prototype; the cache must
+        # not serve the stale matrix.
+        model.learn_class(images[5:], 0)
+        matrix_second, _ = predictor.prototypes()
+        assert matrix_second.shape == matrix_first.shape
+        assert not np.array_equal(matrix_second, matrix_first)
+        # Clearing the memory invalidates too; prediction then refuses.
+        model.memory.reset()
+        matrix_empty, ids_empty = predictor.prototypes()
+        assert matrix_empty.shape[0] == 0 and ids_empty.size == 0
+        with pytest.raises(ValueError, match="empty"):
+            predictor.predict(images[:2])
+
     def test_weight_rebind_triggers_recompile(self, rng):
         model = make_model("mobilenetv2_x4_tiny")
         images = rng.standard_normal((4, 3, 16, 16)).astype(np.float32)

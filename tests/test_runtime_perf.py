@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.core import OFSCIL, OFSCILConfig
+from repro.report import append_bench_record
 from repro.runtime import compare_with_eager
 
 BACKBONE = "mobilenetv2_x4_tiny"
@@ -78,7 +79,7 @@ def test_batched_runtime_meets_speedup_floor(bench_model):
         "fused_steps": predictor.backbone_engine.plan.num_fused(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    append_bench_record(BENCH_PATH, record)
 
     assert parity.ok, f"parity broken before perf comparison: {parity.summary()}"
     assert speedup >= REQUIRED_SPEEDUP, (
@@ -89,7 +90,12 @@ def test_batched_runtime_meets_speedup_floor(bench_model):
 def test_bench_record_is_written_and_valid(bench_model):
     # Runs after the benchmark in file order; guards the artefact contract
     # that downstream tooling (README workflow, CI) relies on.
-    record = json.loads(BENCH_PATH.read_text())
+    data = json.loads(BENCH_PATH.read_text())
+    record = data["latest"]
     assert record["backbone"] == BACKBONE
     assert record["speedup"] >= REQUIRED_SPEEDUP
     assert record["batched_samples_per_s"] > 0
+    # Runs append to the history instead of overwriting it, so the bench
+    # trajectory across commits stays visible.
+    assert data["history"], "bench history must not be empty"
+    assert data["history"][-1] == record

@@ -1,0 +1,285 @@
+"""Sharded serving layer: snapshots, worker pool, dynamic batcher, parity.
+
+The parity tests are the acceptance criterion of the serving subsystem:
+``Server.predict`` over 2 workers must match ``BatchedPredictor.predict``
+**bit-for-bit** — including after an online ``learn_class`` — so sharding is
+a pure throughput decision, never an accuracy one.  A module-scoped
+two-worker server is shared across tests to amortise process startup; this
+doubles as the CI smoke scenario (2-worker end-to-end predict + learn).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import OFSCIL, OFSCILConfig
+from repro.models.mobilenetv2 import ConvBNReLU
+from repro.nn.tensor import Tensor
+from repro.runtime import InferenceEngine, compile_module
+from repro.serve import (
+    PlanSerializationError,
+    RemoteWorkerError,
+    Server,
+    snapshot_model,
+    snapshot_plan,
+    snapshot_prototypes,
+)
+
+BACKBONE = "mobilenetv2_x4_tiny"
+BASE_CLASSES = 6
+SHOTS_PER_CLASS = 5
+IMAGE_SHAPE = (3, 16, 16)
+
+
+def make_learned_model(seed: int = 0):
+    """A frozen model with BASE_CLASSES learned from deterministic shots."""
+    model = OFSCIL.from_registry(BACKBONE, OFSCILConfig(backbone=BACKBONE),
+                                 seed=seed)
+    model.freeze_feature_extractor()
+    rng = np.random.default_rng(42)
+    shots = rng.standard_normal(
+        (BASE_CLASSES * SHOTS_PER_CLASS, *IMAGE_SHAPE)).astype(np.float32)
+    for class_id in range(BASE_CLASSES):
+        start = class_id * SHOTS_PER_CLASS
+        model.learn_class(shots[start:start + SHOTS_PER_CLASS], class_id)
+    return model, shots
+
+
+@pytest.fixture(scope="module")
+def served():
+    """(model, 2-worker server, shots) shared by the serving tests."""
+    model, shots = make_learned_model()
+    server = Server(model, num_workers=2, max_latency_s=0.05)
+    yield model, server, shots
+    server.close()
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(7)
+    # Deliberately not a multiple of the micro-batch: the ragged tail chunk
+    # must not perturb bit-for-bit parity.
+    return rng.standard_normal((150, *IMAGE_SHAPE)).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Plan / model snapshots (no processes involved)
+# ---------------------------------------------------------------------------
+class _Unlowerable(nn.Module):
+    """A module type the plan compiler has no lowering rule for."""
+
+    def forward(self, x):
+        return x * 2.0
+
+
+class TestPlanSnapshot:
+    def test_snapshot_freezes_linear_and_survives_pickle(self, rng):
+        net = nn.Sequential(ConvBNReLU(3, 8, rng=rng), nn.GlobalAvgPool2d(),
+                            nn.Linear(8, 4, rng=rng))
+        net.eval()
+        plan = compile_module(net)
+        snapshot = pickle.loads(pickle.dumps(snapshot_plan(plan)))
+        assert all(step.module is None for step in snapshot.steps)
+        linear_steps = [s for s in snapshot.steps if s.op == "linear"]
+        assert linear_steps and "weight" in linear_steps[0].arrays
+        x = rng.standard_normal((5, 3, 12, 12)).astype(np.float32)
+        np.testing.assert_array_equal(snapshot.restore().execute(x),
+                                      plan.execute(x))
+
+    def test_frozen_linear_ignores_later_finetuning(self, rng):
+        net = nn.Linear(6, 3, rng=rng)
+        plan = compile_module(net)
+        snapshot = snapshot_plan(plan)
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        before = snapshot.restore().execute(x)
+        net.weight.data = net.weight.data * 2.0
+        np.testing.assert_array_equal(snapshot.restore().execute(x), before)
+        assert not np.array_equal(plan.execute(x), before)  # live plan moved
+
+    def test_hooked_module_raises_serialization_error(self, rng):
+        net = nn.Sequential(ConvBNReLU(3, 4, rng=rng), nn.GlobalAvgPool2d())
+        net.eval()
+        net[0].act.register_forward_hook(lambda module, out: out * 2.0)
+        plan = compile_module(net)
+        with pytest.raises(PlanSerializationError, match="hooks"):
+            snapshot_plan(plan)
+
+    def test_hook_removed_after_compile_inlines_opaque_step(self, rng):
+        net = nn.Sequential(ConvBNReLU(3, 4, rng=rng), nn.GlobalAvgPool2d())
+        net.eval()
+        net[0].act.register_forward_hook(lambda module, out: out)
+        plan = compile_module(net)           # hook forces an opaque step
+        assert any(step.op == "opaque" for step in plan.steps)
+        net[0].act.clear_forward_hooks()
+        snapshot = snapshot_plan(plan)       # recompiles + inlines it
+        assert all(step.op != "opaque" for step in snapshot.steps)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        with nn.no_grad():
+            expected = net(Tensor(x)).data
+        engine = InferenceEngine(snapshot.restore())
+        assert np.allclose(engine.run(x), expected, atol=1e-5)
+
+    def test_unknown_module_raises_serialization_error(self, rng):
+        net = nn.Sequential(_Unlowerable(), nn.GlobalAvgPool2d())
+        plan = compile_module(net)
+        with pytest.raises(PlanSerializationError, match="no.*compiled"):
+            snapshot_plan(plan)
+
+
+class TestModelSnapshot:
+    def test_model_snapshot_roundtrip(self):
+        model, _ = make_learned_model(seed=1)
+        snapshot = pickle.loads(pickle.dumps(snapshot_model(model)))
+        assert snapshot.backbone_name == BACKBONE
+        assert snapshot.prototypes.num_classes == BASE_CLASSES
+        assert snapshot.prototypes.version == model.memory.version
+        assert len(snapshot.backbone) > 0 and len(snapshot.fcr) > 0
+
+    def test_prototype_state_matches_predictor_cache(self):
+        model, _ = make_learned_model(seed=1)
+        state = snapshot_prototypes(model.memory)
+        matrix, ids = model.runtime_predictor().prototypes()
+        np.testing.assert_array_equal(state.matrix_normed, matrix)
+        np.testing.assert_array_equal(state.ids, ids)
+
+    def test_prototype_state_selection(self):
+        model, _ = make_learned_model(seed=1)
+        state = snapshot_prototypes(model.memory)
+        matrix, ids = state.select([3, 1])
+        np.testing.assert_array_equal(ids, [3, 1])
+        np.testing.assert_array_equal(matrix, state.matrix_normed[[3, 1]])
+        with pytest.raises(KeyError):
+            state.select([99])
+
+    def test_empty_memory_snapshot(self):
+        memory_model = OFSCIL.from_registry(
+            BACKBONE, OFSCILConfig(backbone=BACKBONE), seed=2)
+        state = snapshot_prototypes(memory_model.memory)
+        assert state.num_classes == 0
+        assert state.matrix_normed.shape == (0, memory_model.prototype_dim)
+
+
+# ---------------------------------------------------------------------------
+# Sharded engine + server (2 spawned workers, module-scoped)
+# ---------------------------------------------------------------------------
+class TestShardedEngine:
+    def test_scatter_backbone_features_bitwise(self, served, queries):
+        model, server, _ = served
+        scattered = server.extract_backbone_features(queries)
+        local = model.runtime_predictor().extract_backbone_features(queries)
+        np.testing.assert_array_equal(scattered, local)
+
+    def test_worker_stats_one_record_per_worker(self, served):
+        _, server, _ = served
+        stats = server.worker_stats()
+        assert sorted(record["worker_id"] for record in stats) == [0, 1]
+        assert all(record["plan_steps"] > 0 for record in stats)
+
+    def test_worker_error_is_reraised_and_loop_survives(self, served):
+        _, server, _ = served
+        bad = np.zeros((2, 5, 16, 16), dtype=np.float32)  # wrong channels
+        future = server.engine.submit("backbone", bad)
+        with pytest.raises(RemoteWorkerError, match="ValueError"):
+            future.result(timeout=60)
+        # The worker loop survives an error and keeps serving.
+        good = np.zeros((2, *IMAGE_SHAPE), dtype=np.float32)
+        assert server.engine.submit("backbone", good).result(timeout=60) \
+            .shape[0] == 2
+
+    def test_unknown_kind_is_an_error(self, served):
+        _, server, _ = served
+        with pytest.raises(RemoteWorkerError, match="unknown work item"):
+            server.engine.submit("frobnicate").result(timeout=60)
+
+
+class TestServerParity:
+    def test_predict_bit_for_bit(self, served, queries):
+        model, server, _ = served
+        np.testing.assert_array_equal(
+            server.predict(queries), model.runtime_predictor().predict(queries))
+
+    def test_similarities_bit_for_bit(self, served, queries):
+        model, server, _ = served
+        sims, ids = server.similarities(queries)
+        ref_sims, ref_ids = model.runtime_predictor().similarities(queries)
+        np.testing.assert_array_equal(sims, ref_sims)
+        np.testing.assert_array_equal(ids, ref_ids)
+
+    def test_class_id_restriction_bit_for_bit(self, served, queries):
+        model, server, _ = served
+        allowed = [0, 2, 5]
+        np.testing.assert_array_equal(
+            server.predict(queries[:40], class_ids=allowed),
+            model.runtime_predictor().predict(queries[:40], class_ids=allowed))
+
+    def test_learn_class_parity_and_broadcast(self, served, queries):
+        model, server, shots = served
+        rng = np.random.default_rng(99)
+        new_shots = rng.standard_normal(
+            (SHOTS_PER_CLASS, *IMAGE_SHAPE)).astype(np.float32)
+        served_prototype = server.learn_class(new_shots, BASE_CLASSES)
+
+        # A twin model learning the same classes through the single-process
+        # path must end up with bit-identical prototypes.
+        twin, _ = make_learned_model()
+        twin_prototype = twin.learn_class(new_shots, BASE_CLASSES)
+        np.testing.assert_array_equal(served_prototype, twin_prototype)
+
+        # Serving stays bit-for-bit after the online update...
+        np.testing.assert_array_equal(
+            server.predict(queries), model.runtime_predictor().predict(queries))
+        # ...and every worker replica acked the new memory version.
+        versions = [record["prototype_version"]
+                    for record in server.worker_stats()]
+        assert versions == [model.memory.version] * server.num_workers
+        assert all(record["prototype_classes"] == BASE_CLASSES + 1
+                   for record in server.worker_stats())
+
+
+class TestDynamicBatcher:
+    def test_single_submits_coalesce_and_agree(self, served):
+        model, server, shots = served
+        # Learned shots as queries: large margins, so worker-side (per-shard)
+        # classification agrees with the coordinator path even though tiny
+        # small-batch GEMMs are not bitwise reproducible.
+        futures = [server.submit(image) for image in shots[:12]]
+        labels = np.array([future.result(timeout=120) for future in futures])
+        np.testing.assert_array_equal(
+            labels, model.runtime_predictor().predict(shots[:12]))
+        histogram = server.stats.as_dict()["batch_size_histogram"]
+        assert sum(size * count for size, count in histogram.items()) >= 12
+        assert max(histogram) > 1, f"no coalescing happened: {histogram}"
+
+    def test_predict_one_roundtrip(self, served):
+        model, server, shots = served
+        label = server.predict_one(shots[0])
+        assert label == int(model.runtime_predictor().predict(shots[:1])[0])
+
+    def test_stats_surface(self, served):
+        _, server, _ = served
+        report = server.stats_dict()
+        assert report["num_workers"] == 2
+        assert report["single_requests"] >= 13
+        assert report["batches_dispatched"] >= 1
+        assert report["samples"] > 0
+        assert report["samples_per_s"] > 0
+        assert len(report["workers"]) == 2
+
+    def test_submit_after_close_raises(self):
+        model, _ = make_learned_model(seed=3)
+        server = Server(model, num_workers=1)
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.submit(np.zeros(IMAGE_SHAPE, dtype=np.float32))
+        server.close()                    # idempotent
+
+
+class TestServeHook:
+    def test_model_serve_context_manager(self):
+        model, shots = make_learned_model(seed=4)
+        with model.serve(num_workers=1) as server:
+            labels = server.predict(shots[:8])
+            np.testing.assert_array_equal(
+                labels, model.runtime_predictor().predict(shots[:8]))

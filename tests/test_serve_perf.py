@@ -1,0 +1,127 @@
+"""Saturation benchmark: sharded multi-worker serving vs a single worker.
+
+Drives a saturating workload through :class:`repro.serve.Server` at two
+worker counts, appends the measurements to ``BENCH_serve.json`` at the
+repository root (run history, like ``BENCH_runtime.json``), and asserts that
+multi-worker serving beats the single-worker baseline by the required
+scaling factor.  Both configurations pin one BLAS thread per worker, so the
+comparison isolates process-level sharding from library threading.
+
+The scaling assertion needs real hardware parallelism: on a single-core host
+(CI sandboxes, cgroup-limited containers) the measurement is still recorded
+but the assertion is skipped — the slow CI suite runs on multi-core runners
+where it is enforced.
+
+Slow-marked: saturation runs take tens of seconds; the fast suite covers the
+serving layer's correctness in ``tests/test_serve.py``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import OFSCIL, OFSCILConfig
+from repro.report import append_bench_record
+from repro.serve import Server
+
+pytestmark = pytest.mark.slow
+
+BACKBONE = "mobilenetv2_x4_tiny"
+SCALING_FLOOR = 1.5
+SATURATION_SAMPLES = 768
+ASYNC_REQUESTS = 256
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+
+@pytest.fixture(scope="module")
+def bench_model():
+    model = OFSCIL.from_registry(BACKBONE, OFSCILConfig(backbone=BACKBONE),
+                                 seed=0)
+    model.freeze_feature_extractor()
+    rng = np.random.default_rng(0)
+    shots = rng.standard_normal((40, 3, 16, 16)).astype(np.float32)
+    for class_id in range(8):
+        model.learn_class(shots[class_id * 5:(class_id + 1) * 5], class_id)
+    return model
+
+
+def _sync_throughput(model, num_workers: int, images: np.ndarray) -> float:
+    """Samples/s of the synchronous batch path at ``num_workers`` shards."""
+    with Server(model, num_workers=num_workers) as server:
+        server.predict(images[:64])                    # warm caches + queues
+        start = time.perf_counter()
+        server.predict(images)
+        elapsed = time.perf_counter() - start
+    return images.shape[0] / elapsed
+
+
+def test_multi_worker_scaling_beats_single_worker(bench_model):
+    cores = len(os.sched_getaffinity(0))
+    multi_workers = max(2, min(4, cores))
+    rng = np.random.default_rng(1)
+    images = rng.standard_normal(
+        (SATURATION_SAMPLES, 3, 16, 16)).astype(np.float32)
+
+    # Sanity: sharding must not change results before we time anything.
+    reference = bench_model.runtime_predictor().predict(images[:128])
+    with Server(bench_model, num_workers=multi_workers) as server:
+        np.testing.assert_array_equal(server.predict(images[:128]), reference)
+
+        # Dynamic batcher under a saturating single-sample request flood.
+        start = time.perf_counter()
+        futures = [server.submit(image) for image in images[:ASYNC_REQUESTS]]
+        for future in futures:
+            future.result(timeout=300)
+        async_elapsed = time.perf_counter() - start
+        histogram = server.stats.as_dict()["batch_size_histogram"]
+
+    single_rate = _sync_throughput(bench_model, 1, images)
+    multi_rate = _sync_throughput(bench_model, multi_workers, images)
+    scaling = multi_rate / single_rate
+
+    record = {
+        "backbone": BACKBONE,
+        "cores": cores,
+        "saturation_samples": SATURATION_SAMPLES,
+        "single_worker_samples_per_s": round(single_rate, 1),
+        "multi_worker_samples_per_s": round(multi_rate, 1),
+        "multi_workers": multi_workers,
+        "scaling": round(scaling, 2),
+        "scaling_floor": SCALING_FLOOR,
+        "scaling_enforced": cores >= 2,
+        "async_requests": ASYNC_REQUESTS,
+        "async_samples_per_s": round(ASYNC_REQUESTS / async_elapsed, 1),
+        "async_batch_size_histogram": {str(size): count
+                                       for size, count in sorted(
+                                           histogram.items())},
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    append_bench_record(BENCH_PATH, record)
+
+    # The flood must actually have been coalesced into multi-sample batches.
+    assert max(histogram) > 1, f"no dynamic batching happened: {histogram}"
+
+    if cores < 2:
+        pytest.skip(f"only {cores} core(s) available: multi-worker scaling "
+                    f"cannot beat a single worker without hardware "
+                    f"parallelism (measured {scaling:.2f}x; recorded in "
+                    f"{BENCH_PATH.name})")
+    assert scaling >= SCALING_FLOOR, (
+        f"{multi_workers}-worker serving is only {scaling:.2f}x a single "
+        f"worker (required >= {SCALING_FLOOR}x on {cores} cores); see "
+        f"{BENCH_PATH}")
+
+
+def test_serve_bench_record_is_written_and_valid(bench_model):
+    # File-order dependency, mirroring test_runtime_perf: guards the
+    # BENCH_serve.json artefact contract.
+    data = json.loads(BENCH_PATH.read_text())
+    record = data["latest"]
+    assert record["backbone"] == BACKBONE
+    assert record["single_worker_samples_per_s"] > 0
+    assert record["multi_worker_samples_per_s"] > 0
+    assert data["history"] and data["history"][-1] == record
