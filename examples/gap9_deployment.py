@@ -16,10 +16,11 @@ Run:  python examples/gap9_deployment.py [--backbone mobilenetv2_x4] [--shots 5]
 
 import argparse
 
-from repro.hw import GAP9Profiler, format_table4
+from repro.hw import DeploymentPlan, GAP9Profiler, format_table4
 from repro.models import get_config, table1_rows
 from repro.quant import em_memory_kb
 from repro.report import format_table
+from repro.runtime import compile_backbone
 
 
 def main() -> None:
@@ -50,6 +51,20 @@ def main() -> None:
           f"({summary['l2_used_bytes'] / 1e6:.2f} MB in L2, "
           f"{summary['l3_used_bytes'] / 1e6:.2f} MB spilled to L3, "
           f"{summary['layers_in_l3']} layers stream weights from L3)")
+
+    print("\n=== One folded graph: runtime plan -> GAP9 cost model ===")
+    config = get_config(args.backbone)
+    backbone = config.build(seed=0)
+    backbone.eval()
+    compiled = compile_backbone(backbone)
+    from_plan = DeploymentPlan.from_plan(
+        compiled, input_hw=(config.input_size, config.input_size))
+    print(f"compiled runtime plan ({len(compiled)} steps, BN folded once) "
+          f"deploys to {from_plan.total_macs / 1e6:.1f} M MACs / "
+          f"{from_plan.weight_bytes / 1e6:.2f} MB int8 weights — "
+          f"{'matches' if from_plan.total_macs == plan.total_macs else 'DIFFERS FROM'} "
+          f"the spec-path deployment, from the same folded graph the host "
+          f"runtime executes.")
 
     print("\n=== Per-class cost (Table IV) ===")
     print(format_table4(profiler.table4(shots=args.shots,

@@ -34,6 +34,10 @@ class OFSCILConfig:
     #: the batched runtime (:mod:`repro.runtime`) instead of the per-batch
     #: autograd modules; training always uses the autograd path.
     use_runtime: bool = True
+    #: numeric mode of the compiled runtime: ``"float32"`` (default) or
+    #: ``"int8"`` (integer kernels; requires a model prepared by
+    #: ``quantize_ofscil_model``, which sets this automatically).
+    runtime_mode: str = "float32"
     seed: int = 0
 
 
@@ -69,10 +73,11 @@ class OFSCIL(nn.Module):
         backbone weights are rebound (training, quantization) and refreshes
         its prototype cache through the memory's version counter.
         """
-        if self._predictor is None:
+        mode = getattr(self.config, "runtime_mode", "float32")
+        if self._predictor is None or self._predictor.mode != mode:
             from ..runtime import BatchedPredictor
             self._predictor = BatchedPredictor(
-                self, micro_batch=self.config.feature_batch_size)
+                self, micro_batch=self.config.feature_batch_size, mode=mode)
         return self._predictor
 
     def serve(self, num_workers: int = 2, **kwargs):

@@ -1,6 +1,12 @@
 """GAP9 MCU simulator: memory hierarchy, cycle model, power model, profiler."""
 
-from .deploy import DeploymentPlan, deploy_backbone, deploy_graph, fold_batchnorm
+from .deploy import (
+    DeploymentPlan,
+    deploy_backbone,
+    deploy_graph,
+    fold_batchnorm,
+    plan_layer_specs,
+)
 from .kernels import (
     GraphCost,
     LayerCost,
@@ -56,6 +62,7 @@ __all__ = [
     "deploy_graph",
     "deploy_backbone",
     "fold_batchnorm",
+    "plan_layer_specs",
     "PowerModel",
     "PowerBreakdown",
     "EnergyReport",

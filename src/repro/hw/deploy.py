@@ -11,9 +11,17 @@ Fig. 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..models.graph import LayerSpec
+from ..models.graph import (
+    LayerSpec,
+    act_spec,
+    add_spec,
+    bn_spec,
+    global_pool_spec,
+    linear_spec,
+    pool_spec,
+)
 from .kernels import GraphCost, graph_cycles
 from .memory import MemoryPlan, plan_memory
 from .soc import GAP9Config
@@ -22,11 +30,115 @@ from .soc import GAP9Config
 def fold_batchnorm(layers: List[LayerSpec]) -> List[LayerSpec]:
     """Remove standalone BatchNorm layers (folded into the preceding conv).
 
-    Dory folds BN scale/shift into the convolution's requantization step, so
-    at deployment time BN costs neither extra MACs nor extra weights beyond
-    the per-channel bias already accounted for.
+    Legacy spec-path folding: used only when deploying from a registry layer
+    graph (``deploy_graph``/``deploy_backbone``), which re-derives the fold
+    the runtime compiler already performs on the weights.  The preferred path
+    is :meth:`DeploymentPlan.from_plan`, which consumes the compiled
+    (already-folded) runtime plan so cost model and runtime share one graph.
     """
     return [layer for layer in layers if layer.op_type != "bn"]
+
+
+def plan_layer_specs(plan, input_shape: Tuple[int, int, int] = (3, 32, 32)
+                     ) -> List[LayerSpec]:
+    """Describe a compiled runtime plan as a GAP9-deployable layer graph.
+
+    Walks the plan's steps with shape inference over its registers and emits
+    one :class:`LayerSpec` per costed operator.  Batch norm never appears —
+    the compiler folded it into conv weights — so the result matches a
+    registry layer graph after :func:`fold_batchnorm` on MACs and weight
+    bytes by construction.  Fused activations become explicit ``act`` specs
+    (0 MACs) to mirror the registry graphs; ``quantize``/``dequantize``/
+    ``requantize`` steps cost nothing on GAP9 (they ride the conv
+    requantization stage) and are skipped.
+
+    Args:
+        plan: a :class:`repro.runtime.InferencePlan` (float32 or int8 mode).
+        input_shape: ``(channels, height, width)`` of one input sample.
+
+    Raises:
+        ValueError: if the plan contains opaque steps (eager module calls
+            cannot be costed on the target).
+    """
+    shapes: Dict[str, Tuple[int, ...]] = {plan.input_register: tuple(input_shape)}
+    specs: List[LayerSpec] = []
+    for step in plan.steps:
+        shape = shapes[step.inputs[0]]
+        if step.op == "opaque":
+            raise ValueError(
+                f"step {step.name!r} is opaque (eager module call); compile "
+                f"the model without foreign hooks before deploying")
+        if step.op in ("quantize", "dequantize", "requantize"):
+            shapes[step.output] = shape
+            continue
+        if step.op == "flatten":
+            shapes[step.output] = (_flat_features(shape),)
+            continue
+        if step.op in ("conv", "qconv", "qconv_dequant"):
+            weight = step.arrays["weight"]
+            out_c, c_per_group, kh, kw = weight.shape
+            groups = step.attrs.get("groups", 1)
+            stride = step.attrs.get("stride", 1)
+            padding = step.attrs.get("padding", 0)
+            c, h, w = shape
+            out_h = (h + 2 * padding - kh) // stride + 1
+            out_w = (w + 2 * padding - kw) // stride + 1
+            op_type = "dwconv" if groups == c and groups == out_c else "conv"
+            specs.append(LayerSpec(
+                name=step.name, op_type=op_type, in_channels=c,
+                out_channels=out_c, kernel_size=kh, stride=stride,
+                in_hw=(h, w), out_hw=(out_h, out_w), groups=groups,
+                macs=out_h * out_w * out_c * c_per_group * kh * kw,
+                params=weight.size))
+            if step.attrs.get("act") is not None:
+                specs.append(act_spec(f"{step.name}.act", out_c,
+                                      (out_h, out_w)))
+            shapes[step.output] = (out_c, out_h, out_w)
+        elif step.op in ("linear", "qlinear"):
+            in_features = _flat_features(shape)
+            if step.module is not None:
+                out_features = step.module.weight.data.shape[0]
+                has_bias = step.module.bias is not None
+            else:
+                out_features = step.arrays["weight"].shape[0]
+                has_bias = "bias" in step.arrays
+            specs.append(linear_spec(step.name, in_features, out_features,
+                                     bias=has_bias))
+            shapes[step.output] = (out_features,)
+        elif step.op == "bn":
+            c, h, w = shape
+            specs.append(bn_spec(step.name, c, (h, w)))
+            shapes[step.output] = shape
+        elif step.op == "act":
+            c, h, w = shape
+            specs.append(act_spec(step.name, c, (h, w)))
+            shapes[step.output] = shape
+        elif step.op == "add":
+            c, h, w = shape
+            specs.append(add_spec(step.name, c, (h, w)))
+            shapes[step.output] = shape
+        elif step.op == "global_pool":
+            c, h, w = shape
+            specs.append(global_pool_spec(step.name, c, (h, w)))
+            shapes[step.output] = (c,)
+        elif step.op in ("max_pool", "avg_pool"):
+            c, h, w = shape
+            kernel = step.attrs["kernel_size"]
+            stride = step.attrs["stride"]
+            spec = pool_spec(step.name, c, (h, w), kernel, stride)
+            specs.append(spec)
+            shapes[step.output] = (c,) + spec.out_hw
+        else:
+            raise ValueError(f"cannot deploy plan step {step.op!r} "
+                             f"({step.name!r})")
+    return specs
+
+
+def _flat_features(shape: Tuple[int, ...]) -> int:
+    features = 1
+    for dim in shape:
+        features *= dim
+    return features
 
 
 @dataclass
@@ -40,6 +152,35 @@ class DeploymentPlan:
     weight_bits: int = 8
     activation_bits: int = 8
     costs: Dict[int, GraphCost] = field(default_factory=dict)
+
+    @classmethod
+    def from_plan(cls, plan, input_hw: Tuple[int, int] = (32, 32),
+                  config: Optional[GAP9Config] = None,
+                  weight_bits: int = 8, activation_bits: int = 8,
+                  in_channels: int = 3, name: Optional[str] = None
+                  ) -> "DeploymentPlan":
+        """Deploy a compiled runtime plan onto GAP9.
+
+        The runtime compiler already folded batch norm into the conv weights,
+        so the cost model and the runtime consume *one* folded graph — no
+        second :func:`fold_batchnorm` pass, no chance for the two to
+        disagree on MACs or weight bytes.
+
+        Args:
+            plan: :class:`repro.runtime.InferencePlan` from
+                ``compile_backbone``/``compile_module`` (float32 or int8).
+            input_hw: spatial input resolution of one sample.
+            config: GAP9 SoC description (defaults to the paper's).
+            weight_bits / activation_bits: deployed precisions.
+            in_channels: input channel count of one sample.
+            name: plan name override (defaults to the runtime plan's name).
+        """
+        config = config or GAP9Config()
+        layers = plan_layer_specs(plan, (in_channels,) + tuple(input_hw))
+        memory_plan = plan_memory(layers, config, weight_bits, activation_bits)
+        return cls(name=name or plan.name, layers=layers,
+                   memory_plan=memory_plan, config=config,
+                   weight_bits=weight_bits, activation_bits=activation_bits)
 
     def cost(self, cores: int = 8) -> GraphCost:
         """Cycle cost of one inference at the requested core count (cached)."""

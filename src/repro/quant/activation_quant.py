@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..models.mobilenetv2 import InvertedResidual
 from ..nn.modules import GlobalAvgPool2d, Module, ReLU, ReLU6
 from ..nn.tensor import Tensor
 from .fake_quant import fake_quantize
@@ -25,7 +26,11 @@ from .observer import make_observer
 from .tqt import TQTQuantizer
 
 
-DEFAULT_HOOK_TYPES = (ReLU, ReLU6, GlobalAvgPool2d)
+#: Hook points: activation outputs, the pooled backbone output and the
+#: residual-block outputs (Dory requantizes after every residual add on
+#: GAP9, and the integer runtime needs a calibrated grid there to re-enter
+#: the int8 domain after the float residual accumulation).
+DEFAULT_HOOK_TYPES = (ReLU, ReLU6, GlobalAvgPool2d, InvertedResidual)
 
 
 @dataclass
@@ -58,6 +63,13 @@ class ActivationQuantizer:
             return fake_quantize(output, self.quantizer.threshold, self.bits)
         return None
 
+    @property
+    def scale(self) -> float:
+        """Int8 grid step of the frozen quantizer."""
+        if self.quantizer is None:
+            raise RuntimeError(f"activation point {self.name!r} is not frozen")
+        return self.quantizer.scale
+
     def freeze(self) -> None:
         """Derive the quantizer threshold from the observed range."""
         if not self.observer.calibrated:
@@ -80,6 +92,8 @@ class ActivationQuantizationPass:
         self.hook_types = tuple(hook_types)
         self.observer_kind = observer_kind
         self.quantizers: List[ActivationQuantizer] = []
+        self._modules: List[Module] = []
+        self.input_quantizer: Optional[TQTQuantizer] = None
         self._attach()
 
     def _attach(self) -> None:
@@ -90,6 +104,14 @@ class ActivationQuantizationPass:
                                                 observer_kind=self.observer_kind)
                 module.register_forward_hook(quantizer)
                 self.quantizers.append(quantizer)
+                self._modules.append(module)
+
+    def quantizer_for(self, module: Module) -> Optional[ActivationQuantizer]:
+        """The quantizer this pass attached to ``module`` (None if none)."""
+        for hooked, quantizer in zip(self._modules, self.quantizers):
+            if hooked is module:
+                return quantizer
+        return None
 
     # ------------------------------------------------------------------
     def calibrate(self, images: np.ndarray, batch_size: int = 64,
@@ -110,6 +132,12 @@ class ActivationQuantizationPass:
                     self.model(batch)
         for quantizer in self.quantizers:
             quantizer.freeze()
+        # Calibrate the model-input grid on the same data (the deployed GAP9
+        # graph consumes an int8 image tensor) and stamp it on the model so
+        # the int8 compiler can quantize the plan input without a live
+        # reference to this pass.
+        self.input_quantizer = TQTQuantizer(bits=self.bits).calibrate(images)
+        self.model.input_quantizer = self.input_quantizer
         self.model.train(was_training)
         return self.report()
 
@@ -136,3 +164,7 @@ class ActivationQuantizationPass:
                 module._forward_hooks = [hook for hook in module._forward_hooks
                                          if hook not in self.quantizers]
         self.quantizers.clear()
+        self._modules.clear()
+        if getattr(self.model, "input_quantizer", None) is self.input_quantizer:
+            self.model.input_quantizer = None
+        self.input_quantizer = None

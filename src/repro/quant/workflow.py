@@ -30,6 +30,10 @@ class QuantizationConfig:
     qat_metalearn_iterations: int = 10
     calibration_batches: int = 8
     calibration_batch_size: int = 64
+    #: runtime execution mode the quantized model is switched to:
+    #: ``"int8"`` compiles integer kernels (the deployment configuration),
+    #: ``None`` leaves the model on the float runtime with eager fake-quant.
+    runtime_mode: Optional[str] = "int8"
     seed: int = 0
 
 
@@ -116,8 +120,31 @@ def quantize_ofscil_model(model: OFSCIL, calibration_data: ArrayDataset,
         quantize_weights(model.fcr, bits=config.weight_bits,
                          per_channel=config.per_channel_weights)
 
-    size_bytes = integer_weight_size_bytes(model.backbone, config.weight_bits) + \
-        integer_weight_size_bytes(model.fcr, config.weight_bits)
+    # 4. Hand the model to the integer runtime: the FCR consumes the pooled
+    #    backbone output, whose int8 grid the activation pass just froze, so
+    #    its input quantizer is exact by construction.  The integer lowering
+    #    only exists for 8-bit grids — at other precisions the "int8" mode
+    #    would silently degrade to an all-opaque plan that cannot be served,
+    #    so the mode switch (and the plan-based storage accounting) is gated
+    #    on the canonical 8/8 configuration.
+    int8_runtime = (config.runtime_mode == "int8"
+                    and config.weight_bits == 8 and config.activation_bits == 8)
+    pool_quantizer = act_pass.quantizer_for(getattr(model.backbone, "pool", None))
+    if pool_quantizer is not None and pool_quantizer.quantizer is not None:
+        model.fcr.input_quantizer = pool_quantizer.quantizer
+    if int8_runtime or config.runtime_mode not in (None, "int8"):
+        model.config.runtime_mode = config.runtime_mode
+
+    if int8_runtime:
+        # True int8 storage: one byte per weight, int32 bias + requantization
+        # parameters per channel — read off the compiled integer plans rather
+        # than re-estimated from the module tree.
+        predictor = model.runtime_predictor()
+        size_bytes = predictor.backbone_engine.plan.storage_bytes() + \
+            predictor.fcr_engine.plan.storage_bytes()
+    else:
+        size_bytes = integer_weight_size_bytes(model.backbone, config.weight_bits) + \
+            integer_weight_size_bytes(model.fcr, config.weight_bits)
     report = QuantizationReport(config=config, weights=weight_report,
                                 activations=act_report,
                                 model_size_bytes=size_bytes, extras=extras)

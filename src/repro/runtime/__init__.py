@@ -25,6 +25,8 @@ from .compare import (
     compare_with_eager,
 )
 from .compiler import (
+    MODES,
+    Int8CompilationError,
     bn_scale_shift,
     compile_backbone,
     compile_module,
@@ -40,6 +42,8 @@ from .predictor import BatchedPredictor
 __all__ = [
     "InferencePlan",
     "Step",
+    "MODES",
+    "Int8CompilationError",
     "compile_module",
     "compile_backbone",
     "compile_ofscil",

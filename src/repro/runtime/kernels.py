@@ -197,6 +197,256 @@ def avg_pool(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
     return view.mean(axis=(2, 3))
 
 
+# ---------------------------------------------------------------------------
+# Integer (int8) execution kernels
+# ---------------------------------------------------------------------------
+#: Symmetric signed-int8 code range shared by weights and activations.
+INT8_QMIN, INT8_QMAX = -127, 127
+
+#: Largest worst-case |accumulator| for which a float32 GEMM is still exact
+#: (every partial sum is an integer below 2**24, the float32 mantissa limit).
+_F32_EXACT_LIMIT = 2 ** 24
+
+#: Hard bound the integer path must respect: accumulators are int32 on the
+#: target hardware, regardless of the dtype the host GEMM runs in.
+INT32_ACC_LIMIT = 2 ** 31 - 1
+
+
+def quantize_int8(x: np.ndarray, scale: float) -> np.ndarray:
+    """Quantize float values onto the symmetric int8 grid ``scale``.
+
+    Matches the rounding of :func:`repro.quant.fake_quant.quantize`
+    (round-half-to-even, clip to ±127) so integer plans reproduce the fake
+    quantization of the eager path code-for-code.
+    """
+    codes = np.clip(np.rint(x / scale), INT8_QMIN, INT8_QMAX)
+    return codes.astype(np.int8)
+
+
+def dequantize_int8(q: np.ndarray, scale: float) -> np.ndarray:
+    """Map int8 codes back to float32 values."""
+    return q.astype(np.float32) * np.float32(scale)
+
+
+def requantize_float(x: np.ndarray, scale: float) -> np.ndarray:
+    """Fake-quantize a float tensor in place of a quantize+dequantize pair.
+
+    First-class plan-op replacement for the eager activation fake-quant
+    hooks: the output is float32 but every value sits on the int8 grid.
+    """
+    codes = np.clip(np.rint(x / scale), INT8_QMIN, INT8_QMAX)
+    return (codes * scale).astype(np.float32)
+
+
+def quantize_weight_per_channel(weight: np.ndarray
+                                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-output-channel symmetric int8 quantization of a weight tensor.
+
+    Returns ``(codes, scales)`` where ``codes`` is int8 with the same shape
+    as ``weight`` and ``scales`` is a float64 vector over the leading (output
+    channel) axis.  All-zero channels get scale 1.0 so downstream
+    requantization multipliers stay finite.
+    """
+    flat = weight.reshape(weight.shape[0], -1)
+    max_abs = np.abs(flat).max(axis=1).astype(np.float64)
+    scales = np.where(max_abs > 0.0, max_abs / INT8_QMAX, 1.0)
+    shaped = scales.reshape((-1,) + (1,) * (weight.ndim - 1))
+    codes = np.clip(np.rint(weight / shaped), INT8_QMIN, INT8_QMAX)
+    return codes.astype(np.int8), scales
+
+
+def conv_accumulator_bound(weight_q: np.ndarray,
+                           bias_q: Optional[np.ndarray] = None) -> int:
+    """Worst-case |int32 accumulator| of an int8 conv/linear layer.
+
+    Bounds the dot product by ``sum |w_q| * 127`` per output channel (the
+    actual quantized weights, not the generic ``K * 127^2`` envelope) plus
+    the bias magnitude.
+    """
+    per_channel = np.abs(weight_q.reshape(weight_q.shape[0], -1)
+                         .astype(np.int64)).sum(axis=1) * INT8_QMAX
+    if bias_q is not None:
+        per_channel = per_channel + np.abs(bias_q.astype(np.int64))
+    return int(per_channel.max()) if per_channel.size else 0
+
+
+def _acc_dtype(bound: int):
+    """GEMM dtype that accumulates integer values of magnitude ``bound`` exactly."""
+    return np.float32 if bound < _F32_EXACT_LIMIT else np.float64
+
+
+def _cast_cached(x: np.ndarray, dtype, tag: str,
+                 cache: Optional[BufferCache]) -> np.ndarray:
+    """Cast ``x`` into a cached buffer of ``dtype`` (exact for int8 sources)."""
+    if x.dtype == dtype:
+        return x
+    if cache is not None:
+        out = cache.get(tag, x.shape, dtype)
+    else:
+        out = np.empty(x.shape, dtype=dtype)
+    np.copyto(out, x)
+    return out
+
+
+def int_accumulate_conv(q: np.ndarray, weight_q: np.ndarray, stride: int = 1,
+                        padding: int = 0, groups: int = 1,
+                        cache: Optional[BufferCache] = None,
+                        acc_bound: Optional[int] = None) -> np.ndarray:
+    """Exact integer conv accumulation of int8 activations against int8 weights.
+
+    The GEMM runs in float32/float64 (hitting BLAS) but every partial sum is
+    an integer below the chosen mantissa limit, so the result is *exactly*
+    the int32-accumulate convolution — bit-for-bit identical regardless of
+    batch split, BLAS threading or summation order.  Returns the integer
+    accumulator as a float array of shape ``(N, out_c, spatial)``.
+    """
+    n, c, h, w = q.shape
+    out_c, c_per_group, kh, kw = weight_q.shape
+    if c != c_per_group * groups:
+        raise ValueError(
+            f"input channels ({c}) incompatible with weight {weight_q.shape} "
+            f"and groups={groups}")
+    bound = acc_bound if acc_bound is not None \
+        else conv_accumulator_bound(weight_q)
+    if bound > INT32_ACC_LIMIT:
+        raise OverflowError(
+            f"int8 conv accumulator bound {bound} exceeds the int32 range; "
+            f"the layer cannot run on 32-bit accumulators")
+    dtype = _acc_dtype(bound)
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    spatial = out_h * out_w
+
+    pointwise = (kh == 1 and kw == 1 and stride == 1 and padding == 0
+                 and groups == 1)
+    weight_f = weight_q.astype(dtype)
+    if pointwise:
+        x_f = _cast_cached(q.reshape(n, c, spatial), dtype, "qpw", cache)
+        acc = np.matmul(weight_f.reshape(out_c, c), x_f)
+    else:
+        cols = im2col_cached(q, kh, kw, stride, padding, cache)
+        cols_f = _cast_cached(cols, dtype, "qcol", cache)
+        depthwise = groups == c and groups == out_c
+        if groups == 1:
+            acc = np.matmul(weight_f.reshape(out_c, c * kh * kw),
+                            cols_f.reshape(n, c * kh * kw, spatial))
+        elif depthwise:
+            acc = np.einsum("nckl,ck->ncl", cols_f,
+                            weight_f.reshape(c, kh * kw))
+        else:
+            cols_g = cols_f.reshape(n, groups, c_per_group * kh * kw, spatial)
+            weight_g = weight_f.reshape(groups, out_c // groups,
+                                        c_per_group * kh * kw)
+            acc = np.einsum("gok,ngkl->ngol", weight_g, cols_g, optimize=True)
+    return np.ascontiguousarray(acc).reshape(n, out_c, spatial)
+
+
+def fused_qconv(q: np.ndarray, weight_q: np.ndarray, bias_q: np.ndarray,
+                multiplier: np.ndarray, stride: int = 1, padding: int = 0,
+                groups: int = 1, qmin: int = INT8_QMIN, qmax: int = INT8_QMAX,
+                cache: Optional[BufferCache] = None,
+                acc_bound: Optional[int] = None) -> np.ndarray:
+    """Int8 conv with the requantization epilogue fused in.
+
+    ``acc = conv_int32(q, weight_q) + bias_q`` followed by the per-channel
+    rescale ``clip(round(acc * multiplier), qmin, qmax)`` back to int8, with
+    the activation expressed through the clamp bounds (``qmin=0`` for ReLU,
+    ``qmax=round(6/scale)`` capped at 127 for ReLU6).
+    """
+    n = q.shape[0]
+    out_c = weight_q.shape[0]
+    acc = int_accumulate_conv(q, weight_q, stride=stride, padding=padding,
+                              groups=groups, cache=cache, acc_bound=acc_bound)
+    acc += bias_q.astype(acc.dtype).reshape(1, out_c, 1)
+    # float32 * float64 promotes each product to float64 exactly — no
+    # explicit astype copy needed on the hot path.
+    scaled = acc * multiplier.reshape(1, out_c, 1)
+    codes = np.clip(np.rint(scaled), qmin, qmax).astype(np.int8)
+    kh, kw = weight_q.shape[2], weight_q.shape[3]
+    out_h = conv_output_size(q.shape[2], kh, stride, padding)
+    out_w = conv_output_size(q.shape[3], kw, stride, padding)
+    return codes.reshape(n, out_c, out_h, out_w)
+
+
+def fused_qconv_dequant(q: np.ndarray, weight_q: np.ndarray,
+                        dequant: np.ndarray, bias: Optional[np.ndarray] = None,
+                        stride: int = 1, padding: int = 0, groups: int = 1,
+                        act: Optional[str] = None,
+                        cache: Optional[BufferCache] = None,
+                        acc_bound: Optional[int] = None) -> np.ndarray:
+    """Int8 conv dequantized straight to float32 (no output scale needed).
+
+    Used where the plan has no calibrated output range (e.g. the projection
+    convolution feeding a residual add): the int32 accumulator is mapped back
+    to float via the per-channel ``dequant = s_in * s_w[c]`` factors and the
+    float bias is added on top.
+    """
+    n = q.shape[0]
+    out_c = weight_q.shape[0]
+    acc = int_accumulate_conv(q, weight_q, stride=stride, padding=padding,
+                              groups=groups, cache=cache, acc_bound=acc_bound)
+    out = (acc * dequant.reshape(1, out_c, 1)).astype(np.float32)
+    if bias is not None:
+        out += bias.reshape(1, out_c, 1)
+    apply_activation(out, act)
+    kh, kw = weight_q.shape[2], weight_q.shape[3]
+    out_h = conv_output_size(q.shape[2], kh, stride, padding)
+    out_w = conv_output_size(q.shape[3], kw, stride, padding)
+    return out.reshape(n, out_c, out_h, out_w)
+
+
+def fused_qlinear(q: np.ndarray, weight_q: np.ndarray, dequant: np.ndarray,
+                  bias: Optional[np.ndarray] = None,
+                  act: Optional[str] = None) -> np.ndarray:
+    """Int8 GEMM ``q @ weight_q.T`` with a float rescale at the end.
+
+    ``weight_q`` is ``(out, in)`` int8; ``dequant`` holds the per-output-row
+    ``s_in * s_w[row]`` factors.  The accumulation is exact (see
+    :func:`int_accumulate_conv`), the output is float32.
+    """
+    bound = conv_accumulator_bound(weight_q)
+    if bound > INT32_ACC_LIMIT:
+        raise OverflowError(
+            f"int8 linear accumulator bound {bound} exceeds the int32 range")
+    dtype = _acc_dtype(bound)
+    acc = np.matmul(q.astype(dtype), weight_q.T.astype(dtype))
+    out = (acc * dequant.reshape(1, -1)).astype(np.float32)
+    if bias is not None:
+        out += bias
+    return apply_activation(out, act)
+
+
+def quantize_unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """Quantize rows of a unit-norm matrix to int8 at the fixed scale 1/127.
+
+    Row-normalised matrices (features, prototypes) live in ``[-1, 1]``, so a
+    static power-free scale of ``1/127`` loses no range; the fixed scale
+    keeps the codes independent of batch composition, which is what makes
+    int8 prototype matching bitwise reproducible under sharding.
+    """
+    return np.clip(np.rint(matrix * INT8_QMAX), INT8_QMIN, INT8_QMAX) \
+        .astype(np.int8)
+
+
+def int8_cosine_similarities(features: np.ndarray,
+                             prototypes_q: np.ndarray,
+                             eps: float = 1e-12) -> np.ndarray:
+    """Cosine similarity as an int8 GEMM with a float rescale at the end.
+
+    Features are L2-normalised in float, quantized per element at the fixed
+    ``1/127`` scale, multiplied against pre-quantized unit-norm prototypes
+    in an exact integer GEMM and rescaled by ``1/127**2``.  Per-sample
+    normalisation + elementwise quantization keep every row independent of
+    the rest of the batch, so sharded and local execution agree bit-for-bit.
+    """
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    features_q = quantize_unit_rows(features / (norms + eps))
+    # Worst case |acc| = dim * 127 * 127: exact in float64 up to dim ~ 5e8.
+    acc = np.matmul(features_q.astype(np.float64),
+                    prototypes_q.T.astype(np.float64))
+    return (acc / float(INT8_QMAX) ** 2).astype(np.float32)
+
+
 def normalize_prototypes(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:
     """Row-wise L2 normalisation of a prototype matrix (float32).
 

@@ -28,7 +28,9 @@ class Step:
     """One operation of a flat inference plan."""
 
     op: str                       # conv | linear | bn | act | add | global_pool |
-                                  # max_pool | avg_pool | flatten | opaque
+                                  # max_pool | avg_pool | flatten | opaque |
+                                  # quantize | dequantize | requantize |
+                                  # qconv | qconv_dequant | qlinear
     name: str                     # human-readable layer name (for debugging)
     inputs: Tuple[str, ...]       # register names read by the step
     output: str                   # register name written by the step
@@ -88,6 +90,37 @@ class InferencePlan:
                    if step.op in ("conv", "linear")
                    and step.attrs.get("act") is not None)
 
+    def num_integer(self) -> int:
+        """Number of steps executing on int8 inputs with int32 accumulation."""
+        return sum(1 for step in self.steps
+                   if step.op in ("qconv", "qconv_dequant", "qlinear"))
+
+    def storage_bytes(self) -> int:
+        """Deployable parameter storage with true per-step dtype accounting.
+
+        Int8 steps count one byte per weight plus four bytes per output
+        channel for the int32 bias and four for the requantization factor
+        (shipped as an int32 multiplier + shift on the target, even though
+        the host plan holds them as float64).  Float steps count their arrays
+        at the stored width; ``linear`` steps that read a live module count
+        the module parameters at float32.
+        """
+        total = 0
+        for step in self.steps:
+            if step.op in ("qconv", "qconv_dequant", "qlinear"):
+                weight = step.arrays["weight"]
+                out_channels = weight.shape[0]
+                total += weight.size                     # int8 weights
+                total += 4 * out_channels                # int32 bias
+                total += 4 * out_channels                # requant multiplier
+            elif step.op == "linear" and step.module is not None:
+                total += step.module.weight.data.size * 4
+                if step.module.bias is not None:
+                    total += step.module.bias.data.size * 4
+            else:
+                total += sum(array.nbytes for array in step.arrays.values())
+        return total
+
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray,
                 cache: Optional[kernels.BufferCache] = None) -> np.ndarray:
@@ -127,6 +160,36 @@ def _execute_step(step: Step, registers: Dict[str, np.ndarray],
             weight = step.arrays["weight"]
             bias = step.arrays.get("bias")
         return kernels.fused_linear(x, weight, bias, act=step.attrs.get("act"))
+    if op == "qconv":
+        return kernels.fused_qconv(
+            x, step.arrays["weight"], step.arrays["bias"],
+            step.arrays["multiplier"],
+            stride=step.attrs.get("stride", 1),
+            padding=step.attrs.get("padding", 0),
+            groups=step.attrs.get("groups", 1),
+            qmin=step.attrs.get("qmin", kernels.INT8_QMIN),
+            qmax=step.attrs.get("qmax", kernels.INT8_QMAX),
+            cache=cache, acc_bound=step.attrs.get("acc_bound"))
+    if op == "qconv_dequant":
+        return kernels.fused_qconv_dequant(
+            x, step.arrays["weight"], step.arrays["dequant"],
+            step.arrays.get("bias"),
+            stride=step.attrs.get("stride", 1),
+            padding=step.attrs.get("padding", 0),
+            groups=step.attrs.get("groups", 1),
+            act=step.attrs.get("act"), cache=cache,
+            acc_bound=step.attrs.get("acc_bound"))
+    if op == "qlinear":
+        return kernels.fused_qlinear(x, step.arrays["weight"],
+                                     step.arrays["dequant"],
+                                     step.arrays.get("bias"),
+                                     act=step.attrs.get("act"))
+    if op == "quantize":
+        return kernels.quantize_int8(x, step.attrs["scale"])
+    if op == "dequantize":
+        return kernels.dequantize_int8(x, step.attrs["scale"])
+    if op == "requantize":
+        return kernels.requantize_float(x, step.attrs["scale"])
     if op == "bn":
         return kernels.batchnorm_inference(x, step.arrays["scale"],
                                            step.arrays["shift"],

@@ -20,21 +20,37 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from .compiler import compile_backbone, compile_module
+from .compiler import MODES, compile_backbone, compile_module
 from .engine import DEFAULT_MICRO_BATCH, InferenceEngine
-from .kernels import cosine_similarities, normalize_prototypes
+from .kernels import (
+    cosine_similarities,
+    int8_cosine_similarities,
+    normalize_prototypes,
+    quantize_unit_rows,
+)
 
 
 class BatchedPredictor:
-    """Inference-only, batched view of an O-FSCIL model."""
+    """Inference-only, batched view of an O-FSCIL model.
 
-    def __init__(self, model, micro_batch: int = DEFAULT_MICRO_BATCH):
+    ``mode="int8"`` compiles the backbone and FCR with the integer lowering
+    (requires a model prepared by ``quantize_ofscil_model``: calibrated
+    activation quantizer hooks plus input quantizers) and answers prototype
+    matching with an int8 GEMM rescaled to float at the end.
+    """
+
+    def __init__(self, model, micro_batch: int = DEFAULT_MICRO_BATCH,
+                 mode: str = "float32"):
+        if mode not in MODES:
+            raise ValueError(f"unknown runtime mode {mode!r}; "
+                             f"expected one of {MODES}")
         self.model = model
         self.micro_batch = micro_batch
+        self.mode = mode
         self._backbone_engine: Optional[InferenceEngine] = None
         self._backbone_state: list = []
         self._fcr_engine: Optional[InferenceEngine] = None
-        self._fcr_hooks = -1
+        self._fcr_state: list = []
         # (memory version, class-id selection) -> (normalised matrix, ids)
         self._proto_cache: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
 
@@ -47,6 +63,28 @@ class BatchedPredictor:
     # ------------------------------------------------------------------
     # Engines
     # ------------------------------------------------------------------
+    @staticmethod
+    def _quantizer_signature(module) -> tuple:
+        """Frozen thresholds of the activation quantizer hooks on ``module``.
+
+        The int8 lowering bakes the hook thresholds into the plan, so a
+        recalibration (which changes ``quantizer.threshold`` without touching
+        weights or hook counts) must also read as staleness.
+        """
+        from ..quant.activation_quant import ActivationQuantizer
+
+        signature = []
+        for sub in module.modules():
+            for hook in sub._forward_hooks:
+                if isinstance(hook, ActivationQuantizer):
+                    signature.append((hook.mode,
+                                      None if hook.quantizer is None
+                                      else hook.quantizer.threshold))
+        quantizer = getattr(module, "input_quantizer", None)
+        if quantizer is not None:
+            signature.append(("input", quantizer.threshold))
+        return tuple(signature)
+
     def _current_backbone_state(self) -> list:
         """Identity snapshot of everything the compiled plan froze in.
 
@@ -54,42 +92,67 @@ class BatchedPredictor:
         steps, weight quantization) or the BN buffers (``update_buffer``), so
         comparing array identities detects staleness without touching the
         values.  Hook attachment/removal flips layers between fused and
-        opaque lowering, so the hook count participates too.
+        opaque lowering, so the hook count participates too; in int8 mode the
+        quantizer thresholds are part of the compiled plan and join the
+        signature.
         """
         backbone = self.model.backbone
         arrays = [parameter.data for parameter in backbone.parameters()]
         arrays.extend(buffer for _, buffer in backbone.named_buffers())
         hook_count = sum(len(module._forward_hooks)
                          for module in backbone.modules())
-        return [arrays, hook_count]
+        quantizers = self._quantizer_signature(backbone) \
+            if self.mode == "int8" else ()
+        return [arrays, hook_count, quantizers]
+
+    def _current_fcr_state(self) -> list:
+        """Staleness signature of the FCR plan.
+
+        In float mode the ``linear`` step reads weights from the live module,
+        so only hook changes matter; the int8 lowering freezes quantized
+        weights into the plan, so weight identities and quantizer thresholds
+        participate as well.
+        """
+        fcr = self.model.fcr
+        hooks = sum(len(module._forward_hooks) for module in fcr.modules())
+        if self.mode != "int8":
+            return [hooks]
+        arrays = [parameter.data for parameter in fcr.parameters()]
+        return [hooks, arrays, self._quantizer_signature(fcr)]
+
+    @staticmethod
+    def _state_differs(state: list, old: list) -> bool:
+        if not old or len(state) != len(old):
+            return True
+        for new_part, old_part in zip(state, old):
+            if isinstance(new_part, list):      # identity-compared arrays
+                if len(new_part) != len(old_part) or \
+                        any(a is not b for a, b in zip(new_part, old_part)):
+                    return True
+            elif new_part != old_part:
+                return True
+        return False
 
     @property
     def backbone_engine(self) -> InferenceEngine:
         state = self._current_backbone_state()
-        stale = self._backbone_engine is None
-        if not stale:
-            arrays, hooks = state
-            old_arrays, old_hooks = self._backbone_state
-            stale = (hooks != old_hooks or len(arrays) != len(old_arrays)
-                     or any(a is not b for a, b in zip(arrays, old_arrays)))
-        if stale:
+        if self._backbone_engine is None or \
+                self._state_differs(state, self._backbone_state):
             self._backbone_engine = InferenceEngine(
-                compile_backbone(self.model.backbone),
+                compile_backbone(self.model.backbone, mode=self.mode),
                 micro_batch=self.micro_batch)
             self._backbone_state = state
         return self._backbone_engine
 
     @property
     def fcr_engine(self) -> InferenceEngine:
-        # The ``linear`` step reads FCR weights from the live module, so only
-        # hook changes (which flip fused vs opaque lowering) force a rebuild.
-        hooks = sum(len(module._forward_hooks)
-                    for module in self.model.fcr.modules())
-        if self._fcr_engine is None or hooks != self._fcr_hooks:
+        state = self._current_fcr_state()
+        if self._fcr_engine is None or \
+                self._state_differs(state, self._fcr_state):
             self._fcr_engine = InferenceEngine(
-                compile_module(self.model.fcr, "fcr"),
+                compile_module(self.model.fcr, "fcr", mode=self.mode),
                 micro_batch=max(self.micro_batch, 512))
-            self._fcr_hooks = hooks
+            self._fcr_state = state
         return self._fcr_engine
 
     def refresh(self) -> None:
@@ -102,7 +165,7 @@ class BatchedPredictor:
         self._backbone_engine = None
         self._backbone_state = []
         self._fcr_engine = None
-        self._fcr_hooks = -1
+        self._fcr_state = []
         self._proto_cache.clear()
 
     # ------------------------------------------------------------------
@@ -129,6 +192,18 @@ class BatchedPredictor:
     def prototypes(self, class_ids: Optional[Iterable[int]] = None
                    ) -> Tuple[np.ndarray, np.ndarray]:
         """L2-normalised prototype matrix + ids, cached per memory version."""
+        matrix, ids, _codes = self._cached_prototypes(class_ids)
+        return matrix, ids
+
+    def _cached_prototypes(self, class_ids: Optional[Iterable[int]] = None
+                           ) -> Tuple[np.ndarray, np.ndarray,
+                                      Optional[np.ndarray]]:
+        """(normalised matrix, ids, int8 codes-or-None), version-cached.
+
+        The int8 codes of the unit rows are a pure function of the matrix, so
+        they are quantized once per (memory version, selection) instead of on
+        every similarity call.
+        """
         memory = self.model.memory
         selection = tuple(int(c) for c in class_ids) \
             if class_ids is not None else None
@@ -137,7 +212,9 @@ class BatchedPredictor:
         if cached is None:
             matrix, ids = memory.prototype_matrix(
                 selection if selection is not None else None)
-            cached = (normalize_prototypes(matrix), ids)
+            matrix = normalize_prototypes(matrix)
+            codes = quantize_unit_rows(matrix) if self.mode == "int8" else None
+            cached = (matrix, ids, codes)
             # Evict entries from stale memory versions (useless after any
             # learning step) while keeping other class-id selections of the
             # current version, e.g. session-restricted evaluation views.
@@ -154,10 +231,14 @@ class BatchedPredictor:
     def similarities_from_features(self, theta_p: np.ndarray,
                                    class_ids: Optional[Iterable[int]] = None
                                    ) -> Tuple[np.ndarray, np.ndarray]:
-        matrix, ids = self.prototypes(class_ids)
+        matrix, ids, codes = self._cached_prototypes(class_ids)
         theta_p = np.asarray(theta_p, dtype=np.float32)
         if theta_p.ndim == 1:
             theta_p = theta_p[None, :]
+        if self.mode == "int8":
+            # Prototype matching as an int8 GEMM with a float rescale: unit
+            # rows quantized at the fixed 1/127 grid, exact integer product.
+            return int8_cosine_similarities(theta_p, codes), ids
         return cosine_similarities(theta_p, matrix), ids
 
     def predict_features(self, theta_p: np.ndarray,

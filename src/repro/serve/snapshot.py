@@ -191,6 +191,10 @@ class ModelSnapshot:
     micro_batch: int
     relu_sharpening: bool
     backbone_name: str
+    #: numeric mode of the compiled plans ("float32" or "int8"); workers pick
+    #: the matching prototype-similarity kernel so every replica answers with
+    #: the same arithmetic as the coordinator's predictor.
+    mode: str = "float32"
 
 
 def snapshot_model(model, micro_batch: Optional[int] = None) -> ModelSnapshot:
@@ -198,7 +202,10 @@ def snapshot_model(model, micro_batch: Optional[int] = None) -> ModelSnapshot:
 
     The plans are taken from the model's cached
     :class:`~repro.runtime.BatchedPredictor` (compiling it if needed), so
-    the snapshot captures exactly what the in-process serving path executes.
+    the snapshot captures exactly what the in-process serving path executes —
+    including the integer lowering when the model runs in int8 mode (whose
+    ``quantize``/``requantize``/``qconv`` steps are plain array/attr steps,
+    so int8 plans snapshot without any special casing).
     """
     predictor = model.runtime_predictor()
     return ModelSnapshot(
@@ -207,4 +214,5 @@ def snapshot_model(model, micro_batch: Optional[int] = None) -> ModelSnapshot:
         prototypes=snapshot_prototypes(model.memory),
         micro_batch=micro_batch or predictor.micro_batch,
         relu_sharpening=bool(getattr(model.config, "relu_sharpening", False)),
-        backbone_name=str(getattr(model.config, "backbone", "")))
+        backbone_name=str(getattr(model.config, "backbone", "")),
+        mode=predictor.mode)

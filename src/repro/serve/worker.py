@@ -33,7 +33,11 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..runtime.engine import InferenceEngine
-from ..runtime.kernels import cosine_similarities
+from ..runtime.kernels import (
+    cosine_similarities,
+    int8_cosine_similarities,
+    quantize_unit_rows,
+)
 from .snapshot import ModelSnapshot, PrototypeState
 
 
@@ -48,6 +52,8 @@ class _WorkerState:
                                    micro_batch=max(snapshot.micro_batch, 512))
         self.prototypes: PrototypeState = snapshot.prototypes
         self.relu_sharpening = snapshot.relu_sharpening
+        self.mode = getattr(snapshot, "mode", "float32")
+        self._protos_q = None          # int8 codes, rebuilt per broadcast
         self.requests = 0
 
     # ------------------------------------------------------------------
@@ -61,7 +67,25 @@ class _WorkerState:
         if ids.size == 0:
             raise ValueError("worker has an empty prototype state; broadcast "
                              "prototypes (Server.sync_prototypes) first")
-        return cosine_similarities(self.embed(images), matrix), ids
+        features = self.embed(images)
+        if self.mode == "int8":
+            # Same arithmetic as the coordinator's int8 predictor: quantized
+            # unit rows, exact integer GEMM, float rescale — so worker and
+            # coordinator answers agree bit-for-bit.  The full-matrix codes
+            # are quantized once per prototype broadcast (quantization is
+            # elementwise, so a restricted selection quantizes its own rows
+            # to the identical codes).
+            if class_ids is None:
+                if self._protos_q is None:
+                    self._protos_q = quantize_unit_rows(
+                        self.prototypes.matrix_normed)
+                codes = self._protos_q
+            else:
+                codes = quantize_unit_rows(matrix)
+            sims = int8_cosine_similarities(features, codes)
+        else:
+            sims = cosine_similarities(features, matrix)
+        return sims, ids
 
     def handle(self, kind: str, payload):
         self.requests += 1
@@ -83,6 +107,7 @@ class _WorkerState:
             return sims, ids
         if kind == "set_prototypes":
             self.prototypes = payload
+            self._protos_q = None
             return self.prototypes.version
         if kind == "stats":
             return {

@@ -1,0 +1,92 @@
+"""Deterministic builder + golden fixtures for the int8 runtime conformance suite.
+
+The golden fixture (``tests/fixtures/int8_golden.npz``) commits a frozen
+(input, expected-output) set for a fully deterministic quantized model: the
+model is reconstructed from seeds alone (no training stages), so the int8
+execution path can be checked for *exact* reproduction across runs, machines
+with different BLAS backends (the integer GEMMs are exact by construction)
+and snapshot round-trips.
+
+Regenerate after an intentional change to the quantization or int8 lowering
+semantics with::
+
+    PYTHONPATH=src python tests/int8_fixtures.py
+
+and commit the refreshed ``.npz`` together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import OFSCIL, OFSCILConfig
+from repro.data import build_synthetic_fscil
+from repro.quant import QuantizationConfig, quantize_ofscil_model
+
+BACKBONE = "mobilenetv2_x4_tiny"
+MODEL_SEED = 7
+NUM_CLASSES = 4
+SHOTS_PER_CLASS = 3
+IMAGE_SHAPE = (3, 16, 16)
+FIXTURE_PATH = Path(__file__).resolve().parent / "fixtures" / "int8_golden.npz"
+
+
+def build_quantized_model():
+    """The conformance model: seeded init + PTQ, no training stages.
+
+    Skipping the QAT refinement keeps construction to a few seconds and —
+    more importantly — removes every gradient-descent stage from the
+    reproduction path, so the model is a pure function of the seeds.
+    """
+    benchmark = build_synthetic_fscil("test", seed=0)
+    model = OFSCIL.from_registry(BACKBONE, OFSCILConfig(backbone=BACKBONE),
+                                 seed=MODEL_SEED)
+    config = QuantizationConfig(qat_pretrain_epochs=0,
+                                qat_metalearn_iterations=0,
+                                calibration_batches=2,
+                                calibration_batch_size=32)
+    model, report = quantize_ofscil_model(model, benchmark.base_train,
+                                          config=config)
+    model.freeze_feature_extractor()
+    shots = learn_shots()
+    for class_id in range(NUM_CLASSES):
+        start = class_id * SHOTS_PER_CLASS
+        model.learn_class(shots[start:start + SHOTS_PER_CLASS], class_id)
+    return model, report
+
+
+def learn_shots() -> np.ndarray:
+    rng = np.random.default_rng(123)
+    return rng.standard_normal(
+        (NUM_CLASSES * SHOTS_PER_CLASS, *IMAGE_SHAPE)).astype(np.float32)
+
+
+def golden_inputs() -> np.ndarray:
+    rng = np.random.default_rng(321)
+    return rng.standard_normal((8, *IMAGE_SHAPE)).astype(np.float32)
+
+
+def compute_golden(model) -> dict:
+    """Expected int8-path tensors for the committed query images."""
+    predictor = model.runtime_predictor()
+    images = golden_inputs()
+    theta_a = predictor.extract_backbone_features(images)
+    theta_p = predictor.project(theta_a)
+    sims, ids = predictor.similarities_from_features(theta_p)
+    labels = predictor.predict_features(theta_p)
+    return {"images": images, "theta_a": theta_a, "theta_p": theta_p,
+            "sims": sims, "ids": ids, "labels": labels}
+
+
+def regenerate(path: Path = FIXTURE_PATH) -> Path:
+    model, _report = build_quantized_model()
+    arrays = compute_golden(model)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+if __name__ == "__main__":
+    print(f"wrote {regenerate()}")

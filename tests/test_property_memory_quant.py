@@ -8,6 +8,7 @@ from hypothesis.extra import numpy as hnp
 from repro.core import ExplicitMemory, quantize_prototype
 from repro.data import build_protocol
 from repro.quant import quantize_dequantize, scale_from_threshold, select_threshold
+from repro.runtime import kernels as rt_kernels
 
 FEATURE_ELEMENTS = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
                              allow_infinity=False, width=32)
@@ -105,3 +106,124 @@ def test_em_memory_footprint_scales_linearly(num_classes, dim, bits):
     memory = ExplicitMemory(dim=dim, bits=bits)
     footprint = memory.memory_bytes(num_classes)
     assert footprint == pytest.approx(num_classes * dim * bits / 8.0)
+
+
+# ---------------------------------------------------------------------------
+# Int8 runtime: exact integer accumulation and float-path parity
+# ---------------------------------------------------------------------------
+INT8_ELEMENTS = st.integers(min_value=-127, max_value=127)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.int8, (2, 4, 6, 6), elements=INT8_ELEMENTS),
+       hnp.arrays(np.int8, (3, 4, 3, 3), elements=INT8_ELEMENTS))
+def test_int8_conv_accumulation_is_exact_integer_arithmetic(q, weight):
+    """The BLAS-backed int8 conv equals a pure int64 reference bit-for-bit."""
+    acc = rt_kernels.int_accumulate_conv(q, weight, stride=1, padding=1)
+    cols = rt_kernels.im2col_cached(q, 3, 3, 1, 1).astype(np.int64)
+    reference = np.einsum("nckl,ock->nol", cols.reshape(2, 4, 9, 36),
+                          weight.reshape(3, 4, 9).astype(np.int64))
+    assert acc.dtype in (np.float32, np.float64)
+    np.testing.assert_array_equal(acc.astype(np.int64), reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=512),   # channels * kernel^2
+       st.integers(min_value=1, max_value=8))     # output channels
+def test_int32_accumulator_never_overflows_at_max_magnitude(k, out_c):
+    """Max-magnitude int8 inputs and weights must stay inside int32.
+
+    The compiler enforces ``conv_accumulator_bound <= 2**31 - 1`` per layer;
+    this property pins the bound itself: at the extreme ±127 * ±127 products
+    the true accumulator equals the bound and fits int32 for every reduction
+    depth our backbones can produce (K up to tens of thousands).
+    """
+    weight = np.full((out_c, k, 1, 1), 127, dtype=np.int8)
+    q = np.full((1, k, 1, 1), -127, dtype=np.int8)
+    bound = rt_kernels.conv_accumulator_bound(weight)
+    assert bound == k * 127 * 127
+    assert bound <= rt_kernels.INT32_ACC_LIMIT
+    acc = rt_kernels.int_accumulate_conv(q, weight)
+    assert int(np.abs(acc).max()) == bound
+    exact = np.array(acc, dtype=np.int64)
+    np.testing.assert_array_equal(exact, acc)  # no rounding happened
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float32, (64,),
+                  elements=st.floats(min_value=-4, max_value=4, width=32,
+                                     allow_nan=False)),
+       st.sampled_from([2.0 ** -e for e in range(0, 8)]))
+def test_runtime_quantize_matches_fake_quant_grid(values, threshold):
+    """runtime.kernels int8 codes == repro.quant fake-quant codes."""
+    scale = scale_from_threshold(threshold, 8)
+    codes = rt_kernels.quantize_int8(values, scale)
+    reference = np.clip(np.round(values / scale), -127, 127)
+    np.testing.assert_array_equal(codes.astype(np.float32), reference)
+    roundtrip = rt_kernels.requantize_float(values, scale)
+    np.testing.assert_allclose(roundtrip, quantize_dequantize(values,
+                                                              threshold, 8),
+                               rtol=0, atol=1e-7)
+
+
+def _quantized_stack(seed: int):
+    """A small calibrated int8 conv stack plus its calibration images."""
+    from repro import nn
+    from repro.models.mobilenetv2 import ConvBNReLU
+    from repro.quant import ActivationQuantizationPass, quantize_weights
+
+    rng = np.random.default_rng(seed)
+    c1 = int(rng.integers(3, 7))
+    c2 = int(rng.integers(3, 9))
+    net = nn.Sequential(ConvBNReLU(3, c1, rng=rng),
+                        ConvBNReLU(c1, c2, stride=2, rng=rng),
+                        ConvBNReLU(c2, c2, kernel_size=1, rng=rng),
+                        nn.GlobalAvgPool2d())
+    net.eval()
+    images = rng.standard_normal((24, 3, 10, 10)).astype(np.float32)
+    act_pass = ActivationQuantizationPass(net, bits=8)
+    act_pass.calibrate(images, batch_size=12)
+    act_pass.enable()
+    quantize_weights(net, bits=8)
+    net.input_quantizer = act_pass.input_quantizer
+    return net, act_pass, images
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_int8_runtime_within_calibrated_tolerance_of_float(seed):
+    """Int8 plan output stays within a few grid steps of the fake-quant path.
+
+    The tolerance is *calibrated*: the final activation point is quantized
+    at the global-pool scale, so the int8 path may legitimately land a
+    handful of grid steps away from the eager fake-quant reference (weight
+    re-quantization after BN folding, input-grid rounding) — but the error
+    must scale with that grid, not with the tensor magnitude.
+    """
+    from repro.nn.tensor import Tensor, no_grad
+    from repro.runtime import InferenceEngine, compile_module
+
+    net, act_pass, images = _quantized_stack(seed)
+    queries = images[:8]                       # in-calibration-distribution
+    plan = compile_module(net, mode="int8")
+    assert all(step.op != "opaque" for step in plan.steps)
+    assert any(step.op == "qconv" for step in plan.steps)
+    int8_out = InferenceEngine(plan).run(queries)
+    with no_grad():
+        eager = net(Tensor(queries)).data
+    pool_scale = act_pass.quantizers[-1].scale     # the last hook point
+    assert np.max(np.abs(int8_out - eager)) <= 8 * pool_scale
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_int8_runtime_is_bitwise_deterministic(seed):
+    """Two independent compiles + chunked execution agree bit-for-bit."""
+    from repro.runtime import InferenceEngine, compile_module
+
+    net, _act_pass, images = _quantized_stack(seed)
+    first = InferenceEngine(compile_module(net, mode="int8"),
+                            micro_batch=64).run(images)
+    second = InferenceEngine(compile_module(net, mode="int8"),
+                             micro_batch=5).run(images)
+    np.testing.assert_array_equal(first, second)

@@ -1,0 +1,284 @@
+"""Int8 runtime conformance: golden fixtures, determinism, sharded parity.
+
+The integer execution path must be *exactly* reproducible: integer GEMMs
+cannot round, so — unlike the float32 runtime, whose results shift with BLAS
+summation order — the int8 plan commits to bit-identical outputs across
+runs, micro-batch chunkings, pickled snapshots and worker processes.  The
+committed golden fixture (``tests/fixtures/int8_golden.npz``, regenerated
+via ``python tests/int8_fixtures.py``) pins those bits down.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from int8_fixtures import (
+    BACKBONE,
+    FIXTURE_PATH,
+    build_quantized_model,
+    golden_inputs,
+)
+from repro.hw import DeploymentPlan, deploy_backbone
+from repro.models import get_config
+from repro.runtime import InferenceEngine, Int8CompilationError, compile_backbone
+from repro.runtime.kernels import INT8_QMAX, quantize_unit_rows
+from repro.serve import Server, snapshot_model
+
+
+@pytest.fixture(scope="module")
+def quantized():
+    """(model, quantization report) shared across the conformance tests."""
+    return build_quantized_model()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert FIXTURE_PATH.exists(), (
+        f"missing golden fixture {FIXTURE_PATH}; regenerate with "
+        f"'PYTHONPATH=src python tests/int8_fixtures.py'")
+    with np.load(FIXTURE_PATH) as data:
+        return {key: data[key] for key in data.files}
+
+
+class TestPlanShape:
+    def test_no_opaque_steps_for_activation_fake_quant(self, quantized):
+        model, _ = quantized
+        predictor = model.runtime_predictor()
+        assert predictor.mode == "int8"
+        ops = [step.op for step in predictor.backbone_engine.plan.steps]
+        assert "opaque" not in ops
+        # Fake-quant hook points became first-class plan ops...
+        assert "quantize" in ops and "requantize" in ops
+        # ...and the conv stack runs on integer kernels.
+        assert ops.count("qconv") + ops.count("qconv_dequant") >= 25
+        fcr_ops = [step.op for step in predictor.fcr_engine.plan.steps]
+        assert fcr_ops == ["quantize", "qlinear"]
+
+    def test_float_mode_still_falls_back_to_opaque(self, quantized):
+        # Contrast case: the float32 lowering cannot express the hooks and
+        # must keep the eager fallback — the int8 mode is what removes it.
+        model, _ = quantized
+        plan = compile_backbone(model.backbone, mode="float32")
+        assert any(step.op == "opaque" for step in plan.steps)
+
+    def test_int8_plan_snapshot_has_no_module_references(self, quantized):
+        model, _ = quantized
+        snapshot = snapshot_model(model)
+        assert snapshot.mode == "int8"
+        assert all(step.module is None for step in snapshot.backbone.steps)
+        assert all(step.module is None for step in snapshot.fcr.steps)
+
+    def test_model_size_reports_true_int8_storage(self, quantized):
+        model, report = quantized
+        predictor = model.runtime_predictor()
+        plans_bytes = predictor.backbone_engine.plan.storage_bytes() + \
+            predictor.fcr_engine.plan.storage_bytes()
+        assert report.model_size_bytes == plans_bytes
+        fp32_bytes = sum(p.size * 4 for p in model.backbone.parameters()) + \
+            sum(p.size * 4 for p in model.fcr.parameters())
+        # int8 weights + per-channel int32 bias/requant params: well under
+        # half the float32 footprint, but strictly more than weights alone.
+        assert plans_bytes < fp32_bytes / 2
+        weight_only = sum(
+            step.arrays["weight"].size
+            for plan in (predictor.backbone_engine.plan,
+                         predictor.fcr_engine.plan)
+            for step in plan.steps
+            if step.op in ("qconv", "qconv_dequant", "qlinear"))
+        assert plans_bytes > weight_only
+
+
+class TestGoldenConformance:
+    def test_fixture_inputs_are_reproducible_from_seeds(self, golden):
+        np.testing.assert_array_equal(golden["images"], golden_inputs())
+
+    def test_reproduces_committed_fixture_exactly(self, quantized, golden):
+        model, _ = quantized
+        predictor = model.runtime_predictor()
+        theta_a = predictor.extract_backbone_features(golden["images"])
+        np.testing.assert_array_equal(theta_a, golden["theta_a"])
+        theta_p = predictor.project(theta_a)
+        np.testing.assert_array_equal(theta_p, golden["theta_p"])
+        sims, ids = predictor.similarities_from_features(theta_p)
+        np.testing.assert_array_equal(sims, golden["sims"])
+        np.testing.assert_array_equal(ids, golden["ids"])
+        np.testing.assert_array_equal(predictor.predict_features(theta_p),
+                                      golden["labels"])
+
+    def test_bitwise_stable_across_chunkings(self, quantized, golden):
+        # Integer accumulation is exact, so micro-batch boundaries cannot
+        # perturb a single bit (the float32 runtime only promises 1e-5).
+        model, _ = quantized
+        plan = model.runtime_predictor().backbone_engine.plan
+        whole = InferenceEngine(plan, micro_batch=64).run(golden["images"])
+        chunked = InferenceEngine(plan, micro_batch=3).run(golden["images"])
+        np.testing.assert_array_equal(whole, chunked)
+        np.testing.assert_array_equal(whole, golden["theta_a"])
+
+    def test_recompilation_reproduces_the_same_bits(self, quantized, golden):
+        model, _ = quantized
+        fresh_plan = compile_backbone(model.backbone, mode="int8")
+        out = InferenceEngine(fresh_plan).run(golden["images"])
+        np.testing.assert_array_equal(out, golden["theta_a"])
+
+    def test_int8_fcr_is_per_sample_bitwise_stable(self, quantized, golden):
+        # Small-M float32 GEMMs are not bitwise equal to the same rows inside
+        # a larger GEMM on OpenBLAS; the int8 FCR removes that hazard, which
+        # is what lets sharded workers answer end-to-end.
+        model, _ = quantized
+        predictor = model.runtime_predictor()
+        batch = predictor.project(golden["theta_a"])
+        rows = np.stack([predictor.project(row) for row in golden["theta_a"]])
+        np.testing.assert_array_equal(batch, rows)
+
+
+class TestSnapshotRoundTrip:
+    def test_pickle_roundtrip_is_bit_exact(self, quantized, golden):
+        model, _ = quantized
+        snapshot = pickle.loads(pickle.dumps(snapshot_model(model)))
+        backbone = InferenceEngine(snapshot.backbone.restore(),
+                                   micro_batch=snapshot.micro_batch)
+        fcr = InferenceEngine(snapshot.fcr.restore())
+        theta_a = backbone.run(golden["images"])
+        np.testing.assert_array_equal(theta_a, golden["theta_a"])
+        np.testing.assert_array_equal(fcr.run(theta_a), golden["theta_p"])
+
+    def test_sharded_serving_parity_is_bit_for_bit(self, quantized, golden):
+        model, _ = quantized
+        predictor = model.runtime_predictor()
+        with Server(model, num_workers=2, max_latency_s=0.05) as server:
+            # Sync path: workers run the backbone, coordinator finishes.
+            np.testing.assert_array_equal(
+                server.extract_backbone_features(golden["images"]),
+                golden["theta_a"])
+            np.testing.assert_array_equal(server.predict(golden["images"]),
+                                          golden["labels"])
+            sims, ids = server.similarities(golden["images"])
+            np.testing.assert_array_equal(ids, golden["ids"])
+            np.testing.assert_array_equal(
+                sims, np.maximum(golden["sims"], 0.0)
+                if model.config.relu_sharpening else golden["sims"])
+            # Async path: one worker answers end-to-end from its replica —
+            # exact integer arithmetic makes even that path bit-identical.
+            for index in range(3):
+                label = server.predict_one(golden["images"][index])
+                assert label == int(golden["labels"][index])
+            # Online learning keeps parity through the broadcast.
+            shots = golden["images"][:3]
+            try:
+                server.learn_class(shots, 99)
+                np.testing.assert_array_equal(
+                    server.predict(golden["images"]),
+                    predictor.predict(golden["images"]))
+            finally:
+                # The model is module-scoped: restore the fixture memory.
+                model.memory.remove_class(99)
+                model.activation_memory.pop(99, None)
+
+
+class TestDeploymentFromPlan:
+    def test_from_plan_agrees_with_registry_folded_graph(self, quantized):
+        # One folded graph feeds both the runtime and the cost model: the
+        # spec-path deployment (fold_batchnorm on registry specs) and the
+        # plan-path deployment must agree on MACs and weight bytes.
+        model, _ = quantized
+        config = get_config(BACKBONE)
+        plan = model.runtime_predictor().backbone_engine.plan
+        deployed = DeploymentPlan.from_plan(
+            plan, input_hw=(config.input_size, config.input_size))
+        spec_deployed = deploy_backbone(BACKBONE)
+        assert deployed.total_macs == spec_deployed.total_macs
+        assert deployed.weight_bytes == spec_deployed.weight_bytes
+
+    def test_from_plan_weight_bytes_match_runtime_arrays(self, quantized):
+        model, _ = quantized
+        plan = model.runtime_predictor().backbone_engine.plan
+        config = get_config(BACKBONE)
+        deployed = DeploymentPlan.from_plan(
+            plan, input_hw=(config.input_size, config.input_size))
+        array_bytes = sum(step.arrays["weight"].size for step in plan.steps
+                          if step.op in ("qconv", "qconv_dequant"))
+        assert deployed.weight_bytes == array_bytes
+
+    def test_from_plan_costs_are_usable(self, quantized):
+        model, _ = quantized
+        plan = model.runtime_predictor().backbone_engine.plan
+        deployed = DeploymentPlan.from_plan(plan, input_hw=(16, 16))
+        assert deployed.latency_ms(8) > 0
+        assert deployed.cost(8).total_macs == deployed.total_macs
+
+
+class TestAccuracyAndGuards:
+    def test_int8_similarities_track_eager_fake_quant(self, quantized, golden):
+        # The integer path deviates from the eager fake-quant reference only
+        # by weight re-quantization after BN folding and the input grid; on
+        # the cosine-similarity surface (the quantity that drives
+        # classification) that deviation stays small.  Argmax labels are NOT
+        # compared here: the conformance model is untrained, so its
+        # prototypes are near-orthogonal random vectors and label flips on
+        # sub-tolerance deltas are expected.
+        model, _ = quantized
+        eager_features = model.embed(golden["images"], use_runtime=False)
+        eager_sims, eager_ids = model.memory.similarities(eager_features)
+        np.testing.assert_array_equal(eager_ids, golden["ids"])
+        scale = 1.0 + float(np.max(np.abs(eager_sims)))
+        error = float(np.max(np.abs(golden["sims"] - eager_sims)) / scale)
+        assert error < 0.02
+
+    def test_similarities_live_on_the_1_over_127sq_grid(self, golden):
+        codes = golden["sims"] * INT8_QMAX ** 2
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-3)
+
+    def test_quantize_unit_rows_range(self):
+        matrix = np.array([[1.0, -1.0, 0.5], [0.0, 0.25, -0.75]],
+                          dtype=np.float32)
+        codes = quantize_unit_rows(matrix)
+        assert codes.dtype == np.int8
+        np.testing.assert_array_equal(
+            codes, np.round(matrix * INT8_QMAX).astype(np.int8))
+
+    def test_non_8bit_quantization_stays_on_the_float_runtime(self):
+        # The integer lowering only exists for 8-bit grids: a 4-bit
+        # activation config must NOT be switched to "int8" mode (it would
+        # compile to an all-opaque plan that cannot be snapshotted/served)
+        # and must keep the bit-width-aware size estimate.
+        from repro.core import OFSCIL, OFSCILConfig
+        from repro.data import build_synthetic_fscil
+        from repro.quant import QuantizationConfig, quantize_ofscil_model
+
+        benchmark = build_synthetic_fscil("test", seed=0)
+        model = OFSCIL.from_registry(BACKBONE, OFSCILConfig(backbone=BACKBONE),
+                                     seed=3)
+        model, report = quantize_ofscil_model(
+            model, benchmark.base_train,
+            config=QuantizationConfig(activation_bits=4,
+                                      qat_pretrain_epochs=0,
+                                      qat_metalearn_iterations=0,
+                                      calibration_batches=2,
+                                      calibration_batch_size=32))
+        assert model.config.runtime_mode == "float32"
+        assert model.runtime_predictor().mode == "float32"
+        weight_elems = sum(p.size for p in model.backbone.parameters()
+                           if p.data.ndim >= 2)
+        assert report.model_size_bytes > weight_elems  # not FCR floats only
+
+    def test_accumulator_overflow_is_rejected_at_compile_time(self):
+        from repro import nn
+        from repro.models.mobilenetv2 import ConvBNReLU
+        from repro.quant import ActivationQuantizationPass
+        from repro.runtime import compile_module
+
+        rng = np.random.default_rng(0)
+        net = nn.Sequential(ConvBNReLU(4, 4, rng=rng), nn.GlobalAvgPool2d())
+        net.eval()
+        act_pass = ActivationQuantizationPass(net, bits=8)
+        act_pass.calibrate(rng.standard_normal((8, 4, 8, 8)).astype(np.float32))
+        act_pass.enable()
+        # A pathologically huge folded bias on a pathologically fine output
+        # grid cannot be represented in the int32 accumulator: the compiler
+        # must refuse rather than silently wrap.
+        net[0].bn.bias.data = np.full(4, 1e9, dtype=np.float32)
+        net.input_quantizer = act_pass.input_quantizer
+        with pytest.raises(Int8CompilationError):
+            compile_module(net, mode="int8")
