@@ -68,7 +68,7 @@ def plan_layer_specs(plan, input_shape: Tuple[int, int, int] = (3, 32, 32)
             raise ValueError(
                 f"step {step.name!r} is opaque (eager module call); compile "
                 f"the model without foreign hooks before deploying")
-        if step.op in ("quantize", "dequantize", "requantize"):
+        if step.op in ("quantize", "dequantize", "requantize", "qrequantize"):
             shapes[step.output] = shape
             continue
         if step.op == "flatten":

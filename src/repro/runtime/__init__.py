@@ -34,8 +34,15 @@ from .compiler import (
     fold_conv_bn,
     has_hooks,
 )
-from .engine import DEFAULT_MICRO_BATCH, InferenceEngine
+from .engine import DEFAULT_MICRO_BATCH, InferenceEngine, default_num_threads
 from .kernels import BufferCache
+from .optimizer import (
+    MemoryPlan,
+    eliminate_dead_steps,
+    fuse_quantize_chains,
+    optimize_plan,
+    plan_memory,
+)
 from .plan import InferencePlan, Step
 from .predictor import BatchedPredictor
 
@@ -52,7 +59,13 @@ __all__ = [
     "has_hooks",
     "InferenceEngine",
     "DEFAULT_MICRO_BATCH",
+    "default_num_threads",
     "BufferCache",
+    "MemoryPlan",
+    "optimize_plan",
+    "eliminate_dead_steps",
+    "fuse_quantize_chains",
+    "plan_memory",
     "BatchedPredictor",
     "ParityReport",
     "compare_with_eager",

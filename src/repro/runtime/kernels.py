@@ -39,34 +39,76 @@ def apply_activation(out: np.ndarray, act: Optional[str]) -> np.ndarray:
 
 
 class BufferCache:
-    """Reusable scratch buffers keyed by (tag, shape, dtype).
+    """Reusable scratch buffers keyed by (tag, shape, dtype), LRU-bounded.
 
     The engine keeps one cache per plan so that consecutive ``run`` calls
-    with the same micro-batch shape reuse the same im2col / padding buffers
-    instead of reallocating them for every layer of every batch.
+    with the same micro-batch shape reuse the same im2col / padding / arena
+    buffers instead of reallocating them for every layer of every batch.
+
+    ``max_bytes`` caps the *scratch* buffers: past the budget the
+    least-recently-used ones are dropped (the buffer just requested is never
+    evicted, so the cache may transiently exceed the budget by one buffer).
+    Arena slot buffers (``arena:`` tags, see
+    :meth:`~repro.runtime.optimizer.MemoryPlan.out_view`) are the memory
+    plan's working set — they are exempt from eviction and do not consume
+    the budget (evicting them would silently degrade planned execution into
+    per-step reallocation, and counting them would let a small budget thrash
+    every scratch buffer).  They are bounded instead by the plan itself: one
+    fixed-capacity buffer per slot, retired by the engine on replan via
+    :meth:`drop_arena`.  Evicted buffers stay alive for as long as callers
+    hold views into them — eviction only releases the cache's own reference.
     """
 
-    def __init__(self):
+    #: Tag prefix of arena slot buffers: exempt from LRU eviction and from
+    #: the ``max_bytes`` scratch budget.
+    ARENA_PREFIX = "arena:"
+
+    def __init__(self, max_bytes: Optional[int] = None):
         self._buffers: Dict[Tuple, np.ndarray] = {}
+        self._nbytes = 0
+        self._scratch_nbytes = 0
+        self.max_bytes = max_bytes
 
     def get(self, tag: str, shape: Tuple[int, ...],
             dtype=np.float32) -> np.ndarray:
         key = (tag, shape, np.dtype(dtype).str)
-        buffer = self._buffers.get(key)
+        arena = tag.startswith(self.ARENA_PREFIX)
+        buffer = self._buffers.pop(key, None)
         if buffer is None:
             buffer = np.empty(shape, dtype=dtype)
-            self._buffers[key] = buffer
+            self._nbytes += buffer.nbytes
+            if not arena:
+                self._scratch_nbytes += buffer.nbytes
+        self._buffers[key] = buffer        # most recently used at the end
+        if self.max_bytes is not None \
+                and self._scratch_nbytes > self.max_bytes:
+            for oldest in list(self._buffers):
+                if self._scratch_nbytes <= self.max_bytes:
+                    break
+                if oldest == key or oldest[0].startswith(self.ARENA_PREFIX):
+                    continue
+                dropped = self._buffers.pop(oldest)
+                self._nbytes -= dropped.nbytes
+                self._scratch_nbytes -= dropped.nbytes
         return buffer
+
+    def drop_arena(self) -> None:
+        """Release every arena slot buffer (engine calls this on replan)."""
+        for key in list(self._buffers):
+            if key[0].startswith(self.ARENA_PREFIX):
+                self._nbytes -= self._buffers.pop(key).nbytes
 
     def clear(self) -> None:
         self._buffers.clear()
+        self._nbytes = 0
+        self._scratch_nbytes = 0
 
     def __len__(self) -> int:
         return len(self._buffers)
 
     @property
     def nbytes(self) -> int:
-        return sum(buffer.nbytes for buffer in self._buffers.values())
+        return self._nbytes
 
 
 def sliding_window_view(x: np.ndarray, kh: int, kw: int,
@@ -87,19 +129,35 @@ def sliding_window_view(x: np.ndarray, kh: int, kw: int,
         writeable=False)
 
 
+def pad_cached(x: np.ndarray, padding: int,
+               cache: Optional[BufferCache] = None) -> np.ndarray:
+    """Zero-pad ``x`` spatially into a cached buffer.
+
+    Only the halo ring is rezeroed on reuse: the interior is fully
+    overwritten below, and the ring must be cleared every call because the
+    cached buffer may hold a stale halo from a layer with a different
+    ``(h, padding)`` split of the same padded shape.
+    """
+    n, c, h, w = x.shape
+    padded_shape = (n, c, h + 2 * padding, w + 2 * padding)
+    if cache is not None:
+        padded = cache.get("pad", padded_shape, x.dtype)
+        padded[:, :, :padding, :] = 0
+        padded[:, :, h + padding:, :] = 0
+        padded[:, :, padding:h + padding, :padding] = 0
+        padded[:, :, padding:h + padding, w + padding:] = 0
+    else:
+        padded = np.zeros(padded_shape, dtype=x.dtype)
+    padded[:, :, padding:padding + h, padding:padding + w] = x
+    return padded
+
+
 def im2col_cached(x: np.ndarray, kh: int, kw: int, stride: int, padding: int,
                   cache: Optional[BufferCache] = None) -> np.ndarray:
     """im2col into a cached contiguous buffer of shape (N, C, kh*kw, oh*ow)."""
     n, c, h, w = x.shape
     if padding > 0:
-        padded_shape = (n, c, h + 2 * padding, w + 2 * padding)
-        if cache is not None:
-            padded = cache.get("pad", padded_shape, x.dtype)
-            padded.fill(0.0)
-        else:
-            padded = np.zeros(padded_shape, dtype=x.dtype)
-        padded[:, :, padding:padding + h, padding:padding + w] = x
-        x = padded
+        x = pad_cached(x, padding, cache)
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
     view = sliding_window_view(x, kh, kw, stride)
@@ -112,15 +170,60 @@ def im2col_cached(x: np.ndarray, kh: int, kw: int, stride: int, padding: int,
     return cols.reshape(n, c, kh * kw, out_h * out_w)
 
 
+def depthwise_conv(x: np.ndarray, weight: np.ndarray, stride: int = 1,
+                   padding: int = 0, cache: Optional[BufferCache] = None,
+                   out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Depthwise 2-D convolution without im2col.
+
+    A depthwise kernel uses each column of the ``C*kh*kw`` im2col matrix for
+    exactly one output channel — materialising it is an O(k²) waste.  This
+    fast path multiply-accumulates the ``kh*kw`` taps of the zero-copy
+    window view directly into the output.
+
+    ``weight`` is ``(c, 1, kh, kw)`` *already cast to the accumulation
+    dtype*: float32 for the float path, the exact-GEMM dtype for the int8
+    path (integer products and sums are exact there, so the tap order cannot
+    perturb a bit).  Returns ``(n, c, out_h, out_w)`` in the weight dtype.
+    """
+    n, c, h, w = x.shape
+    kh, kw = weight.shape[2], weight.shape[3]
+    if padding > 0:
+        x = pad_cached(x, padding, cache)
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    view = sliding_window_view(x, kh, kw, stride)
+    taps = weight.reshape(c, kh, kw)
+    if out is None:
+        out = np.empty((n, c, out_h, out_w), dtype=weight.dtype)
+    np.multiply(view[:, :, 0, 0], taps[:, 0, 0].reshape(1, c, 1, 1), out=out)
+    if kh * kw > 1:
+        if cache is not None:
+            scratch = cache.get("dwtap", out.shape, weight.dtype)
+        else:
+            scratch = np.empty_like(out)
+        for i in range(kh):
+            for j in range(kw):
+                if i == 0 and j == 0:
+                    continue
+                np.multiply(view[:, :, i, j], taps[:, i, j].reshape(1, c, 1, 1),
+                            out=scratch)
+                out += scratch
+    return out
+
+
 def fused_conv(x: np.ndarray, weight: np.ndarray,
                bias: Optional[np.ndarray] = None, stride: int = 1,
                padding: int = 0, groups: int = 1, act: Optional[str] = None,
-               cache: Optional[BufferCache] = None) -> np.ndarray:
+               cache: Optional[BufferCache] = None,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
     """Grouped 2-D convolution with the bias add and activation fused in.
 
     ``weight`` is ``(out_c, in_c // groups, kh, kw)`` — typically the
     BN-folded weight produced by the plan compiler, with ``bias`` holding the
-    folded BN shift.
+    folded BN shift.  When ``out`` is given (a contiguous float32 array of
+    the output shape, e.g. an arena slot view), the GEMM writes straight into
+    it and the bias + activation epilogue runs in place — the kernel then
+    allocates nothing.
     """
     n, c, h, w = x.shape
     out_c, c_per_group, kh, kw = weight.shape
@@ -132,69 +235,83 @@ def fused_conv(x: np.ndarray, weight: np.ndarray,
     out_w = conv_output_size(w, kw, stride, padding)
     spatial = out_h * out_w
 
+    if out is None:
+        out = np.empty((n, out_c, spatial), dtype=np.float32)
+    dest = out.reshape(n, out_c, spatial)
     pointwise = (kh == 1 and kw == 1 and stride == 1 and padding == 0
                  and groups == 1)
+    depthwise = groups == c and groups == out_c
     if pointwise:
-        out = np.matmul(weight.reshape(out_c, c), x.reshape(n, c, spatial))
+        np.matmul(weight.reshape(out_c, c), x.reshape(n, c, spatial), out=dest)
+    elif depthwise:
+        depthwise_conv(x, weight, stride=stride, padding=padding, cache=cache,
+                       out=dest.reshape(n, out_c, out_h, out_w))
+    elif groups == 1:
+        cols = im2col_cached(x, kh, kw, stride, padding, cache)
+        np.matmul(weight.reshape(out_c, c * kh * kw),
+                  cols.reshape(n, c * kh * kw, spatial), out=dest)
     else:
         cols = im2col_cached(x, kh, kw, stride, padding, cache)
-        depthwise = groups == c and groups == out_c
-        if groups == 1:
-            out = np.matmul(weight.reshape(out_c, c * kh * kw),
-                            cols.reshape(n, c * kh * kw, spatial))
-        elif depthwise:
-            out = np.einsum("nckl,ck->ncl", cols, weight.reshape(c, kh * kw))
-        else:
-            cols_g = cols.reshape(n, groups, c_per_group * kh * kw, spatial)
-            weight_g = weight.reshape(groups, out_c // groups,
-                                      c_per_group * kh * kw)
-            out = np.einsum("gok,ngkl->ngol", weight_g, cols_g, optimize=True)
-    out = np.ascontiguousarray(out).reshape(n, out_c, spatial)
+        cols_g = cols.reshape(n, groups, c_per_group * kh * kw, spatial)
+        weight_g = weight.reshape(groups, out_c // groups,
+                                  c_per_group * kh * kw)
+        np.einsum("gok,ngkl->ngol", weight_g, cols_g, optimize=True,
+                  out=dest.reshape(n, groups, out_c // groups, spatial))
     if bias is not None:
-        out += bias.reshape(1, out_c, 1)
-    apply_activation(out, act)
-    return out.reshape(n, out_c, out_h, out_w)
+        dest += bias.reshape(1, out_c, 1)
+    apply_activation(dest, act)
+    return dest.reshape(n, out_c, out_h, out_w)
 
 
 def fused_linear(x: np.ndarray, weight: np.ndarray,
                  bias: Optional[np.ndarray] = None,
-                 act: Optional[str] = None) -> np.ndarray:
+                 act: Optional[str] = None,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
     """``x @ weight.T + bias`` with the activation fused in (weight (out, in))."""
-    out = np.matmul(x, weight.T)
+    if out is None:
+        out = np.matmul(x, weight.T)
+    else:
+        np.matmul(x, weight.T, out=out)
     if bias is not None:
         out += bias
     return apply_activation(out, act)
 
 
 def batchnorm_inference(x: np.ndarray, scale: np.ndarray, shift: np.ndarray,
-                        act: Optional[str] = None) -> np.ndarray:
+                        act: Optional[str] = None,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
     """Eval-mode batch norm reduced to a per-channel affine map.
 
     ``scale``/``shift`` are the precomputed ``gamma / sqrt(var + eps)`` and
     ``beta - mean * scale`` vectors; works for both NCHW and (N, C) inputs.
     """
-    if x.ndim == 4:
-        out = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+    shape = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+    if out is None:
+        out = x * scale.reshape(shape)
     else:
-        out = x * scale.reshape(1, -1) + shift.reshape(1, -1)
+        np.multiply(x, scale.reshape(shape), out=out)
+    out += shift.reshape(shape)
     return apply_activation(out, act)
 
 
-def global_avg_pool(x: np.ndarray) -> np.ndarray:
+def global_avg_pool(x: np.ndarray,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
     """Global average pooling of NCHW down to (N, C)."""
-    return x.mean(axis=(2, 3))
+    return x.mean(axis=(2, 3), out=out)
 
 
-def max_pool(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+def max_pool(x: np.ndarray, kernel_size: int, stride: int,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
     """Max pooling over square windows via the zero-copy window view."""
     view = sliding_window_view(x, kernel_size, kernel_size, stride)
-    return view.max(axis=(2, 3))
+    return view.max(axis=(2, 3), out=out)
 
 
-def avg_pool(x: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+def avg_pool(x: np.ndarray, kernel_size: int, stride: int,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
     """Average pooling over square windows via the zero-copy window view."""
     view = sliding_window_view(x, kernel_size, kernel_size, stride)
-    return view.mean(axis=(2, 3))
+    return view.mean(axis=(2, 3), out=out)
 
 
 # ---------------------------------------------------------------------------
@@ -212,7 +329,8 @@ _F32_EXACT_LIMIT = 2 ** 24
 INT32_ACC_LIMIT = 2 ** 31 - 1
 
 
-def quantize_int8(x: np.ndarray, scale: float) -> np.ndarray:
+def quantize_int8(x: np.ndarray, scale: float,
+                  out: Optional[np.ndarray] = None) -> np.ndarray:
     """Quantize float values onto the symmetric int8 grid ``scale``.
 
     Matches the rounding of :func:`repro.quant.fake_quant.quantize`
@@ -220,22 +338,86 @@ def quantize_int8(x: np.ndarray, scale: float) -> np.ndarray:
     quantization of the eager path code-for-code.
     """
     codes = np.clip(np.rint(x / scale), INT8_QMIN, INT8_QMAX)
-    return codes.astype(np.int8)
+    if out is None:
+        return codes.astype(np.int8)
+    np.copyto(out, codes, casting="unsafe")
+    return out
 
 
-def dequantize_int8(q: np.ndarray, scale: float) -> np.ndarray:
+def dequantize_int8(q: np.ndarray, scale: float,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
     """Map int8 codes back to float32 values."""
-    return q.astype(np.float32) * np.float32(scale)
+    if out is None:
+        return q.astype(np.float32) * np.float32(scale)
+    np.multiply(q, np.float32(scale), out=out)
+    return out
 
 
-def requantize_float(x: np.ndarray, scale: float) -> np.ndarray:
+def requantize_float(x: np.ndarray, scale: float,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
     """Fake-quantize a float tensor in place of a quantize+dequantize pair.
 
     First-class plan-op replacement for the eager activation fake-quant
     hooks: the output is float32 but every value sits on the int8 grid.
     """
     codes = np.clip(np.rint(x / scale), INT8_QMIN, INT8_QMAX)
-    return (codes * scale).astype(np.float32)
+    if out is None:
+        return (codes * scale).astype(np.float32)
+    np.copyto(out, codes * scale, casting="unsafe")
+    return out
+
+
+def requantize_codes(q: np.ndarray, in_scale: float, out_scale: float,
+                     cache: Optional[BufferCache] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Rescale int8 codes from grid ``in_scale`` onto grid ``out_scale``.
+
+    Fused form of a single-use ``dequantize -> quantize`` chain: the float
+    intermediate lives in a scratch buffer instead of a plan register.  The
+    arithmetic replicates the chain step for step, so the fusion is
+    bit-exact.
+    """
+    if cache is not None:
+        floats = cache.get("rqc", q.shape, np.float32)
+        dequantize_int8(q, in_scale, out=floats)
+    else:
+        floats = dequantize_int8(q, in_scale)
+    return quantize_int8(floats, out_scale, out=out)
+
+
+def fused_add(x: np.ndarray, y: np.ndarray,
+              in_scale_x: Optional[float] = None,
+              in_scale_y: Optional[float] = None,
+              act: Optional[str] = None,
+              out_scale: Optional[float] = None,
+              cache: Optional[BufferCache] = None,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Residual add with dequantize/quantize neighbours folded in.
+
+    ``in_scale_*`` dequantizes an int8 operand on the fly (exactly
+    :func:`dequantize_int8`); ``out_scale`` requantizes the activated sum
+    back to int8 codes (exactly :func:`quantize_int8`).  Every folded
+    neighbour replays the arithmetic of the standalone plan step, so fusing
+    never moves a bit — it only removes full-size intermediate registers.
+    """
+    if in_scale_x is not None:
+        buffer = cache.get("addx", x.shape, np.float32) if cache is not None \
+            else None
+        x = dequantize_int8(x, in_scale_x, out=buffer)
+    if in_scale_y is not None:
+        buffer = cache.get("addy", y.shape, np.float32) if cache is not None \
+            else None
+        y = dequantize_int8(y, in_scale_y, out=buffer)
+    if out_scale is None:
+        if out is None:
+            out = np.empty(x.shape, dtype=np.float32)
+        np.add(x, y, out=out)
+        return apply_activation(out, act)
+    total = cache.get("addsum", x.shape, np.float32) if cache is not None \
+        else np.empty(x.shape, dtype=np.float32)
+    np.add(x, y, out=total)
+    apply_activation(total, act)
+    return quantize_int8(total, out_scale, out=out)
 
 
 def quantize_weight_per_channel(weight: np.ndarray
@@ -319,33 +501,42 @@ def int_accumulate_conv(q: np.ndarray, weight_q: np.ndarray, stride: int = 1,
 
     pointwise = (kh == 1 and kw == 1 and stride == 1 and padding == 0
                  and groups == 1)
+    depthwise = groups == c and groups == out_c
     weight_f = weight_q.astype(dtype)
+    if cache is not None:
+        acc = cache.get("qacc", (n, out_c, spatial), dtype)
+    else:
+        acc = np.empty((n, out_c, spatial), dtype=dtype)
     if pointwise:
         x_f = _cast_cached(q.reshape(n, c, spatial), dtype, "qpw", cache)
-        acc = np.matmul(weight_f.reshape(out_c, c), x_f)
+        np.matmul(weight_f.reshape(out_c, c), x_f, out=acc)
+    elif depthwise:
+        # Fast path: no im2col — per-tap multiply-accumulate on the window
+        # view.  Every product and partial sum is an exact integer below the
+        # mantissa limit, so the tap order cannot change a bit of the result.
+        depthwise_conv(q, weight_f, stride=stride, padding=padding,
+                       cache=cache, out=acc.reshape(n, out_c, out_h, out_w))
     else:
         cols = im2col_cached(q, kh, kw, stride, padding, cache)
         cols_f = _cast_cached(cols, dtype, "qcol", cache)
-        depthwise = groups == c and groups == out_c
         if groups == 1:
-            acc = np.matmul(weight_f.reshape(out_c, c * kh * kw),
-                            cols_f.reshape(n, c * kh * kw, spatial))
-        elif depthwise:
-            acc = np.einsum("nckl,ck->ncl", cols_f,
-                            weight_f.reshape(c, kh * kw))
+            np.matmul(weight_f.reshape(out_c, c * kh * kw),
+                      cols_f.reshape(n, c * kh * kw, spatial), out=acc)
         else:
             cols_g = cols_f.reshape(n, groups, c_per_group * kh * kw, spatial)
             weight_g = weight_f.reshape(groups, out_c // groups,
                                         c_per_group * kh * kw)
-            acc = np.einsum("gok,ngkl->ngol", weight_g, cols_g, optimize=True)
-    return np.ascontiguousarray(acc).reshape(n, out_c, spatial)
+            np.einsum("gok,ngkl->ngol", weight_g, cols_g, optimize=True,
+                      out=acc.reshape(n, groups, out_c // groups, spatial))
+    return acc
 
 
 def fused_qconv(q: np.ndarray, weight_q: np.ndarray, bias_q: np.ndarray,
                 multiplier: np.ndarray, stride: int = 1, padding: int = 0,
                 groups: int = 1, qmin: int = INT8_QMIN, qmax: int = INT8_QMAX,
                 cache: Optional[BufferCache] = None,
-                acc_bound: Optional[int] = None) -> np.ndarray:
+                acc_bound: Optional[int] = None,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
     """Int8 conv with the requantization epilogue fused in.
 
     ``acc = conv_int32(q, weight_q) + bias_q`` followed by the per-channel
@@ -361,10 +552,16 @@ def fused_qconv(q: np.ndarray, weight_q: np.ndarray, bias_q: np.ndarray,
     # float32 * float64 promotes each product to float64 exactly — no
     # explicit astype copy needed on the hot path.
     scaled = acc * multiplier.reshape(1, out_c, 1)
-    codes = np.clip(np.rint(scaled), qmin, qmax).astype(np.int8)
+    np.rint(scaled, out=scaled)
+    np.clip(scaled, qmin, qmax, out=scaled)
     kh, kw = weight_q.shape[2], weight_q.shape[3]
     out_h = conv_output_size(q.shape[2], kh, stride, padding)
     out_w = conv_output_size(q.shape[3], kw, stride, padding)
+    if out is None:
+        codes = scaled.astype(np.int8)
+    else:
+        codes = out.reshape(n, out_c, out_h * out_w)
+        np.copyto(codes, scaled, casting="unsafe")
     return codes.reshape(n, out_c, out_h, out_w)
 
 
@@ -373,7 +570,8 @@ def fused_qconv_dequant(q: np.ndarray, weight_q: np.ndarray,
                         stride: int = 1, padding: int = 0, groups: int = 1,
                         act: Optional[str] = None,
                         cache: Optional[BufferCache] = None,
-                        acc_bound: Optional[int] = None) -> np.ndarray:
+                        acc_bound: Optional[int] = None,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
     """Int8 conv dequantized straight to float32 (no output scale needed).
 
     Used where the plan has no calibrated output range (e.g. the projection
@@ -385,19 +583,25 @@ def fused_qconv_dequant(q: np.ndarray, weight_q: np.ndarray,
     out_c = weight_q.shape[0]
     acc = int_accumulate_conv(q, weight_q, stride=stride, padding=padding,
                               groups=groups, cache=cache, acc_bound=acc_bound)
-    out = (acc * dequant.reshape(1, out_c, 1)).astype(np.float32)
-    if bias is not None:
-        out += bias.reshape(1, out_c, 1)
-    apply_activation(out, act)
     kh, kw = weight_q.shape[2], weight_q.shape[3]
     out_h = conv_output_size(q.shape[2], kh, stride, padding)
     out_w = conv_output_size(q.shape[3], kw, stride, padding)
-    return out.reshape(n, out_c, out_h, out_w)
+    scaled = acc * dequant.reshape(1, out_c, 1)
+    if out is None:
+        dest = scaled.astype(np.float32)
+    else:
+        dest = out.reshape(n, out_c, out_h * out_w)
+        np.copyto(dest, scaled, casting="unsafe")
+    if bias is not None:
+        dest += bias.reshape(1, out_c, 1)
+    apply_activation(dest, act)
+    return dest.reshape(n, out_c, out_h, out_w)
 
 
 def fused_qlinear(q: np.ndarray, weight_q: np.ndarray, dequant: np.ndarray,
                   bias: Optional[np.ndarray] = None,
-                  act: Optional[str] = None) -> np.ndarray:
+                  act: Optional[str] = None,
+                  out: Optional[np.ndarray] = None) -> np.ndarray:
     """Int8 GEMM ``q @ weight_q.T`` with a float rescale at the end.
 
     ``weight_q`` is ``(out, in)`` int8; ``dequant`` holds the per-output-row
@@ -410,10 +614,15 @@ def fused_qlinear(q: np.ndarray, weight_q: np.ndarray, dequant: np.ndarray,
             f"int8 linear accumulator bound {bound} exceeds the int32 range")
     dtype = _acc_dtype(bound)
     acc = np.matmul(q.astype(dtype), weight_q.T.astype(dtype))
-    out = (acc * dequant.reshape(1, -1)).astype(np.float32)
+    scaled = acc * dequant.reshape(1, -1)
+    if out is None:
+        dest = scaled.astype(np.float32)
+    else:
+        dest = out
+        np.copyto(dest, scaled, casting="unsafe")
     if bias is not None:
-        out += bias
-    return apply_activation(out, act)
+        dest += bias
+    return apply_activation(dest, act)
 
 
 def quantize_unit_rows(matrix: np.ndarray) -> np.ndarray:

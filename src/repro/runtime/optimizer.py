@@ -1,0 +1,335 @@
+"""Post-compile plan optimization and arena memory planning.
+
+The compiler (:mod:`repro.runtime.compiler`) emits a faithful flat plan; this
+module makes it cheap to execute without moving a single output bit:
+
+* :func:`eliminate_dead_steps` — drop steps whose output no later step (and
+  not the plan output) reads.  Pure ops only: ``opaque`` steps may carry
+  side effects (forward hooks) and are always kept.
+* :func:`fuse_quantize_chains` — fold single-use ``dequantize`` steps into
+  the residual ``add`` that consumes them, fold a single-use ``add ->
+  quantize`` pair into one int8-producing add, and collapse ``dequantize ->
+  quantize`` / same-scale ``requantize -> quantize`` chains.  Every rewrite
+  replays the arithmetic of the standalone steps (see the fused kernels in
+  :mod:`repro.runtime.kernels`), so optimized plans are bit-identical —
+  the int8 golden fixtures prove it on every CI run.
+* :func:`plan_memory` — a liveness-based arena planner: every step output is
+  assigned to one of a small set of reusable slots such that no two
+  simultaneously-live registers ever share one.  The executor
+  (:meth:`InferencePlan.execute`) then writes kernels straight into slot
+  views through their ``out=`` paths, which drops steady-state allocation on
+  the plan body to (near) zero and shrinks peak intermediate memory by the
+  recorded ``peak_bytes`` / ``unplanned_bytes`` ratio.
+
+Memory planning needs concrete shapes, which depend on the micro-batch; the
+engine records them from the first real chunk it executes (no synthetic dry
+run — opaque steps may carry observing hooks that must never see fake data)
+and plans the arena from the per-sample shapes, which scale linearly with
+the batch dimension for every op in the plan vocabulary.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .plan import InferencePlan, Step
+
+#: Ops whose output is a reshaped view of their input: the planner aliases
+#: the output onto the input's storage instead of assigning a slot.
+ALIAS_OPS = ("flatten",)
+
+
+# ---------------------------------------------------------------------------
+# Optimization passes
+# ---------------------------------------------------------------------------
+def _use_counts(plan: InferencePlan) -> Dict[str, int]:
+    """Number of reads per register, counting the plan output as one read."""
+    counts: Dict[str, int] = {}
+    for step in plan.steps:
+        for register in step.inputs:
+            counts[register] = counts.get(register, 0) + 1
+    counts[plan.output_register] = counts.get(plan.output_register, 0) + 1
+    return counts
+
+
+def _rebuild(plan: InferencePlan, steps: List[Step]) -> InferencePlan:
+    return InferencePlan(steps=steps, input_register=plan.input_register,
+                         output_register=plan.output_register, name=plan.name,
+                         optimized=plan.optimized)
+
+
+def eliminate_dead_steps(plan: InferencePlan) -> InferencePlan:
+    """Drop steps whose output register nothing reads.
+
+    ``opaque`` steps are kept unconditionally — they call live modules whose
+    forward hooks may observe or mutate state, so eliminating them could
+    change semantics even when their output is unused.
+    """
+    live = {plan.output_register}
+    kept_reversed: List[Step] = []
+    for step in reversed(plan.steps):
+        if step.op == "opaque" or step.output in live:
+            kept_reversed.append(step)
+            live.update(step.inputs)
+    if len(kept_reversed) == len(plan.steps):
+        return plan
+    return _rebuild(plan, list(reversed(kept_reversed)))
+
+
+def fuse_quantize_chains(plan: InferencePlan) -> InferencePlan:
+    """Fuse quantize/dequantize/requantize chains into their neighbours.
+
+    Rewrites (all restricted to single-use intermediates, and all replaying
+    the unfused arithmetic bit for bit):
+
+    * ``dequantize -> add``: the add dequantizes the int8 operand on the fly
+      (``in_scale_0`` / ``in_scale_1`` attrs);
+    * ``add -> quantize``: the add requantizes its activated sum straight to
+      int8 codes (``out_scale`` attr);
+    * ``dequantize -> quantize``: a single ``qrequantize`` step rescales the
+      codes through a scratch buffer instead of a full float register;
+    * ``requantize -> quantize`` at the same scale: the requantize is
+      dropped (``round(round(x/s)*s/s) == round(x/s)`` exactly for int8
+      code magnitudes).
+    """
+    steps = list(plan.steps)
+    counts = _use_counts(plan)
+    producer = {step.output: index for index, step in enumerate(steps)}
+    removed: set = set()
+
+    # Fold single-use dequantize steps into the adds that consume them.
+    for index, step in enumerate(steps):
+        if step.op != "add":
+            continue
+        inputs = list(step.inputs)
+        attrs = dict(step.attrs)
+        changed = False
+        for position, register in enumerate(inputs):
+            source = producer.get(register)
+            if source is None or source in removed:
+                continue
+            feeder = steps[source]
+            if feeder.op == "dequantize" and counts.get(register, 0) == 1:
+                inputs[position] = feeder.inputs[0]
+                attrs[f"in_scale_{position}"] = feeder.attrs["scale"]
+                removed.add(source)
+                changed = True
+        if changed:
+            steps[index] = replace(step, inputs=tuple(inputs), attrs=attrs)
+
+    # Fuse quantize steps into their producers / collapse chains.
+    for index, step in enumerate(steps):
+        if step.op != "quantize" or index in removed:
+            continue
+        register = step.inputs[0]
+        source = producer.get(register)
+        if source is None or source in removed \
+                or counts.get(register, 0) != 1:
+            continue
+        feeder = steps[source]
+        if feeder.op == "add":
+            attrs = dict(feeder.attrs)
+            attrs["out_scale"] = step.attrs["scale"]
+            steps[source] = replace(feeder, output=step.output, attrs=attrs)
+            producer[step.output] = source
+            removed.add(index)
+        elif feeder.op == "dequantize":
+            steps[index] = Step(
+                op="qrequantize", name=step.name, inputs=feeder.inputs,
+                output=step.output,
+                attrs={"in_scale": feeder.attrs["scale"],
+                       "scale": step.attrs["scale"]})
+            producer[step.output] = index
+            removed.add(source)
+        elif feeder.op == "requantize" \
+                and feeder.attrs["scale"] == step.attrs["scale"]:
+            steps[index] = replace(step, inputs=feeder.inputs)
+            removed.add(source)
+
+    if not removed:
+        return plan
+    return _rebuild(plan, [step for index, step in enumerate(steps)
+                           if index not in removed])
+
+
+def optimize_plan(plan: InferencePlan) -> InferencePlan:
+    """Run every optimization pass; idempotent on already-optimized plans."""
+    if plan.optimized:
+        return plan
+    optimized = eliminate_dead_steps(fuse_quantize_chains(
+        eliminate_dead_steps(plan)))
+    return InferencePlan(steps=list(optimized.steps),
+                         input_register=plan.input_register,
+                         output_register=plan.output_register,
+                         name=plan.name, optimized=True)
+
+
+# ---------------------------------------------------------------------------
+# Arena memory planning
+# ---------------------------------------------------------------------------
+@dataclass
+class MemoryPlan:
+    """Static arena assignment for one plan at one per-sample input shape.
+
+    Slots are byte arenas sized per sample; at execution the engine
+    materialises each slot as a single uint8 buffer of ``slot_size * batch``
+    through the :class:`~repro.runtime.kernels.BufferCache` and hands kernels
+    contiguous typed views into it.  The plan input, the plan output (and
+    anything aliasing it), and ``opaque`` outputs stay unmanaged — the
+    output must survive arena reuse across chunks, and opaque modules
+    allocate their own results.
+    """
+
+    input_shape: Tuple[int, ...]              # per-sample plan input shape
+    slot_of: Dict[str, int]                   # managed register -> slot id
+    alias_of: Dict[str, str]                  # view register -> source register
+    shapes: Dict[str, Tuple[int, ...]]        # managed register -> per-sample shape
+    dtypes: Dict[str, str]                    # managed register -> dtype str
+    slot_sizes: List[int]                     # per-slot per-sample bytes
+    unplanned_per_sample: int                 # sum of every step-output's bytes
+    #: batch size the arena buffers are allocated for (the engine's
+    #: micro-batch): every chunk size up to it slices the same fixed-capacity
+    #: buffer, so varying batch sizes (dynamic batchers, remainder chunks)
+    #: cannot accumulate per-size buffers in the cache.
+    capacity_batch: int = 1
+    _specs: Dict[str, Tuple] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        for register, slot in self.slot_of.items():
+            shape = self.shapes[register]
+            dtype = np.dtype(self.dtypes[register])
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            self._specs[register] = (slot, shape, dtype, nbytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        return len(self.slot_sizes)
+
+    def peak_bytes(self, batch: int = 1) -> int:
+        """Arena footprint for a micro-batch of ``batch`` samples."""
+        return sum(self.slot_sizes) * batch
+
+    def unplanned_bytes(self, batch: int = 1) -> int:
+        """What per-step fresh allocation would touch for the same batch."""
+        return self.unplanned_per_sample * batch
+
+    def matches(self, per_sample_shape: Tuple[int, ...]) -> bool:
+        return tuple(per_sample_shape) == self.input_shape
+
+    def out_view(self, register: str, batch: int, cache) -> Optional[np.ndarray]:
+        """Typed contiguous view into the register's arena slot (or None)."""
+        spec = self._specs.get(register)
+        if spec is None:
+            return None
+        slot, shape, dtype, nbytes = spec
+        capacity = max(batch, getattr(self, "capacity_batch", 1))
+        buffer = cache.get(f"arena:{slot}",
+                           (self.slot_sizes[slot] * capacity,), np.uint8)
+        return buffer[:nbytes * batch].view(dtype).reshape((batch,) + shape)
+
+    def describe(self) -> str:
+        """Summary lines appended by :meth:`InferencePlan.describe`."""
+        by_slot: Dict[int, List[str]] = {}
+        for register, slot in self.slot_of.items():
+            by_slot.setdefault(slot, []).append(register)
+        lines = [f"# arena: {self.num_slots} slots, "
+                 f"{self.peak_bytes(1)} bytes/sample "
+                 f"(unplanned {self.unplanned_per_sample} bytes/sample)"]
+        for slot in range(self.num_slots):
+            hosted = " ".join(by_slot.get(slot, []))
+            lines.append(f"#   slot {slot}: {self.slot_sizes[slot]} B/sample"
+                         f" <- {hosted}")
+        return "\n".join(lines)
+
+
+def plan_memory(plan: InferencePlan, recorded: Dict[str, Tuple],
+                batch_shape: Tuple[int, ...],
+                capacity_batch: Optional[int] = None) -> MemoryPlan:
+    """Build a :class:`MemoryPlan` from one recorded execution.
+
+    ``recorded`` maps each step output to its observed ``(shape, dtype
+    string)`` at batch size ``batch_shape[0]`` (collected by
+    ``InferencePlan.execute(..., record=...)``).  Registers whose leading
+    dimension is not the batch size cannot be rescaled to other micro-batch
+    sizes and stay unmanaged.  ``capacity_batch`` sizes the arena buffers
+    (the engine passes its micro-batch); it defaults to the recorded batch.
+    """
+    batch = int(batch_shape[0])
+    alias_of: Dict[str, str] = {}
+    unmanaged = {plan.input_register}
+    per_sample_bytes: Dict[str, int] = {}
+    shapes: Dict[str, Tuple[int, ...]] = {}
+    dtypes: Dict[str, str] = {}
+    unplanned = 0
+    for step in plan.steps:
+        if step.op in ALIAS_OPS:
+            alias_of[step.output] = step.inputs[0]
+            continue
+        shape, dtype_str = recorded[step.output]
+        dtype = np.dtype(dtype_str)
+        if step.op == "opaque" or len(shape) < 1 or shape[0] != batch:
+            unmanaged.add(step.output)
+            continue
+        sample_shape = tuple(int(dim) for dim in shape[1:])
+        nbytes = int(np.prod(sample_shape, dtype=np.int64)) * dtype.itemsize
+        per_sample_bytes[step.output] = nbytes
+        shapes[step.output] = sample_shape
+        dtypes[step.output] = dtype.str
+        unplanned += nbytes
+
+    def root(register: str) -> str:
+        while register in alias_of:
+            register = alias_of[register]
+        return register
+
+    # The plan output is returned to the caller and must survive the next
+    # chunk's arena reuse; unmanaging its root also covers aliases of it.
+    unmanaged.add(root(plan.output_register))
+
+    # Liveness per root register: defined at its producing step, last read at
+    # the latest read of itself or any view of it.
+    last_read: Dict[str, int] = {}
+    for register, index in plan.last_use().items():
+        register = root(register)
+        last_read[register] = max(last_read.get(register, -1), index)
+
+    slot_of: Dict[str, int] = {}
+    slot_sizes: List[int] = []
+    free: List[int] = []
+    active: List[Tuple[int, int]] = []        # heap of (last read, slot)
+    for index, step in enumerate(plan.steps):
+        # Slots whose register was last read strictly before this step are
+        # reusable now; registers read *by* this step stay bound until after
+        # it, so a step output can never alias one of its inputs.
+        while active and active[0][0] < index:
+            _, slot = heapq.heappop(active)
+            free.append(slot)
+        register = step.output
+        if register in alias_of or register in unmanaged \
+                or root(register) in unmanaged:
+            continue
+        need = per_sample_bytes[register]
+        fitting = [slot for slot in free if slot_sizes[slot] >= need]
+        if fitting:
+            slot = min(fitting, key=lambda s: slot_sizes[s])
+            free.remove(slot)
+        elif free:
+            slot = max(free, key=lambda s: slot_sizes[s])
+            free.remove(slot)
+            slot_sizes[slot] = need
+        else:
+            slot = len(slot_sizes)
+            slot_sizes.append(need)
+        slot_of[register] = slot
+        heapq.heappush(active, (last_read.get(register, index), slot))
+
+    return MemoryPlan(input_shape=tuple(int(dim) for dim in batch_shape[1:]),
+                      slot_of=slot_of, alias_of=alias_of, shapes=shapes,
+                      dtypes=dtypes, slot_sizes=slot_sizes,
+                      unplanned_per_sample=unplanned,
+                      capacity_batch=max(batch, capacity_batch or batch))

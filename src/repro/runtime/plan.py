@@ -30,7 +30,7 @@ class Step:
     op: str                       # conv | linear | bn | act | add | global_pool |
                                   # max_pool | avg_pool | flatten | opaque |
                                   # quantize | dequantize | requantize |
-                                  # qconv | qconv_dequant | qlinear
+                                  # qrequantize | qconv | qconv_dequant | qlinear
     name: str                     # human-readable layer name (for debugging)
     inputs: Tuple[str, ...]       # register names read by the step
     output: str                   # register name written by the step
@@ -55,6 +55,9 @@ class InferencePlan:
     input_register: str = "x"
     output_register: str = ""
     name: str = "plan"
+    #: set by :func:`repro.runtime.optimizer.optimize_plan`; optimized plans
+    #: are not re-optimized when handed to another engine (or a worker).
+    optimized: bool = False
 
     def __post_init__(self):
         if not self.output_register and self.steps:
@@ -74,14 +77,21 @@ class InferencePlan:
         uses[self.output_register] = len(self.steps)
         return uses
 
-    def describe(self) -> str:
-        """Human-readable plan listing (one line per step)."""
+    def describe(self, memory_plan=None) -> str:
+        """Human-readable plan listing (one line per step).
+
+        With a :class:`~repro.runtime.optimizer.MemoryPlan` the listing is
+        followed by the arena summary: slot count, ``peak_bytes`` per sample
+        and the registers hosted by each slot.
+        """
         lines = [f"# plan {self.name!r}: {len(self.steps)} steps"]
         for step in self.steps:
             attrs = ", ".join(f"{k}={v}" for k, v in sorted(step.attrs.items())
                               if v is not None)
             lines.append(f"{step.output:>8} = {step.op}({', '.join(step.inputs)}"
                          f"{'; ' + attrs if attrs else ''})  # {step.name}")
+        if memory_plan is not None:
+            lines.append(memory_plan.describe())
         return "\n".join(lines)
 
     def num_fused(self) -> int:
@@ -123,12 +133,34 @@ class InferencePlan:
 
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray,
-                cache: Optional[kernels.BufferCache] = None) -> np.ndarray:
-        """Run the plan on one micro-batch of raw arrays."""
+                cache: Optional[kernels.BufferCache] = None,
+                memory_plan=None, record: Optional[Dict] = None) -> np.ndarray:
+        """Run the plan on one micro-batch of raw arrays.
+
+        With a matching :class:`~repro.runtime.optimizer.MemoryPlan` (and a
+        cache to own the arena buffers) every managed step writes its result
+        into a pre-assigned arena slot through the kernel ``out=`` paths —
+        same arithmetic, no per-step allocation.  ``record``, when given, is
+        filled with each step output's ``(shape, dtype string)`` — the
+        engine's way of collecting the shapes a memory plan needs without a
+        synthetic dry run.
+        """
         registers: Dict[str, np.ndarray] = {self.input_register: x}
         last_use = self.last_use()
+        planned = memory_plan is not None and cache is not None \
+            and x.ndim >= 1 and memory_plan.matches(x.shape[1:])
+        batch = x.shape[0]
         for index, step in enumerate(self.steps):
-            registers[step.output] = _execute_step(step, registers, cache)
+            if planned and step.output in memory_plan.alias_of:
+                source = registers[memory_plan.alias_of[step.output]]
+                value = source.reshape(batch, -1)
+            else:
+                out = memory_plan.out_view(step.output, batch, cache) \
+                    if planned else None
+                value = _execute_step(step, registers, cache, out)
+            registers[step.output] = value
+            if record is not None:
+                record[step.output] = (value.shape, value.dtype.str)
             for register in step.inputs:
                 if last_use.get(register, -1) <= index and \
                         register != self.output_register:
@@ -137,7 +169,8 @@ class InferencePlan:
 
 
 def _execute_step(step: Step, registers: Dict[str, np.ndarray],
-                  cache: Optional[kernels.BufferCache]) -> np.ndarray:
+                  cache: Optional[kernels.BufferCache],
+                  out: Optional[np.ndarray] = None) -> np.ndarray:
     x = registers[step.inputs[0]]
     op = step.op
     if op == "conv":
@@ -146,7 +179,7 @@ def _execute_step(step: Step, registers: Dict[str, np.ndarray],
             stride=step.attrs.get("stride", 1),
             padding=step.attrs.get("padding", 0),
             groups=step.attrs.get("groups", 1),
-            act=step.attrs.get("act"), cache=cache)
+            act=step.attrs.get("act"), cache=cache, out=out)
     if op == "linear":
         # Weights are read from the live module so in-place updates (e.g. the
         # on-device FCR fine-tuning) are reflected without recompiling.
@@ -159,7 +192,8 @@ def _execute_step(step: Step, registers: Dict[str, np.ndarray],
         else:
             weight = step.arrays["weight"]
             bias = step.arrays.get("bias")
-        return kernels.fused_linear(x, weight, bias, act=step.attrs.get("act"))
+        return kernels.fused_linear(x, weight, bias, act=step.attrs.get("act"),
+                                    out=out)
     if op == "qconv":
         return kernels.fused_qconv(
             x, step.arrays["weight"], step.arrays["bias"],
@@ -169,7 +203,7 @@ def _execute_step(step: Step, registers: Dict[str, np.ndarray],
             groups=step.attrs.get("groups", 1),
             qmin=step.attrs.get("qmin", kernels.INT8_QMIN),
             qmax=step.attrs.get("qmax", kernels.INT8_QMAX),
-            cache=cache, acc_bound=step.attrs.get("acc_bound"))
+            cache=cache, acc_bound=step.attrs.get("acc_bound"), out=out)
     if op == "qconv_dequant":
         return kernels.fused_qconv_dequant(
             x, step.arrays["weight"], step.arrays["dequant"],
@@ -178,35 +212,46 @@ def _execute_step(step: Step, registers: Dict[str, np.ndarray],
             padding=step.attrs.get("padding", 0),
             groups=step.attrs.get("groups", 1),
             act=step.attrs.get("act"), cache=cache,
-            acc_bound=step.attrs.get("acc_bound"))
+            acc_bound=step.attrs.get("acc_bound"), out=out)
     if op == "qlinear":
         return kernels.fused_qlinear(x, step.arrays["weight"],
                                      step.arrays["dequant"],
                                      step.arrays.get("bias"),
-                                     act=step.attrs.get("act"))
+                                     act=step.attrs.get("act"), out=out)
     if op == "quantize":
-        return kernels.quantize_int8(x, step.attrs["scale"])
+        return kernels.quantize_int8(x, step.attrs["scale"], out=out)
     if op == "dequantize":
-        return kernels.dequantize_int8(x, step.attrs["scale"])
+        return kernels.dequantize_int8(x, step.attrs["scale"], out=out)
     if op == "requantize":
-        return kernels.requantize_float(x, step.attrs["scale"])
+        return kernels.requantize_float(x, step.attrs["scale"], out=out)
+    if op == "qrequantize":
+        return kernels.requantize_codes(x, step.attrs["in_scale"],
+                                        step.attrs["scale"], cache=cache,
+                                        out=out)
     if op == "bn":
         return kernels.batchnorm_inference(x, step.arrays["scale"],
                                            step.arrays["shift"],
-                                           act=step.attrs.get("act"))
+                                           act=step.attrs.get("act"), out=out)
     if op == "act":
-        return kernels.apply_activation(x.copy(), step.attrs["act"])
+        if out is None:
+            return kernels.apply_activation(x.copy(), step.attrs["act"])
+        np.copyto(out, x)
+        return kernels.apply_activation(out, step.attrs["act"])
     if op == "add":
-        out = x + registers[step.inputs[1]]
-        return kernels.apply_activation(out, step.attrs.get("act"))
+        return kernels.fused_add(
+            x, registers[step.inputs[1]],
+            in_scale_x=step.attrs.get("in_scale_0"),
+            in_scale_y=step.attrs.get("in_scale_1"),
+            act=step.attrs.get("act"),
+            out_scale=step.attrs.get("out_scale"), cache=cache, out=out)
     if op == "global_pool":
-        return kernels.global_avg_pool(x)
+        return kernels.global_avg_pool(x, out=out)
     if op == "max_pool":
         return kernels.max_pool(x, step.attrs["kernel_size"],
-                                step.attrs["stride"])
+                                step.attrs["stride"], out=out)
     if op == "avg_pool":
         return kernels.avg_pool(x, step.attrs["kernel_size"],
-                                step.attrs["stride"])
+                                step.attrs["stride"], out=out)
     if op == "flatten":
         return x.reshape(x.shape[0], -1)
     if op == "opaque":

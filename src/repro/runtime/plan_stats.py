@@ -1,0 +1,61 @@
+"""Print optimizer + memory-plan statistics for a registry backbone.
+
+CI runs this after the fast suite (``python -m repro.runtime.plan_stats``)
+so plan-shape or memory-plan regressions — more steps, fewer fused
+epilogues, more arena slots, a bigger peak — are visible in the job log of
+every push, not only when a perf floor finally trips.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+DEFAULT_BACKBONE = "mobilenetv2_x4_tiny"
+WARMUP_SAMPLES = 8
+
+
+def plan_stats(backbone: str = DEFAULT_BACKBONE) -> dict:
+    """Compile the backbone, serve one batch, and report plan/arena stats."""
+    from ..core import OFSCIL, OFSCILConfig
+    from ..models import get_config
+
+    model = OFSCIL.from_registry(backbone, OFSCILConfig(backbone=backbone),
+                                 seed=0)
+    predictor = model.runtime_predictor()
+    size = get_config(backbone).input_size
+    # One real batch materialises the recorded-shape memory plan.
+    predictor.embed(np.zeros((WARMUP_SAMPLES, 3, size, size),
+                             dtype=np.float32))
+    engine = predictor.backbone_engine
+    plan = engine.plan
+    memory_plan = engine.memory_plan
+    peak = memory_plan.peak_bytes(engine.micro_batch)
+    unplanned = memory_plan.unplanned_bytes(engine.micro_batch)
+    return {
+        "backbone": backbone,
+        "plan_steps": len(plan),
+        "fused_steps": plan.num_fused(),
+        "integer_steps": plan.num_integer(),
+        "arena_slots": memory_plan.num_slots,
+        "arena_peak_bytes": peak,
+        "arena_unplanned_bytes": unplanned,
+        "peak_reduction": round(1.0 - peak / unplanned, 3) if unplanned else 0.0,
+        "micro_batch": engine.micro_batch,
+        "num_threads": engine.num_threads,
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    backbone = argv[0] if argv else DEFAULT_BACKBONE
+    stats = plan_stats(backbone)
+    width = max(len(key) for key in stats)
+    for key, value in stats.items():
+        print(f"{key:<{width}}  {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,13 +40,16 @@ class BatchedPredictor:
     """
 
     def __init__(self, model, micro_batch: int = DEFAULT_MICRO_BATCH,
-                 mode: str = "float32"):
+                 mode: str = "float32", num_threads: Optional[int] = None,
+                 cache_budget: Optional[int] = None):
         if mode not in MODES:
             raise ValueError(f"unknown runtime mode {mode!r}; "
                              f"expected one of {MODES}")
         self.model = model
         self.micro_batch = micro_batch
         self.mode = mode
+        self.num_threads = num_threads
+        self.cache_budget = cache_budget
         self._backbone_engine: Optional[InferenceEngine] = None
         self._backbone_state: list = []
         self._fcr_engine: Optional[InferenceEngine] = None
@@ -140,7 +143,8 @@ class BatchedPredictor:
                 self._state_differs(state, self._backbone_state):
             self._backbone_engine = InferenceEngine(
                 compile_backbone(self.model.backbone, mode=self.mode),
-                micro_batch=self.micro_batch)
+                micro_batch=self.micro_batch, num_threads=self.num_threads,
+                cache_budget=self.cache_budget)
             self._backbone_state = state
         return self._backbone_engine
 
@@ -151,7 +155,9 @@ class BatchedPredictor:
                 self._state_differs(state, self._fcr_state):
             self._fcr_engine = InferenceEngine(
                 compile_module(self.model.fcr, "fcr", mode=self.mode),
-                micro_batch=max(self.micro_batch, 512))
+                micro_batch=max(self.micro_batch, 512),
+                num_threads=self.num_threads,
+                cache_budget=self.cache_budget)
             self._fcr_state = state
         return self._fcr_engine
 
@@ -278,3 +284,23 @@ class BatchedPredictor:
     def samples_served(self) -> int:
         engine = self._backbone_engine
         return engine.samples_run if engine is not None else 0
+
+    def runtime_stats(self) -> dict:
+        """Execution-resource counters of the compiled engines.
+
+        ``arena_peak_bytes`` is the planned-arena footprint at the configured
+        micro-batch (0 until the first batch has been served);
+        ``cache_bytes`` sums every scratch/arena buffer currently cached.
+        """
+        engines = [engine for engine in (self._backbone_engine,
+                                         self._fcr_engine)
+                   if engine is not None]
+        return {
+            "cache_bytes": sum(engine.cache_bytes for engine in engines),
+            "arena_slots": sum(engine.arena_slots for engine in engines),
+            "arena_peak_bytes": sum(engine.arena_peak_bytes
+                                    for engine in engines),
+            "arena_unplanned_bytes": sum(engine.arena_unplanned_bytes
+                                         for engine in engines),
+            "samples_served": self.samples_served,
+        }

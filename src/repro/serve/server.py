@@ -246,11 +246,22 @@ class Server:
         return self.engine.stats()
 
     def stats_dict(self) -> dict:
-        """Server counters plus per-worker replica statistics."""
+        """Server counters plus per-worker replica statistics.
+
+        ``cache_bytes`` / ``arena_peak_bytes`` aggregate the worker
+        replicas' buffer-cache footprint and planned-arena footprint (see
+        :class:`~repro.runtime.optimizer.MemoryPlan`), so memory regressions
+        in the compiled runtime surface in the serving stats.
+        """
         report = self.stats.as_dict()
         report["num_workers"] = self.num_workers
         report["prototype_version"] = self._proto_version
-        report["workers"] = self.worker_stats()
+        workers = self.worker_stats()
+        report["workers"] = workers
+        report["cache_bytes"] = sum(record.get("cache_bytes", 0)
+                                    for record in workers)
+        report["arena_peak_bytes"] = sum(record.get("arena_peak_bytes", 0)
+                                         for record in workers)
         return report
 
     def close(self, timeout: float = 10.0) -> None:

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..runtime.compiler import compile_module, has_hooks
 from ..runtime.kernels import normalize_prototypes
+from ..runtime.optimizer import MemoryPlan
 from ..runtime.plan import InferencePlan, Step
 
 
@@ -83,25 +84,39 @@ def snapshot_prototypes(memory) -> PrototypeState:
 # ---------------------------------------------------------------------------
 @dataclass
 class PlanSnapshot:
-    """A module-ref-free :class:`InferencePlan`, safe to pickle."""
+    """A module-ref-free :class:`InferencePlan`, safe to pickle.
+
+    Optimized plans snapshot with their optimization state and (when the
+    source engine has served traffic) the arena :class:`MemoryPlan`, so a
+    worker restoring the snapshot executes the identical step sequence in
+    the identical memory layout without replanning.
+    """
 
     steps: List[Step]
     input_register: str
     output_register: str
     name: str
+    optimized: bool = False
+    memory_plan: Optional[MemoryPlan] = None
 
     def restore(self) -> InferencePlan:
         """Rebuild an executable plan (arrays are shared, not copied)."""
         return InferencePlan(steps=list(self.steps),
                              input_register=self.input_register,
                              output_register=self.output_register,
-                             name=self.name)
+                             name=self.name,
+                             optimized=getattr(self, "optimized", False))
+
+    def restore_memory_plan(self) -> Optional[MemoryPlan]:
+        """Arena spec captured with the plan (None on legacy snapshots)."""
+        return getattr(self, "memory_plan", None)
 
     def __len__(self) -> int:
         return len(self.steps)
 
 
-def snapshot_plan(plan: InferencePlan) -> PlanSnapshot:
+def snapshot_plan(plan: InferencePlan,
+                  memory_plan: Optional[MemoryPlan] = None) -> PlanSnapshot:
     """Snapshot ``plan`` into a fully picklable form.
 
     Raises:
@@ -109,9 +124,11 @@ def snapshot_plan(plan: InferencePlan) -> PlanSnapshot:
             no compiled equivalent (hooked or unknown modules).
     """
     steps: List[Step] = []
+    inlined = False
     for step in plan.steps:
         if step.op == "opaque":
             steps.extend(_inline_opaque(step))
+            inlined = True
         elif step.module is not None:
             if step.op != "linear":
                 raise PlanSerializationError(
@@ -120,8 +137,17 @@ def snapshot_plan(plan: InferencePlan) -> PlanSnapshot:
             steps.append(_freeze_linear(step))
         else:
             steps.append(step)
+    if inlined:
+        # Inlining renames registers and introduces steps the optimizer has
+        # never seen: the memory plan recorded against the original plan no
+        # longer applies, and the optimized flag must not carry over (it
+        # would permanently exempt the inlined steps from the passes).
+        # Workers re-optimize and replan on first use.
+        memory_plan = None
     return PlanSnapshot(steps=steps, input_register=plan.input_register,
-                        output_register=plan.output_register, name=plan.name)
+                        output_register=plan.output_register, name=plan.name,
+                        optimized=plan.optimized and not inlined,
+                        memory_plan=memory_plan)
 
 
 def _freeze_linear(step: Step) -> Step:
@@ -209,8 +235,10 @@ def snapshot_model(model, micro_batch: Optional[int] = None) -> ModelSnapshot:
     """
     predictor = model.runtime_predictor()
     return ModelSnapshot(
-        backbone=snapshot_plan(predictor.backbone_engine.plan),
-        fcr=snapshot_plan(predictor.fcr_engine.plan),
+        backbone=snapshot_plan(predictor.backbone_engine.plan,
+                               predictor.backbone_engine.memory_plan),
+        fcr=snapshot_plan(predictor.fcr_engine.plan,
+                          predictor.fcr_engine.memory_plan),
         prototypes=snapshot_prototypes(model.memory),
         micro_batch=micro_batch or predictor.micro_batch,
         relu_sharpening=bool(getattr(model.config, "relu_sharpening", False)),

@@ -46,10 +46,14 @@ class _WorkerState:
 
     def __init__(self, worker_id: int, snapshot: ModelSnapshot):
         self.worker_id = worker_id
-        self.backbone = InferenceEngine(snapshot.backbone.restore(),
-                                        micro_batch=snapshot.micro_batch)
-        self.fcr = InferenceEngine(snapshot.fcr.restore(),
-                                   micro_batch=max(snapshot.micro_batch, 512))
+        self.backbone = InferenceEngine(
+            snapshot.backbone.restore(),
+            micro_batch=snapshot.micro_batch,
+            memory_plan=snapshot.backbone.restore_memory_plan())
+        self.fcr = InferenceEngine(
+            snapshot.fcr.restore(),
+            micro_batch=max(snapshot.micro_batch, 512),
+            memory_plan=snapshot.fcr.restore_memory_plan())
         self.prototypes: PrototypeState = snapshot.prototypes
         self.relu_sharpening = snapshot.relu_sharpening
         self.mode = getattr(snapshot, "mode", "float32")
@@ -118,7 +122,12 @@ class _WorkerState:
                 "prototype_version": self.prototypes.version,
                 "prototype_classes": self.prototypes.num_classes,
                 "plan_steps": len(self.backbone.plan),
-                "cache_bytes": self.backbone.cache_bytes,
+                "cache_bytes": self.backbone.cache_bytes
+                + self.fcr.cache_bytes,
+                "arena_slots": self.backbone.arena_slots
+                + self.fcr.arena_slots,
+                "arena_peak_bytes": self.backbone.arena_peak_bytes
+                + self.fcr.arena_peak_bytes,
             }
         raise ValueError(f"unknown work item kind {kind!r}")
 

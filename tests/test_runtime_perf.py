@@ -6,9 +6,16 @@ backbone through both execution paths, writes the measurements to
 runtime drops below the required speedup over the eager per-sample path —
 the regression guard for the ISSUE 1 acceptance criterion.
 
-The numbers on a current laptop-class CPU are ~8x; the 3x threshold leaves
-headroom for noisy CI machines while still catching a real regression (e.g.
-losing conv+bn fusion or the im2col buffer cache).
+The numbers on a current laptop-class CPU are 7.5-10x; the 4.5x threshold
+(raised from 3x when the plan optimizer landed — arena-planned execution,
+the depthwise fast path and thread-pool chunking bought measurable headroom)
+still leaves room for noisy CI machines while catching a real regression
+(e.g. losing conv+bn fusion, the im2col buffer cache, or the memory plan).
+
+The same harness enforces the arena's memory contract — the planned
+``peak_bytes`` must undercut per-step allocation by >= 40% — and, since the
+``int8_vs_float32`` history established a ~0.6x trend, a floor on the int8
+throughput ratio.
 """
 
 import json
@@ -23,7 +30,8 @@ from repro.report import append_bench_record
 from repro.runtime import compare_with_eager
 
 BACKBONE = "mobilenetv2_x4_tiny"
-REQUIRED_SPEEDUP = 3.0
+REQUIRED_SPEEDUP = 4.5
+REQUIRED_PEAK_REDUCTION = 0.40
 BATCHED_SAMPLES = 192
 PER_SAMPLE_PROBE = 16
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
@@ -64,6 +72,12 @@ def test_batched_runtime_meets_speedup_floor(bench_model):
     speedup = batched_rate / eager_rate
     parity = compare_with_eager(bench_model, images[:32])
 
+    engine = predictor.backbone_engine
+    memory_plan = engine.memory_plan
+    peak_bytes = memory_plan.peak_bytes(engine.micro_batch)
+    unplanned_bytes = memory_plan.unplanned_bytes(engine.micro_batch)
+    peak_reduction = 1.0 - peak_bytes / unplanned_bytes
+
     record = {
         "backbone": BACKBONE,
         "batched_samples": BATCHED_SAMPLES,
@@ -75,8 +89,13 @@ def test_batched_runtime_meets_speedup_floor(bench_model):
         "parity_max_feature_error": parity.max_feature_error,
         "parity_max_similarity_error": parity.max_similarity_error,
         "parity_prediction_agreement": parity.prediction_agreement,
-        "plan_steps": len(predictor.backbone_engine.plan),
-        "fused_steps": predictor.backbone_engine.plan.num_fused(),
+        "plan_steps": len(engine.plan),
+        "fused_steps": engine.plan.num_fused(),
+        "arena_slots": memory_plan.num_slots,
+        "peak_bytes_arena": peak_bytes,
+        "peak_bytes_unplanned": unplanned_bytes,
+        "peak_reduction": round(peak_reduction, 3),
+        "num_threads": engine.num_threads,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     append_bench_record(BENCH_PATH, record)
@@ -85,6 +104,10 @@ def test_batched_runtime_meets_speedup_floor(bench_model):
     assert speedup >= REQUIRED_SPEEDUP, (
         f"batched runtime is only {speedup:.2f}x faster than the eager "
         f"per-sample path (required >= {REQUIRED_SPEEDUP}x); see {BENCH_PATH}")
+    assert peak_reduction >= REQUIRED_PEAK_REDUCTION, (
+        f"arena memory plan only cuts peak intermediate memory by "
+        f"{peak_reduction:.1%} (required >= {REQUIRED_PEAK_REDUCTION:.0%}); "
+        f"see {BENCH_PATH}")
 
 
 def test_bench_record_is_written_and_valid(bench_model):
@@ -108,15 +131,24 @@ def test_bench_record_is_written_and_valid(bench_model):
     assert data["latest"] == data["history"][-1]
 
 
+#: Floor on int8 throughput relative to float32, derived from the recorded
+#: ``int8_vs_float32`` history: the trend sits at 0.63-0.70x (NumPy has no
+#: native int8 GEMM; the exact integer accumulation runs through float BLAS).
+#: 0.45 leaves noise headroom while catching a real integer-path regression,
+#: e.g. losing the depthwise fast path or an accidental float64 promotion.
+INT8_REQUIRED_RATIO = 0.45
+
+
 @pytest.mark.slow
 def test_int8_vs_float32_throughput_recorded():
-    """Int8-vs-float32 benchmark section (ratio recorded, no floor yet).
+    """Int8-vs-float32 benchmark section, with the floor from the history.
 
     NumPy has no native int8 GEMM, so the integer path runs its exact
     accumulation through float32/float64 BLAS — the measured ratio documents
-    what the int8 mode costs (or buys) on the host and builds the trend a
-    future floor will be derived from.  The record is appended to
-    ``BENCH_runtime.json`` next to the batched-vs-eager section.
+    what the int8 mode costs (or buys) on the host; the recorded history
+    established the ~0.6x trend that ``INT8_REQUIRED_RATIO`` now guards.
+    The record is appended to ``BENCH_runtime.json`` next to the
+    batched-vs-eager section.
     """
     import sys
     sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -153,8 +185,12 @@ def test_int8_vs_float32_throughput_recorded():
         "int8_samples_per_s": round(int8_rate, 1),
         "float32_samples_per_s": round(float_rate, 1),
         "int8_over_float32_ratio": round(ratio, 3),
+        "required_ratio": INT8_REQUIRED_RATIO,
         "integer_steps": int8_predictor.backbone_engine.plan.num_integer(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     append_bench_record(BENCH_PATH, record)
     assert int8_rate > 0 and float_rate > 0
+    assert ratio >= INT8_REQUIRED_RATIO, (
+        f"int8 runtime fell to {ratio:.2f}x of float32 throughput "
+        f"(required >= {INT8_REQUIRED_RATIO}x); see {BENCH_PATH}")

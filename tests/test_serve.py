@@ -176,6 +176,20 @@ class TestShardedEngine:
         stats = server.worker_stats()
         assert sorted(record["worker_id"] for record in stats) == [0, 1]
         assert all(record["plan_steps"] > 0 for record in stats)
+        # Replicas run the memory-planned executor: once a worker has served
+        # a second batch (the first records shapes), its arena footprint
+        # shows in the stats surface.
+        served_workers = [record for record in stats
+                          if record["samples_run"] > 0]
+        assert served_workers
+        assert all(record["arena_slots"] > 0
+                   and record["arena_peak_bytes"] > 0
+                   and record["cache_bytes"] > 0
+                   for record in served_workers)
+        report = server.stats_dict()
+        assert report["cache_bytes"] == sum(record["cache_bytes"]
+                                            for record in stats)
+        assert "arena_peak_bytes" in report
 
     def test_worker_error_is_reraised_and_loop_survives(self, served):
         _, server, _ = served
