@@ -26,7 +26,8 @@ from repro.runtime import compile_backbone
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--backbone", default="mobilenetv2_x4",
-                        choices=("mobilenetv2", "mobilenetv2_x2", "mobilenetv2_x4"))
+                        choices=("mobilenetv2", "mobilenetv2_x2",
+                                 "mobilenetv2_x4", "resnet12", "resnet20"))
     parser.add_argument("--shots", type=int, default=5)
     parser.add_argument("--finetune-epochs", type=int, default=100)
     parser.add_argument("--classes", type=int, default=100,

@@ -117,7 +117,9 @@ def plan_layer_specs(plan, input_shape: Tuple[int, int, int] = (3, 32, 32)
             c, h, w = shape
             specs.append(add_spec(step.name, c, (h, w)))
             shapes[step.output] = shape
-        elif step.op == "global_pool":
+        elif step.op in ("global_pool", "qglobal_pool"):
+            # The integer pooling variant costs identically on GAP9 (the
+            # accumulation is the same; only the host-side rescale differs).
             c, h, w = shape
             specs.append(global_pool_spec(step.name, c, (h, w)))
             shapes[step.output] = (c,)

@@ -30,7 +30,14 @@ from .graph import (
 
 
 class ResNet12Block(nn.Module):
-    """Three conv-bn-relu layers plus a projected residual, then 2x2 max-pool."""
+    """Three conv-bn-relu layers plus a projected residual, then 2x2 max-pool.
+
+    A block-output quantization hook point (see
+    :data:`repro.quant.activation_quant.DEFAULT_HOOK_TYPES`): the hook
+    observes the post-pool output, which is what the next block's shortcut
+    consumes, so the integer runtime re-enters a calibrated int8 grid after
+    every residual join.
+    """
 
     def __init__(self, in_channels: int, out_channels: int,
                  rng: Optional[np.random.Generator] = None, pool: bool = True):
@@ -109,7 +116,13 @@ class ResNet12Backbone(nn.Module):
 
 
 class BasicBlock(nn.Module):
-    """Classic two-convolution CIFAR ResNet basic block."""
+    """Classic two-convolution CIFAR ResNet basic block.
+
+    Like :class:`ResNet12Block`, a block-output quantization hook point: the
+    integer runtime lowers the strided 1x1 downsample (or identity) shortcut
+    onto the residual add and requantizes the activated sum onto the block's
+    calibrated grid, mirroring where Dory places requant nodes on GAP9.
+    """
 
     def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
                  rng: Optional[np.random.Generator] = None):

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..models.mobilenetv2 import InvertedResidual
+from ..models.resnet import BasicBlock, ResNet12Block
 from ..nn.modules import GlobalAvgPool2d, Module, ReLU, ReLU6
 from ..nn.tensor import Tensor
 from .fake_quant import fake_quantize
@@ -29,8 +30,15 @@ from .tqt import TQTQuantizer
 #: Hook points: activation outputs, the pooled backbone output and the
 #: residual-block outputs (Dory requantizes after every residual add on
 #: GAP9, and the integer runtime needs a calibrated grid there to re-enter
-#: the int8 domain after the float residual accumulation).
-DEFAULT_HOOK_TYPES = (ReLU, ReLU6, GlobalAvgPool2d, InvertedResidual)
+#: the int8 domain after the float residual accumulation).  Block-output
+#: grids exist for every residual family: MobileNetV2's
+#: :class:`InvertedResidual` and the ResNet trunks'
+#: :class:`~repro.models.resnet.BasicBlock` / :class:`ResNet12Block`, whose
+#: hooks observe the post-activation (ResNet-12: post-pool) block output —
+#: the tensor the downsample/identity shortcut of the *next* block consumes,
+#: so shortcut and main path share one calibrated scale at the join.
+DEFAULT_HOOK_TYPES = (ReLU, ReLU6, GlobalAvgPool2d, InvertedResidual,
+                      BasicBlock, ResNet12Block)
 
 
 @dataclass

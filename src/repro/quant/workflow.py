@@ -77,6 +77,11 @@ def quantize_ofscil_model(model: OFSCIL, calibration_data: ArrayDataset,
     num_classes = len(calibration_data.classes)
 
     # 1. Activation calibration on float weights (ranges match deployment).
+    #    The pass hooks every activation output, the pooled backbone output
+    #    and the residual-block outputs of whichever family the backbone is
+    #    (InvertedResidual for MobileNetV2, BasicBlock/ResNet12Block for the
+    #    ResNet trunks), so the int8 compiler finds a calibrated grid at
+    #    every point where the deployed graph requantizes.
     act_pass = ActivationQuantizationPass(model.backbone, bits=config.activation_bits)
     calibration_images = calibration_data.images[: config.calibration_batches *
                                                  config.calibration_batch_size]

@@ -340,9 +340,13 @@ def _lower_basic_block(builder: PlanBuilder, module: BasicBlock, name: str,
 # straight back to int8 (``qconv``); a conv with no calibrated output range
 # (e.g. the projection conv feeding a residual add) dequantizes to float
 # (``qconv_dequant``), the add runs in float, and the block-output quantizer
-# re-enters the int8 domain.  Layers whose input arrives in float with no
-# known scale fall back to the float32 kernels — compilation degrades
-# precision-wise, never semantically.
+# re-enters the int8 domain.  Residual trunks of every registered family
+# lower this way: MobileNetV2's ``InvertedResidual`` and the ResNet
+# ``BasicBlock``/``ResNet12Block`` (strided 1x1 downsample or identity
+# shortcut joining the add on its own grid, Dory-style block-output requant
+# after the residual, integer global average pooling).  Layers whose input
+# arrives in float with no known scale fall back to the float32 kernels —
+# compilation degrades precision-wise, never semantically.
 
 
 class _Int8Builder(PlanBuilder):
@@ -560,8 +564,25 @@ def _lower_inverted_residual_int8(builder: _Int8Builder,
                            module.project_bn, None, block_scale)
 
 
+def _emit_block_requant(builder: _Int8Builder, name: str, x: str,
+                        block_scale: Optional[float]) -> str:
+    """Re-enter the block-output grid (Dory-style requant after the residual).
+
+    Replays the eager path's block-output fake-quant: the register is
+    dequantized off its current grid and re-quantized onto the calibrated
+    block grid (the fusion pass collapses the pair into one ``qrequantize``).
+    When the register already sits on the block grid the extra hop is the
+    exact identity (``rint(q * s / s) == q``) and is skipped.
+    """
+    if block_scale is None or builder.scales.get(x) == block_scale:
+        return x
+    x = _ensure_float(builder, x, f"{name}.block_dq")
+    return _emit_quantize(builder, f"{name}.block_requant", x, block_scale)
+
+
 def _lower_resnet12_block_int8(builder: _Int8Builder, module: ResNet12Block,
-                               name: str, x: str) -> str:
+                               name: str, x: str,
+                               block_scale: Optional[float]) -> str:
     relu_scale, relu_clean = _hook_state(module.relu)
     clean = _modules_hook_free(module.conv1, module.bn1, module.conv2,
                                module.bn2, module.conv3, module.bn3,
@@ -586,11 +607,14 @@ def _lower_resnet12_block_int8(builder: _Int8Builder, module: ResNet12Block,
     if module.pool is not None:
         out = _emit_max_pool_int8(builder, f"{name}.pool", out,
                                   module.pool.kernel_size, module.pool.stride)
-    return out
+    # The block hook observes the *post-pool* output (max pooling commutes
+    # with the positive grid scale, so pooling codes first is exact).
+    return _emit_block_requant(builder, name, out, block_scale)
 
 
 def _lower_basic_block_int8(builder: _Int8Builder, module: BasicBlock,
-                            name: str, x: str) -> str:
+                            name: str, x: str,
+                            block_scale: Optional[float]) -> str:
     relu_scale, relu_clean = _hook_state(module.relu)
     clean = _modules_hook_free(module.conv1, module.bn1, module.conv2,
                                module.bn2, module.downsample,
@@ -598,11 +622,15 @@ def _lower_basic_block_int8(builder: _Int8Builder, module: BasicBlock,
     if not relu_clean or not clean:
         return _emit_opaque_int8(builder, module, name, x)
     if module.downsample is not None:
+        # Strided 1x1 projection shortcut: integer conv, dequantized into the
+        # float residual accumulation (the fusion pass folds the dequantize
+        # into the add).
         residual = _emit_conv_int8(builder, f"{name}.downsample", x,
                                    module.downsample, module.downsample_bn,
                                    None, None)
         residual = _ensure_float(builder, residual, f"{name}.downsample_dq")
     else:
+        # Identity shortcut: the int8 input joins the add on its own grid.
         residual = _ensure_float(builder, x, f"{name}.residual_dq")
     out = _emit_conv_int8(builder, f"{name}.conv1", x, module.conv1,
                           module.bn1, "relu", relu_scale)
@@ -613,7 +641,7 @@ def _lower_basic_block_int8(builder: _Int8Builder, module: BasicBlock,
                        attrs={"act": "relu"}, hint="add")
     if relu_scale is not None:
         out = _emit_quantize(builder, f"{name}.requant", out, relu_scale)
-    return out
+    return _emit_block_requant(builder, name, out, block_scale)
 
 
 def _emit_max_pool_int8(builder: _Int8Builder, name: str, x: str,
@@ -629,13 +657,25 @@ def _emit_max_pool_int8(builder: _Int8Builder, name: str, x: str,
 
 
 def _lower_global_pool_int8(builder: _Int8Builder, pool: GlobalAvgPool2d,
-                            name: str, x: str) -> str:
-    """Global average pooling + the (optional) pool-output fake-quant."""
+                            name: str, x: str, integer: bool = False) -> str:
+    """Global average pooling + the (optional) pool-output fake-quant.
+
+    ``integer=True`` (the ResNet trunks, whose int8 lowering committed to it
+    from the start) pools int8 codes through the exact integer-accumulation
+    kernel (``qglobal_pool``) instead of dequantizing first; the MobileNetV2
+    family keeps the original float pool so its committed golden bits stay
+    untouched.  Both paths are deterministic across chunkings and backends.
+    """
     pool_scale, pool_clean = _hook_state(pool)
     if not pool_clean:
         return _emit_opaque_int8(builder, pool, name, x)
-    x = _ensure_float(builder, x, f"{name}.dq")
-    out = builder.emit("global_pool", name, (x,), hint="gap")
+    in_scale = builder.scales.get(x)
+    if integer and in_scale is not None:
+        out = builder.emit("qglobal_pool", name, (x,),
+                           attrs={"scale": in_scale}, hint="qgap")
+    else:
+        x = _ensure_float(builder, x, f"{name}.dq")
+        out = builder.emit("global_pool", name, (x,), hint="gap")
     if pool_scale is not None:
         out = builder.emit("requantize", f"{name}.requant", (out,),
                            attrs={"scale": pool_scale}, hint="rq")
@@ -657,15 +697,15 @@ def _lower_int8(builder: _Int8Builder, module: Module, name: str, x: str) -> str
         return _lower_conv_bn_act_int8(builder, module, name, x)
     if isinstance(module, InvertedResidual):
         return _lower_inverted_residual_int8(builder, module, name, x, scale)
+    if isinstance(module, ResNet12Block):
+        return _lower_resnet12_block_int8(builder, module, name, x, scale)
+    if isinstance(module, BasicBlock):
+        return _lower_basic_block_int8(builder, module, name, x, scale)
     if scale is not None and not isinstance(module, (ReLU, ReLU6,
                                                      GlobalAvgPool2d)):
         # A quantizer on a module type without a dedicated int8 rule: keep
         # the eager semantics rather than guessing where the grid applies.
         return _emit_opaque_int8(builder, module, name, x)
-    if isinstance(module, ResNet12Block):
-        return _lower_resnet12_block_int8(builder, module, name, x)
-    if isinstance(module, BasicBlock):
-        return _lower_basic_block_int8(builder, module, name, x)
     if isinstance(module, MobileNetV2Backbone):
         out = _lower_int8(builder, module.stem, f"{name}.stem", x)
         out = _lower_int8(builder, module.blocks, f"{name}.blocks", out)
@@ -675,7 +715,7 @@ def _lower_int8(builder: _Int8Builder, module: Module, name: str, x: str) -> str
     if isinstance(module, ResNet12Backbone):
         out = _lower_int8(builder, module.blocks, f"{name}.blocks", x)
         return _lower_global_pool_int8(builder, module.pool, f"{name}.pool",
-                                       out)
+                                       out, integer=True)
     if isinstance(module, ResNet20Backbone):
         if not _modules_hook_free(module.stem, module.stem_bn):
             return _emit_opaque_int8(builder, module, name, x)
@@ -686,7 +726,7 @@ def _lower_int8(builder: _Int8Builder, module: Module, name: str, x: str) -> str
                               module.stem_bn, "relu", stem_scale)
         out = _lower_int8(builder, module.blocks, f"{name}.blocks", out)
         return _lower_global_pool_int8(builder, module.pool, f"{name}.pool",
-                                       out)
+                                       out, integer=True)
     if isinstance(module, FullyConnectedReductor):
         return _lower_linear_int8(
             builder, module.linear, f"{name}.linear", x,

@@ -103,6 +103,24 @@ class BufferCache:
         self._nbytes = 0
         self._scratch_nbytes = 0
 
+    def check_invariants(self) -> None:
+        """Verify the byte counters against the held buffers (tests only).
+
+        ``_nbytes``/``_scratch_nbytes`` are maintained incrementally across
+        ``get`` / eviction / :meth:`drop_arena` / :meth:`clear`; any drift
+        between the counters and the actual working set would silently skew
+        the LRU budget and every ``cache_bytes`` stat, so the LRU tests
+        recompute both sums from scratch after each mutation.
+        """
+        total = sum(buffer.nbytes for buffer in self._buffers.values())
+        scratch = sum(buffer.nbytes for key, buffer in self._buffers.items()
+                      if not key[0].startswith(self.ARENA_PREFIX))
+        if total != self._nbytes or scratch != self._scratch_nbytes:
+            raise AssertionError(
+                f"BufferCache byte accounting drifted: nbytes counter "
+                f"{self._nbytes} vs actual {total}, scratch counter "
+                f"{self._scratch_nbytes} vs actual {scratch}")
+
     def __len__(self) -> int:
         return len(self._buffers)
 
@@ -137,6 +155,15 @@ def pad_cached(x: np.ndarray, padding: int,
     overwritten below, and the ring must be cleared every call because the
     cached buffer may hold a stale halo from a layer with a different
     ``(h, padding)`` split of the same padded shape.
+
+    Coverage invariant (pinned by the mixed-padding poisoning test in
+    ``tests/test_runtime_optimizer.py``): the four ring strips plus the
+    interior assignment write *every* element of the padded buffer for the
+    current ``(h, w, padding)`` — rows ``[0, p)`` and ``[h+p, h+2p)`` at full
+    width, columns ``[0, p)`` and ``[w+p, w+2p)`` of the middle rows, and the
+    ``h x w`` interior — so no byte from a previous call with a different
+    halo split (the delta region between the old and new ring) can survive
+    into the window view, no matter which layer used the buffer last.
     """
     n, c, h, w = x.shape
     padded_shape = (n, c, h + 2 * padding, w + 2 * padding)
@@ -418,6 +445,27 @@ def fused_add(x: np.ndarray, y: np.ndarray,
     np.add(x, y, out=total)
     apply_activation(total, act)
     return quantize_int8(total, out_scale, out=out)
+
+
+def int_global_avg_pool(q: np.ndarray, scale: float,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Global average pooling of int8 codes with exact integer accumulation.
+
+    The spatial sum runs in int64 (exact for any int8 feature map), and only
+    the final per-feature mean is mapped back to float through the single
+    factor ``scale / (h * w)`` — one deterministic scalar multiply per
+    output, independent of chunking, summation order and BLAS backend.
+    Returns the dequantized ``(N, C)`` float32 pooled features, i.e. exactly
+    what ``dequantize -> global_pool`` produces semantically, computed
+    integer-first.
+    """
+    n, c, h, w = q.shape
+    acc = q.sum(axis=(2, 3), dtype=np.int64)
+    values = acc * (float(scale) / (h * w))
+    if out is None:
+        return values.astype(np.float32)
+    np.copyto(out, values, casting="unsafe")
+    return out
 
 
 def quantize_weight_per_channel(weight: np.ndarray

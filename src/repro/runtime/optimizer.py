@@ -197,6 +197,12 @@ class MemoryPlan:
     #: cannot accumulate per-size buffers in the cache.
     capacity_batch: int = 1
     _specs: Dict[str, Tuple] = field(default_factory=dict, repr=False)
+    #: bumped whenever the arena is rekeyed (capacity growth): caches stamp
+    #: the generation they materialised their slot buffers under, so every
+    #: cache — including the per-thread ones an engine registers — lazily
+    #: retires stale-capacity buffers on its next use instead of pinning
+    #: them forever (arena buffers are exempt from LRU eviction).
+    _arena_generation: int = field(default=0, repr=False)
 
     def __post_init__(self):
         for register, slot in self.slot_of.items():
@@ -222,12 +228,35 @@ class MemoryPlan:
         return tuple(per_sample_shape) == self.input_shape
 
     def out_view(self, register: str, batch: int, cache) -> Optional[np.ndarray]:
-        """Typed contiguous view into the register's arena slot (or None)."""
+        """Typed contiguous view into the register's arena slot (or None).
+
+        Every chunk size up to ``capacity_batch`` slices the *front* of the
+        same fixed-capacity slot buffer: per-sample shapes scale linearly in
+        the leading (batch) dimension for every op in the plan vocabulary,
+        so the prefix of ``batch * nbytes`` bytes is exactly the contiguous
+        C-order layout the kernels' ``out=`` paths expect — remainder chunks
+        (``N % micro_batch != 0``) and first runs smaller than the
+        micro-batch reuse the full-chunk buffers without any stride games.
+        A chunk *larger* than the capacity (only reachable by executing the
+        plan directly, outside the engine, which clamps chunks to its
+        micro-batch) rekeys the arena at the larger capacity instead of
+        accumulating one eviction-exempt buffer per distinct oversize.
+        """
         spec = self._specs.get(register)
         if spec is None:
             return None
         slot, shape, dtype, nbytes = spec
-        capacity = max(batch, getattr(self, "capacity_batch", 1))
+        capacity = getattr(self, "capacity_batch", 1)
+        generation = getattr(self, "_arena_generation", 0)
+        if batch > capacity:
+            self.capacity_batch = capacity = batch
+            generation = self._arena_generation = generation + 1
+        if getattr(cache, "_arena_generation", None) != generation:
+            # First contact of this cache with the current arena keying
+            # (or a capacity bump happened since): retire whatever arena
+            # buffers the cache still holds under the old keys.
+            cache.drop_arena()
+            cache._arena_generation = generation
         buffer = cache.get(f"arena:{slot}",
                            (self.slot_sizes[slot] * capacity,), np.uint8)
         return buffer[:nbytes * batch].view(dtype).reshape((batch,) + shape)

@@ -30,7 +30,8 @@ class Step:
     op: str                       # conv | linear | bn | act | add | global_pool |
                                   # max_pool | avg_pool | flatten | opaque |
                                   # quantize | dequantize | requantize |
-                                  # qrequantize | qconv | qconv_dequant | qlinear
+                                  # qrequantize | qconv | qconv_dequant |
+                                  # qlinear | qglobal_pool
     name: str                     # human-readable layer name (for debugging)
     inputs: Tuple[str, ...]       # register names read by the step
     output: str                   # register name written by the step
@@ -246,6 +247,8 @@ def _execute_step(step: Step, registers: Dict[str, np.ndarray],
             out_scale=step.attrs.get("out_scale"), cache=cache, out=out)
     if op == "global_pool":
         return kernels.global_avg_pool(x, out=out)
+    if op == "qglobal_pool":
+        return kernels.int_global_avg_pool(x, step.attrs["scale"], out=out)
     if op == "max_pool":
         return kernels.max_pool(x, step.attrs["kernel_size"],
                                 step.attrs["stride"], out=out)

@@ -4,6 +4,12 @@ CI runs this after the fast suite (``python -m repro.runtime.plan_stats``)
 so plan-shape or memory-plan regressions — more steps, fewer fused
 epilogues, more arena slots, a bigger peak — are visible in the job log of
 every push, not only when a perf floor finally trips.
+
+``python -m repro.runtime.plan_stats <backbone> int8`` reports the integer
+plan instead: the model is put through the deterministic PTQ recipe (seeded
+init, calibration on the synthetic base session, no QAT stages — the same
+construction the conformance fixtures use), so the int8 step/fusion/arena
+counts of both backbone families are pinned in the job log too.
 """
 
 from __future__ import annotations
@@ -16,13 +22,33 @@ DEFAULT_BACKBONE = "mobilenetv2_x4_tiny"
 WARMUP_SAMPLES = 8
 
 
-def plan_stats(backbone: str = DEFAULT_BACKBONE) -> dict:
-    """Compile the backbone, serve one batch, and report plan/arena stats."""
+def _build_model(backbone: str, mode: str):
     from ..core import OFSCIL, OFSCILConfig
-    from ..models import get_config
 
     model = OFSCIL.from_registry(backbone, OFSCILConfig(backbone=backbone),
                                  seed=0)
+    if mode == "int8":
+        from ..data import build_synthetic_fscil
+        from ..quant import QuantizationConfig, quantize_ofscil_model
+
+        benchmark = build_synthetic_fscil("test", seed=0)
+        model, _report = quantize_ofscil_model(
+            model, benchmark.base_train,
+            config=QuantizationConfig(qat_pretrain_epochs=0,
+                                      qat_metalearn_iterations=0,
+                                      calibration_batches=2,
+                                      calibration_batch_size=32))
+    elif mode != "float32":
+        raise ValueError(f"unknown mode {mode!r}; expected float32 or int8")
+    return model
+
+
+def plan_stats(backbone: str = DEFAULT_BACKBONE,
+               mode: str = "float32") -> dict:
+    """Compile the backbone, serve one batch, and report plan/arena stats."""
+    from ..models import get_config
+
+    model = _build_model(backbone, mode)
     predictor = model.runtime_predictor()
     size = get_config(backbone).input_size
     # One real batch materialises the recorded-shape memory plan.
@@ -35,6 +61,7 @@ def plan_stats(backbone: str = DEFAULT_BACKBONE) -> dict:
     unplanned = memory_plan.unplanned_bytes(engine.micro_batch)
     return {
         "backbone": backbone,
+        "mode": predictor.mode,
         "plan_steps": len(plan),
         "fused_steps": plan.num_fused(),
         "integer_steps": plan.num_integer(),
@@ -50,7 +77,8 @@ def plan_stats(backbone: str = DEFAULT_BACKBONE) -> dict:
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     backbone = argv[0] if argv else DEFAULT_BACKBONE
-    stats = plan_stats(backbone)
+    mode = argv[1] if len(argv) > 1 else "float32"
+    stats = plan_stats(backbone, mode)
     width = max(len(key) for key in stats)
     for key, value in stats.items():
         print(f"{key:<{width}}  {value}")

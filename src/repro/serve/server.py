@@ -242,22 +242,49 @@ class Server:
     def num_workers(self) -> int:
         return self.engine.num_workers
 
-    def worker_stats(self) -> List[dict]:
-        return self.engine.stats()
+    #: Shared deadline for one stats collection: past it, shards that have
+    #: not answered degrade to flagged records and the caller gets partial
+    #: stats instead of an exception (or a two-minute hang on the default
+    #: work timeout).  Stats items queue FIFO behind pending work, so a
+    #: saturated-but-healthy shard can legitimately miss this budget — that
+    #: is why only shards whose *process is gone* count as dead below; a
+    #: missed-deadline shard with ``alive=True`` merely has stale stats.
+    STATS_TIMEOUT_S = 10.0
 
-    def stats_dict(self) -> dict:
+    def worker_stats(self, timeout: Optional[float] = None) -> List[dict]:
+        return self.engine.stats(timeout=timeout if timeout is not None
+                                 else self.STATS_TIMEOUT_S)
+
+    def stats_dict(self, timeout: Optional[float] = None) -> dict:
         """Server counters plus per-worker replica statistics.
 
         ``cache_bytes`` / ``arena_peak_bytes`` aggregate the worker
         replicas' buffer-cache footprint and planned-arena footprint (see
         :class:`~repro.runtime.optimizer.MemoryPlan`), so memory regressions
-        in the compiled runtime surface in the serving stats.
+        in the compiled runtime surface in the serving stats.  A shard that
+        dies or errors mid-collection degrades to a flagged entry in
+        ``workers`` rather than aborting the whole call; the aggregates
+        then cover the answering shards.  ``dead_workers`` lists only
+        shards whose process is actually gone — a live shard that missed
+        the stats deadline (e.g. behind a deep work queue) keeps
+        ``alive=True`` in its flagged record and lands in
+        ``stale_workers`` instead, marking the aggregates as incomplete.
         """
         report = self.stats.as_dict()
         report["num_workers"] = self.num_workers
         report["prototype_version"] = self._proto_version
-        workers = self.worker_stats()
+        workers = self.worker_stats(timeout=timeout)
         report["workers"] = workers
+        report["dead_workers"] = [record["worker_id"] for record in workers
+                                  if "error" in record
+                                  and not record.get("alive", False)]
+        # Shards that are alive but missed the deadline: their counters are
+        # missing from the aggregates below, so the report says explicitly
+        # which shards the sums do NOT cover (a degraded collection must
+        # not read as a genuine memory drop).
+        report["stale_workers"] = [record["worker_id"] for record in workers
+                                   if "error" in record
+                                   and record.get("alive", False)]
         report["cache_bytes"] = sum(record.get("cache_bytes", 0)
                                     for record in workers)
         report["arena_peak_bytes"] = sum(record.get("arena_peak_bytes", 0)

@@ -21,6 +21,7 @@ import itertools
 import multiprocessing as mp
 import os
 import threading
+import time
 from concurrent.futures import Future, InvalidStateError
 from contextlib import contextmanager
 from typing import List, Optional
@@ -184,7 +185,54 @@ class ShardedEngine:
         return self.broadcast("set_prototypes", state, timeout=timeout)
 
     def stats(self, timeout: float = DEFAULT_TIMEOUT) -> List[dict]:
-        return self.broadcast("stats", timeout=timeout)
+        """Per-worker replica statistics, degraded per shard on failure.
+
+        A worker that errors (``RemoteWorkerError``) or never answers (a
+        dead or wedged process runs into the deadline) must not abort the
+        whole stats collection — operators need the surviving shards'
+        counters most exactly when one shard is down.  The failed shard is
+        reported as a record carrying ``error`` (and ``alive`` from the
+        process handle) instead of its counters.  ``timeout`` is a *shared*
+        deadline across all shards, not per shard, so a pool with several
+        wedged workers still answers within one budget; shards whose
+        process is already gone are flagged immediately, without enqueueing
+        work items no consumer will ever pop.
+
+        Degrading per shard matters beyond the obvious dead-process case: a
+        worker killed hard (OOM, SIGKILL) can die *holding the shared
+        result queue's write lock*, which wedges every other worker's
+        replies — the survivors are then alive and serving but cannot
+        answer, and only a deadline-bounded, per-shard collection gets the
+        operator a report at all.
+        """
+        deadline = time.monotonic() + timeout
+        records: List[Optional[dict]] = [None] * self.num_workers
+        futures = {}
+        for index in range(self.num_workers):
+            if not self._processes[index].is_alive():
+                records[index] = {"worker_id": index,
+                                  "error": "worker process is not alive",
+                                  "alive": False}
+            else:
+                futures[index] = self.submit("stats", None, worker=index)
+        for index, future in futures.items():
+            try:
+                remaining = max(0.0, deadline - time.monotonic())
+                records[index] = future.result(timeout=remaining)
+            except Exception as exc:  # noqa: BLE001 - degrade per shard
+                records[index] = {
+                    "worker_id": index,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "alive": self._processes[index].is_alive(),
+                }
+                # A future that will never resolve (dead worker) must not
+                # linger in the pending table until close().
+                with self._lock:
+                    self._pending = {ticket: pending
+                                     for ticket, pending in
+                                     self._pending.items()
+                                     if pending is not future}
+        return records
 
     # ------------------------------------------------------------------
     def close(self, timeout: float = 10.0) -> None:

@@ -61,6 +61,18 @@ class _WorkerState:
         self.requests = 0
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the replica engines' chunk thread pools (idempotent).
+
+        Restored engines rebuild their pools lazily on the first
+        multi-chunk request; without an explicit close those
+        ``ThreadPoolExecutor`` threads would only die with the interpreter,
+        which a worker that is terminated (rather than exiting its loop)
+        never reaches cleanly.
+        """
+        self.backbone.close()
+        self.fcr.close()
+
     def embed(self, images: np.ndarray) -> np.ndarray:
         return self.fcr.run(self.backbone.run(images))
 
@@ -139,6 +151,9 @@ def worker_main(worker_id: int, snapshot: ModelSnapshot, request_queue,
     while True:
         kind, ticket, payload = request_queue.get()
         if kind == "shutdown":
+            # Tear the replica down before acking: once the coordinator sees
+            # the ack, no engine thread pool of this worker is left running.
+            state.close()
             result_queue.put((ticket, worker_id, True, None))
             break
         try:

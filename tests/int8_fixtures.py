@@ -1,18 +1,27 @@
 """Deterministic builder + golden fixtures for the int8 runtime conformance suite.
 
-The golden fixture (``tests/fixtures/int8_golden.npz``) commits a frozen
-(input, expected-output) set for a fully deterministic quantized model: the
-model is reconstructed from seeds alone (no training stages), so the int8
-execution path can be checked for *exact* reproduction across runs, machines
-with different BLAS backends (the integer GEMMs are exact by construction)
-and snapshot round-trips.
+The golden fixtures commit a frozen (input, expected-output) set for fully
+deterministic quantized models — one per backbone family on the integer
+runtime:
+
+* ``tests/fixtures/int8_golden.npz`` — MobileNetV2 (``mobilenetv2_x4_tiny``);
+* ``tests/fixtures/int8_resnet_golden.npz`` — the BasicBlock ResNet trunk
+  (``resnet20_tiny``, exercising the strided 1x1 downsample shortcut, the
+  identity-shortcut scale join, Dory-style block-output requantization and
+  the integer global average pool).
+
+Each model is reconstructed from seeds alone (no training stages), so the
+int8 execution path can be checked for *exact* reproduction across runs,
+machines with different BLAS backends (the integer GEMMs are exact by
+construction) and snapshot round-trips.
 
 Regenerate after an intentional change to the quantization or int8 lowering
 semantics with::
 
     PYTHONPATH=src python tests/int8_fixtures.py
 
-and commit the refreshed ``.npz`` together with the change that caused it.
+and commit the refreshed ``.npz`` files together with the change that caused
+them.
 """
 
 from __future__ import annotations
@@ -25,23 +34,46 @@ from repro.core import OFSCIL, OFSCILConfig
 from repro.data import build_synthetic_fscil
 from repro.quant import QuantizationConfig, quantize_ofscil_model
 
+#: Default conformance backbone (the original fixture) and the ResNet trunk
+#: added by the backbone-generic conformance matrix.
 BACKBONE = "mobilenetv2_x4_tiny"
+RESNET_BACKBONE = "resnet20_tiny"
 MODEL_SEED = 7
 NUM_CLASSES = 4
 SHOTS_PER_CLASS = 3
 IMAGE_SHAPE = (3, 16, 16)
-FIXTURE_PATH = Path(__file__).resolve().parent / "fixtures" / "int8_golden.npz"
+
+_FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures"
+FIXTURE_PATH = _FIXTURE_DIR / "int8_golden.npz"
+RESNET_FIXTURE_PATH = _FIXTURE_DIR / "int8_resnet_golden.npz"
+
+#: backbone name -> committed golden fixture file.
+FIXTURE_PATHS = {
+    BACKBONE: FIXTURE_PATH,
+    RESNET_BACKBONE: RESNET_FIXTURE_PATH,
+}
 
 
-def build_quantized_model():
+def load_golden(backbone: str = BACKBONE) -> dict:
+    """Load the committed golden arrays for ``backbone`` (asserts presence)."""
+    path = FIXTURE_PATHS[backbone]
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with "
+        f"'PYTHONPATH=src python tests/int8_fixtures.py'")
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}
+
+
+def build_quantized_model(backbone: str = BACKBONE):
     """The conformance model: seeded init + PTQ, no training stages.
 
     Skipping the QAT refinement keeps construction to a few seconds and —
     more importantly — removes every gradient-descent stage from the
-    reproduction path, so the model is a pure function of the seeds.
+    reproduction path, so the model is a pure function of the seeds.  The
+    same recipe covers every backbone family; only the registry name varies.
     """
     benchmark = build_synthetic_fscil("test", seed=0)
-    model = OFSCIL.from_registry(BACKBONE, OFSCILConfig(backbone=BACKBONE),
+    model = OFSCIL.from_registry(backbone, OFSCILConfig(backbone=backbone),
                                  seed=MODEL_SEED)
     config = QuantizationConfig(qat_pretrain_epochs=0,
                                 qat_metalearn_iterations=0,
@@ -80,8 +112,9 @@ def compute_golden(model) -> dict:
             "sims": sims, "ids": ids, "labels": labels}
 
 
-def regenerate(path: Path = FIXTURE_PATH) -> Path:
-    model, _report = build_quantized_model()
+def regenerate(backbone: str = BACKBONE, path: Path = None) -> Path:
+    path = path if path is not None else FIXTURE_PATHS[backbone]
+    model, _report = build_quantized_model(backbone)
     arrays = compute_golden(model)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, **arrays)
@@ -89,4 +122,5 @@ def regenerate(path: Path = FIXTURE_PATH) -> Path:
 
 
 if __name__ == "__main__":
-    print(f"wrote {regenerate()}")
+    for name in FIXTURE_PATHS:
+        print(f"wrote {regenerate(name)}")

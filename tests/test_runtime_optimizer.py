@@ -31,10 +31,19 @@ from repro.runtime.plan import InferencePlan, Step
 from repro.serve import snapshot_model
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from int8_fixtures import FIXTURE_PATH, build_quantized_model  # noqa: E402
+from int8_fixtures import (  # noqa: E402
+    BACKBONE,
+    RESNET_BACKBONE,
+    build_quantized_model,
+    load_golden,
+)
 
 TINY_BACKBONES = ("mobilenetv2_x4_tiny", "mobilenetv2_tiny", "resnet12_tiny",
                   "resnet20_tiny")
+
+#: Families the int8 optimizer conformance parametrizes over (the committed
+#: golden fixtures pin the exact bits per family).
+INT8_BACKBONES = (BACKBONE, RESNET_BACKBONE)
 
 
 def make_model(backbone: str, seed: int = 0) -> OFSCIL:
@@ -52,11 +61,15 @@ def quantized():
 
 @pytest.fixture(scope="module")
 def golden():
-    assert FIXTURE_PATH.exists(), (
-        f"missing golden fixture {FIXTURE_PATH}; regenerate with "
-        f"'PYTHONPATH=src python tests/int8_fixtures.py'")
-    with np.load(FIXTURE_PATH) as data:
-        return {key: data[key] for key in data.files}
+    return load_golden(BACKBONE)
+
+
+@pytest.fixture(scope="module", params=INT8_BACKBONES)
+def int8_case(request):
+    """(quantized model, golden arrays), parametrized over both families."""
+    golden = load_golden(request.param)
+    model, _ = build_quantized_model(request.param)
+    return model, golden
 
 
 # ---------------------------------------------------------------------------
@@ -165,8 +178,8 @@ class TestPassesSynthetic:
 
 
 class TestInt8Fusion:
-    def test_residual_chains_are_fused(self, quantized):
-        model, _ = quantized
+    def test_residual_chains_are_fused(self, int8_case):
+        model, _ = int8_case
         raw = compile_backbone(model.backbone, mode="int8")
         optimized = optimize_plan(raw)
         assert optimized.optimized
@@ -186,23 +199,21 @@ class TestInt8Fusion:
                     sum(register in other.inputs
                         for other in optimized.steps) > 1
 
-    def test_optimize_plan_is_idempotent(self, quantized):
-        model, _ = quantized
+    def test_optimize_plan_is_idempotent(self, int8_case):
+        model, _ = int8_case
         plan = optimize_plan(compile_backbone(model.backbone, mode="int8"))
         assert optimize_plan(plan) is plan
 
     @pytest.mark.parametrize(
         "passes", [eliminate_dead_steps, fuse_quantize_chains, optimize_plan])
-    def test_each_pass_reproduces_the_golden_bits(self, passes, quantized,
-                                                  golden):
-        model, _ = quantized
+    def test_each_pass_reproduces_the_golden_bits(self, passes, int8_case):
+        model, golden = int8_case
         plan = passes(compile_backbone(model.backbone, mode="int8"))
         out = InferenceEngine(plan, optimize=False).run(golden["images"])
         np.testing.assert_array_equal(out, golden["theta_a"])
 
-    def test_arena_and_threads_reproduce_the_golden_bits(self, quantized,
-                                                         golden):
-        model, _ = quantized
+    def test_arena_and_threads_reproduce_the_golden_bits(self, int8_case):
+        model, golden = int8_case
         plan = compile_backbone(model.backbone, mode="int8")
         engine = InferenceEngine(plan, micro_batch=3, num_threads=2)
         np.testing.assert_array_equal(engine.run(golden["images"]),
@@ -279,9 +290,8 @@ class TestArenaPlanner:
                 compile_module(net), images)
             assert_no_live_aliasing(plan, memory_plan)
 
-    def test_int8_planner_never_aliases_live_registers(self, quantized,
-                                                       golden):
-        model, _ = quantized
+    def test_int8_planner_never_aliases_live_registers(self, int8_case):
+        model, golden = int8_case
         plan, memory_plan = materialized_memory_plan(
             compile_backbone(model.backbone, mode="int8"),
             golden["images"])
@@ -348,6 +358,79 @@ class TestArenaPlanner:
         # Without a memory plan, describe() stays one line per step.
         plan = compile_backbone(model.backbone)
         assert len(plan.describe().splitlines()) == len(plan) + 1
+
+
+# ---------------------------------------------------------------------------
+# Remainder chunks through the arena (slot views are recorded from a full
+# micro-batch chunk; every smaller chunk slices the same buffers)
+# ---------------------------------------------------------------------------
+class TestArenaRemainderChunks:
+    def test_remainder_chunks_execute_bitwise_through_the_arena(self,
+                                                                int8_case):
+        # N % micro_batch != 0: the final chunk's slot views are prefix
+        # slices of buffers whose shapes were recorded from a full chunk —
+        # they must be exactly the contiguous layout the kernels' out=
+        # paths expect, so the int8 bits cannot move.
+        model, golden = int8_case
+        plan = compile_backbone(model.backbone, mode="int8")
+        images = np.concatenate([golden["images"], golden["images"]])  # 16
+        reference = InferenceEngine(plan, optimize=False,
+                                    micro_batch=64).run(images)
+        engine = InferenceEngine(plan, micro_batch=5, num_threads=1)
+        np.testing.assert_array_equal(engine.run(images), reference)
+        assert engine.memory_plan is not None
+        # And with threaded chunk execution over the ragged tail.
+        threaded = InferenceEngine(plan, micro_batch=5, num_threads=3)
+        np.testing.assert_array_equal(threaded.run(images), reference)
+        threaded.close()
+
+    def test_first_run_smaller_than_micro_batch(self, int8_case):
+        # The memory plan records shapes from whatever the first real chunk
+        # is; a first run below the micro-batch must plan per-sample shapes
+        # that later full-size chunks slice correctly.
+        model, golden = int8_case
+        plan = compile_backbone(model.backbone, mode="int8")
+        engine = InferenceEngine(plan, micro_batch=64, num_threads=1)
+        engine.run(golden["images"][:3])          # records at batch 3
+        assert engine.memory_plan is not None
+        assert engine.memory_plan.capacity_batch == 64
+        np.testing.assert_array_equal(engine.run(golden["images"]),
+                                      golden["theta_a"])
+
+    def test_oversized_direct_execute_rekeys_the_arena(self, rng):
+        # Executing the plan directly (outside the engine, which clamps
+        # chunks to its micro-batch) with a batch beyond the arena capacity
+        # must neither corrupt results nor accumulate one eviction-exempt
+        # buffer per distinct oversize: the arena is rekeyed at the larger
+        # capacity.
+        model = make_model("mobilenetv2_x4_tiny")
+        engine = InferenceEngine(compile_backbone(model.backbone),
+                                 micro_batch=4)
+        engine.run(rng.standard_normal((4, 3, 16, 16)).astype(np.float32))
+        memory_plan = engine.memory_plan
+        # A second cache (standing in for a pool thread's) materialises its
+        # arena under the original capacity.
+        other_cache = BufferCache()
+        small = rng.standard_normal((4, 3, 16, 16)).astype(np.float32)
+        engine.plan.execute(small, other_cache, memory_plan=memory_plan)
+        big = rng.standard_normal((9, 3, 16, 16)).astype(np.float32)
+        out = engine.plan.execute(big, engine.cache, memory_plan=memory_plan)
+        reference = engine.plan.execute(big, BufferCache())
+        np.testing.assert_array_equal(out, reference)
+        assert memory_plan.capacity_batch == 9
+        arena_keys = [key for key in engine.cache._buffers
+                      if key[0].startswith(BufferCache.ARENA_PREFIX)]
+        assert len(arena_keys) == memory_plan.num_slots
+        # The other cache retires its stale-capacity buffers lazily on its
+        # next planned execute instead of pinning them forever (arena
+        # buffers are exempt from LRU eviction).
+        np.testing.assert_array_equal(
+            engine.plan.execute(big, other_cache, memory_plan=memory_plan),
+            reference)
+        other_arena = [key for key in other_cache._buffers
+                       if key[0].startswith(BufferCache.ARENA_PREFIX)]
+        assert len(other_arena) == memory_plan.num_slots
+        other_cache.check_invariants()
 
 
 # ---------------------------------------------------------------------------
@@ -432,12 +515,14 @@ class TestBufferCacheBudget:
         tags = {key[0] for key in cache._buffers}
         assert tags == {"tag0", "tag2", "tag3"}
         assert cache.nbytes == 3 * 4096
+        cache.check_invariants()
 
     def test_requested_buffer_is_never_evicted(self):
         cache = BufferCache(max_bytes=1024)
         big = cache.get("big", (4096,), np.float32)         # over budget alone
         assert cache.get("big", (4096,), np.float32) is big
         assert len(cache) == 1
+        cache.check_invariants()
 
     def test_nbytes_tracks_clear(self):
         cache = BufferCache(max_bytes=10 * 4096)
@@ -445,6 +530,38 @@ class TestBufferCacheBudget:
         assert cache.nbytes == 4096
         cache.clear()
         assert cache.nbytes == 0 and len(cache) == 0
+        cache.check_invariants()
+
+    def test_byte_accounting_survives_drop_evict_reget_sequences(self):
+        # The counters are maintained incrementally; any desync across
+        # drop_arena + LRU eviction + same-key re-get sequences would skew
+        # the budget and every cache_bytes stat.  check_invariants recomputes
+        # both sums from the held buffers after every mutation.
+        rng = np.random.default_rng(0)
+        for budget in (None, 64, 1024):
+            cache = BufferCache(max_bytes=budget)
+            for _ in range(2000):
+                action = rng.integers(0, 10)
+                if action < 7:
+                    arena = rng.integers(0, 3) == 0
+                    tag = ("arena:" if arena else "") + f"t{rng.integers(0, 6)}"
+                    dtype = np.uint8 if rng.integers(0, 2) else np.float32
+                    cache.get(tag, (int(rng.integers(1, 64)),), dtype)
+                elif action < 9:
+                    cache.drop_arena()
+                else:
+                    cache.clear()
+                cache.check_invariants()
+
+    def test_engine_caches_keep_consistent_accounting(self, rng):
+        model = make_model("mobilenetv2_x4_tiny")
+        engine = InferenceEngine(compile_backbone(model.backbone),
+                                 micro_batch=8, cache_budget=1 << 18)
+        for batch in (16, 3, 16, 5):
+            engine.run(rng.standard_normal((batch, 3, 16, 16))
+                       .astype(np.float32))
+        for cache in engine._caches:
+            cache.check_invariants()
 
     def test_engine_budget_bounds_cache(self, rng):
         model = make_model("mobilenetv2_x4_tiny")
@@ -608,6 +725,41 @@ class TestFusedKernels:
             np.testing.assert_array_equal(cached,
                                           kernels.pad_cached(x, padding, None))
         assert len([key for key in cache._buffers if key[0] == "pad"]) == 1
+
+    def test_pad_cached_mixed_padding_reuse_survives_poisoning(self, rng):
+        # Adversarial variant of the halo test: between calls the entire
+        # shared buffer is filled with garbage (NaN / sentinel codes), so a
+        # single element anywhere in the delta region between the old and
+        # new halo that pad_cached fails to rewrite surfaces immediately —
+        # for float and int8 layers, square and rectangular maps.
+        for dtype, poison in ((np.float32, np.nan), (np.int8, 113)):
+            cache = BufferCache()
+            for h, w, padding in ((8, 6, 1), (6, 4, 2), (8, 6, 1),
+                                  (4, 2, 3), (6, 4, 2)):
+                x = (rng.standard_normal((2, 3, h, w)) * 40).astype(dtype)
+                padded_shape = (2, 3, h + 2 * padding, w + 2 * padding)
+                cache.get("pad", padded_shape, dtype)[...] = poison
+                cached = kernels.pad_cached(x, padding, cache)
+                np.testing.assert_array_equal(
+                    cached, kernels.pad_cached(x, padding, None))
+            assert len([key for key in cache._buffers
+                        if key[0] == "pad"]) == 1
+
+    def test_int_global_avg_pool_is_exact_integer_accumulation(self, rng):
+        q = rng.integers(-127, 128, (4, 6, 7, 5)).astype(np.int8)
+        scale = 0.03125
+        expected = (q.astype(np.int64).sum(axis=(2, 3))
+                    * (scale / 35.0)).astype(np.float32)
+        np.testing.assert_array_equal(
+            kernels.int_global_avg_pool(q, scale), expected)
+        out = np.empty((4, 6), dtype=np.float32)
+        kernels.int_global_avg_pool(q, scale, out=out)
+        np.testing.assert_array_equal(out, expected)
+        # Chunking the batch cannot perturb a bit (per-sample arithmetic).
+        np.testing.assert_array_equal(
+            np.concatenate([kernels.int_global_avg_pool(q[:1], scale),
+                            kernels.int_global_avg_pool(q[1:], scale)]),
+            expected)
 
 
 # ---------------------------------------------------------------------------

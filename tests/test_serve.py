@@ -9,6 +9,7 @@ doubles as the CI smoke scenario (2-worker end-to-end predict + learn).
 """
 
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -297,3 +298,89 @@ class TestServeHook:
             labels = server.predict(shots[:8])
             np.testing.assert_array_equal(
                 labels, model.runtime_predictor().predict(shots[:8]))
+
+
+# ---------------------------------------------------------------------------
+# Worker lifecycle + degraded stats (satellite regression tests)
+# ---------------------------------------------------------------------------
+class TestWorkerLifecycle:
+    def test_shutdown_closes_worker_engine_thread_pools(self, monkeypatch):
+        # A worker's snapshot-restored engines rebuild their chunk thread
+        # pools lazily; the shutdown work item must close them so no
+        # repro-engine thread outlives the worker loop.  The worker main
+        # loop is queue-generic, so it runs here on an in-process thread
+        # with plain queues, where the engine threads are observable.
+        import queue as queue_module
+        import threading
+
+        from repro.runtime import engine as engine_module
+        from repro.serve.worker import worker_main
+
+        monkeypatch.setattr(engine_module, "default_num_threads", lambda: 2)
+        model, shots = make_learned_model(seed=5)
+        snapshot = snapshot_model(model, micro_batch=4)
+        requests: "queue_module.Queue" = queue_module.Queue()
+        results: "queue_module.Queue" = queue_module.Queue()
+        before = set(threading.enumerate())
+        worker = threading.Thread(target=worker_main,
+                                  args=(0, snapshot, requests, results))
+        worker.start()
+        try:
+            # 12 samples / micro_batch 4: the first chunk records the memory
+            # plan, the remaining two run on the engine's thread pool.
+            requests.put(("backbone", 0, shots[:12]))
+            ticket, _, ok, payload = results.get(timeout=60)
+            assert ok, payload
+            pool_threads = [thread for thread in threading.enumerate()
+                            if thread not in before
+                            and thread.name.startswith("repro-engine")]
+            assert pool_threads, "worker engines never built a thread pool"
+        finally:
+            requests.put(("shutdown", 1, None))
+        ticket, _, ok, _ = results.get(timeout=60)
+        assert ok and ticket == 1
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+        for thread in pool_threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in pool_threads), \
+            "worker shutdown leaked engine thread-pool threads"
+
+
+class TestDegradedStats:
+    def test_stats_survive_a_dead_worker(self):
+        # A shard that dies mid-collection degrades to a flagged record
+        # instead of aborting the whole stats call: operators need the
+        # surviving shards' counters most exactly when one shard is down.
+        model, shots = make_learned_model(seed=6)
+        with Server(model, num_workers=2, micro_batch=4,
+                    max_latency_s=0.05) as server:
+            server.predict(shots[:8])   # two chunks -> warms both replicas
+            victim = server.engine._processes[0]
+            # Let the victim's result-queue feeder thread go quiescent
+            # before the hard kill: a process terminated while holding the
+            # shared result queue's write lock wedges the other writers
+            # (an inherent multiprocessing.Queue hazard, and one more
+            # reason stats collection must degrade per shard).
+            time.sleep(0.3)
+            victim.terminate()
+            victim.join(timeout=10)
+            report = server.stats_dict(timeout=6.0)
+            assert report["num_workers"] == 2
+            assert report["dead_workers"] == [0]
+            flagged, survivor = report["workers"]
+            assert flagged["worker_id"] == 0
+            assert "error" in flagged and flagged["alive"] is False
+            assert survivor["worker_id"] == 1
+            # The survivor normally answers with full stats; if the hard
+            # kill did wedge the shared result queue, it degrades to a
+            # flagged-but-alive record — never declared dead, and either
+            # way the call returned partial stats instead of raising.
+            if "error" in survivor:
+                assert survivor["alive"] is True
+                # Flagged as stale, so the incomplete aggregates are marked.
+                assert report["stale_workers"] == [1]
+            else:
+                assert survivor["plan_steps"] > 0
+                assert report["stale_workers"] == []
+                assert report["cache_bytes"] > 0
