@@ -11,9 +11,16 @@ single-sample requests into micro-batches under a latency budget.  The demo
 3. checks bit-for-bit parity of sharded vs single-process prediction,
 4. measures synchronous batch throughput at 1 worker vs N workers,
 5. floods the dynamic batcher with single-sample requests and prints the
-   coalesced batch-size histogram,
-6. learns a new class online through the server (prototypes broadcast to
+   coalesced batch-size histogram and the request-latency percentiles,
+6. demonstrates admission control: a server with a tiny queue budget sheds
+   the overflow of a burst with `ServerOverloaded` instead of queueing
+   unboundedly,
+7. learns a new class online through the server (prototypes broadcast to
    every worker replica) and verifies parity again.
+
+Tensor traffic between the coordinator and the workers rides zero-copy
+shared-memory rings (see `repro.serve.transport`); a worker killed
+mid-flight fails fast and the pool routes around it.
 
 Run:  python examples/serving.py [--workers 4] [--epochs 6]
 """
@@ -25,7 +32,7 @@ import numpy as np
 
 from repro.core import OFSCIL, OFSCILConfig, PretrainConfig, pretrain
 from repro.data import build_synthetic_fscil
-from repro.serve import Server
+from repro.serve import Server, ServerOverloaded
 
 
 def batch_rate(model: OFSCIL, num_workers: int, images: np.ndarray) -> float:
@@ -78,6 +85,9 @@ def main() -> None:
               f"({len(results) / elapsed:.0f} samples/s) | "
               f"batch-size histogram: {stats['batch_size_histogram']} | "
               f"max queue depth: {stats['max_queue_depth']}")
+        print(f"batch latency p50/p99: {stats['batch_latency_p50_ms']}/"
+              f"{stats['batch_latency_p99_ms']} ms | "
+              f"shed rate: {stats['shed_rate']:.3f}")
 
         print("\n--- online learning through the server ---")
         session = benchmark.sessions[0]
@@ -91,6 +101,20 @@ def main() -> None:
         exact = bool(np.array_equal(server.predict(queries),
                                     predictor.predict(queries)))
         print(f"parity after online learning: {exact}")
+
+    print("\n=== Admission control: bounded queue sheds the overflow ===")
+    with Server(model, num_workers=1, max_pending=16) as server:
+        admitted, shed = [], 0
+        for image in queries[:64]:
+            try:
+                admitted.append(server.submit(image))
+            except ServerOverloaded:
+                shed += 1
+        for future in admitted:
+            future.result(timeout=300)
+        print(f"burst of 64 with max_pending=16: {len(admitted)} admitted, "
+              f"{shed} shed (recorded shed rate "
+              f"{server.stats.as_dict()['shed_rate']:.3f})")
 
     print("\n=== Throughput scaling: 1 worker vs "
           f"{args.workers} workers ===")

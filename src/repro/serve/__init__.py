@@ -7,13 +7,21 @@ one process; this package scales that out to a pool of worker processes:
   into fully picklable, module-ref-free snapshots that can cross process
   boundaries (opaque fallbacks are inlined or rejected with an explicit
   :class:`PlanSerializationError`);
+* :mod:`repro.serve.transport` — :class:`SlotRing`, the zero-copy
+  shared-memory ring transport: tensor payloads cross process boundaries
+  as slot-accounted NumPy views, pickle is reserved for control frames
+  (and is the automatic fallback for oversized payloads or a full ring);
 * :mod:`repro.serve.sharded` — :class:`ShardedEngine`, a multiprocessing
   worker pool where each worker owns a plan replica plus its own buffer
-  cache and executes micro-batches pushed by the coordinator;
+  cache and a fully private channel pair (request/result queues + rings) —
+  no shared lock a killed worker could poison — supervised by a liveness
+  watchdog that fails a dead shard's futures fast and routes around it;
 * :mod:`repro.serve.server` — :class:`Server`, the dynamic batcher: it
-  coalesces single-sample requests under a latency budget, round-robins
-  micro-batches over the shards, and keeps worker prototype replicas in
-  sync with the explicit memory through its ``version`` counter.
+  coalesces single-sample requests under a latency budget, dispatches
+  micro-batches to the least-loaded live shard, sheds overload with a
+  typed :class:`ServerOverloaded` (bounded admission queue + optional
+  latency SLO), and keeps worker prototype replicas in sync with the
+  explicit memory through its ``version`` counter.
 
 Typical use::
 
@@ -26,10 +34,16 @@ Typical use::
         print(server.stats_dict())
 """
 
-from .server import DEFAULT_MAX_LATENCY_S, Server
+from .server import (
+    DEFAULT_MAX_LATENCY_S,
+    Server,
+    ServerClosedError,
+    ServerOverloaded,
+)
 from .sharded import (
     DEFAULT_NUM_WORKERS,
     DEFAULT_START_METHOD,
+    EngineClosedError,
     RemoteWorkerError,
     ShardedEngine,
 )
@@ -43,12 +57,16 @@ from .snapshot import (
     snapshot_prototypes,
 )
 from .stats import ServeStats
+from .transport import SlotRing
 
 __all__ = [
     "Server",
+    "ServerClosedError",
+    "ServerOverloaded",
     "DEFAULT_MAX_LATENCY_S",
     "ShardedEngine",
     "RemoteWorkerError",
+    "EngineClosedError",
     "DEFAULT_NUM_WORKERS",
     "DEFAULT_START_METHOD",
     "ModelSnapshot",
@@ -59,4 +77,5 @@ __all__ = [
     "snapshot_model",
     "snapshot_prototypes",
     "ServeStats",
+    "SlotRing",
 ]

@@ -14,8 +14,18 @@ and exposes the deploy-time API of the model — ``predict`` /
   throughput decision, never an accuracy one.
 * **Asynchronous single-sample path** — :meth:`submit` hands one image to
   the dynamic batcher, which coalesces requests into micro-batches under a
-  max-latency budget and dispatches each batch to one shard, where the full
-  replica (backbone + FCR + prototype state) answers in a single hop.
+  max-latency budget and dispatches each batch to the least-loaded live
+  shard, where the full replica (backbone + FCR + prototype state) answers
+  in a single hop.  Admission control bounds the damage of overload: a
+  bounded request queue plus an optional latency SLO shed excess traffic
+  with a typed :class:`ServerOverloaded` instead of queueing unboundedly,
+  and a per-shard in-flight budget backpressures the batcher so no single
+  shard's queue grows without bound.
+* **Fault tolerance** — the engine's liveness watchdog detects a dead
+  worker process, fails that shard's pending futures fast with
+  :class:`~repro.serve.sharded.RemoteWorkerError`, and routing steers new
+  batches around the corpse; surviving shards keep answering ``predict``,
+  ``submit`` and ``stats``.
 * **Online learning** — :meth:`learn_class` embeds the shots through the
   shards, updates the coordinator's explicit memory, and broadcasts the new
   prototype state to every worker; staleness is tracked through the
@@ -40,6 +50,27 @@ from .stats import ServeStats
 
 #: Default time budget the dynamic batcher waits to fill a micro-batch.
 DEFAULT_MAX_LATENCY_S = 0.01
+
+#: Default admission cap, in queued single-sample requests per worker, as a
+#: multiple of ``max_batch`` (i.e. roughly how many coalesced batches per
+#: shard may wait before new submits are shed).
+DEFAULT_ADMISSION_BATCHES_PER_WORKER = 8
+
+#: Default bound on dispatched-but-unresolved batches per shard before the
+#: batcher backpressures (stops dispatching until a shard frees budget).
+DEFAULT_MAX_INFLIGHT_BATCHES = 4
+
+
+class ServerClosedError(RuntimeError):
+    """The server was closed; raised by new submits and used to fail any
+    request still queued at ``close()`` time."""
+
+
+class ServerOverloaded(RuntimeError):
+    """Typed load-shedding rejection: the admission queue is full or the
+    estimated queueing delay exceeds the latency SLO.  Callers should back
+    off and retry; the alternative — queueing unboundedly — turns overload
+    into unbounded latency for *every* request."""
 
 
 @dataclass
@@ -71,16 +102,43 @@ class Server:
                  max_batch: Optional[int] = None,
                  max_latency_s: float = DEFAULT_MAX_LATENCY_S,
                  start_method: str = DEFAULT_START_METHOD,
-                 blas_threads_per_worker: Optional[int] = 1):
+                 blas_threads_per_worker: Optional[int] = 1,
+                 max_pending: Optional[int] = None,
+                 latency_slo_s: Optional[float] = None,
+                 max_inflight_batches: int = DEFAULT_MAX_INFLIGHT_BATCHES,
+                 use_shared_memory: bool = True):
+        """Args beyond the model/pool shape:
+
+        max_pending: admission cap on queued single-sample requests;
+            submits beyond it raise :class:`ServerOverloaded`.  Defaults to
+            ``DEFAULT_ADMISSION_BATCHES_PER_WORKER * max_batch *
+            num_workers``.
+        latency_slo_s: optional latency SLO for the async path.  When the
+            estimated queueing delay (queued batches plus in-flight batches,
+            times the observed batch latency) exceeds it, submits are shed
+            with :class:`ServerOverloaded` instead of waiting it out.
+        max_inflight_batches: dispatched-but-unresolved batch budget per
+            shard; the batcher backpressures (pauses dispatch) while every
+            live shard is at budget.
+        use_shared_memory: route tensor payloads through the shared-memory
+            ring transport (on by default; off forces the pickle fallback —
+            results are bit-identical either way).
+        """
         self.model = model
         self.predictor = model.runtime_predictor()
         self.micro_batch = micro_batch or self.predictor.micro_batch
         snapshot = snapshot_model(model, micro_batch=self.micro_batch)
         self.engine = ShardedEngine(
             snapshot, num_workers=num_workers, start_method=start_method,
-            blas_threads_per_worker=blas_threads_per_worker)
+            blas_threads_per_worker=blas_threads_per_worker,
+            use_shared_memory=use_shared_memory)
         self.max_batch = max_batch or self.micro_batch
         self.max_latency_s = max_latency_s
+        self.max_pending = max_pending if max_pending is not None \
+            else (DEFAULT_ADMISSION_BATCHES_PER_WORKER * self.max_batch
+                  * num_workers)
+        self.latency_slo_s = latency_slo_s
+        self.max_inflight_batches = max_inflight_batches
         self.stats = ServeStats()
         self._proto_version = snapshot.prototypes.version
         self._proto_lock = threading.Lock()
@@ -171,22 +229,55 @@ class Server:
     # ------------------------------------------------------------------
     # Asynchronous single-sample API (dynamic batching)
     # ------------------------------------------------------------------
+    def _estimated_wait_s(self, queue_depth: int) -> float:
+        """Predicted queueing delay for a request admitted now: batches
+        ahead of it (queued plus dispatched) times the observed per-batch
+        latency.  Zero until a first batch latency exists — the SLO gate
+        never sheds on a cold server."""
+        batch_latency = self.stats.ema_batch_latency_s
+        if batch_latency <= 0.0:
+            return 0.0
+        queued_batches = -(-(queue_depth + 1) // self.max_batch)
+        inflight = sum(self.engine.inflight_per_worker())
+        live = max(1, len(self.engine.live_workers))
+        return (queued_batches + inflight) / live * batch_latency
+
     def submit(self, image: np.ndarray) -> Future:
         """Enqueue one query image; resolves to its predicted class id.
 
         Requests are coalesced into micro-batches of up to ``max_batch``
         samples, waiting at most ``max_latency_s`` after the first request
         of a batch, and each batch is answered end-to-end by one shard.
+
+        Raises:
+            ServerOverloaded: the admission queue already holds
+                ``max_pending`` requests, or ``latency_slo_s`` is set and
+                the estimated queueing delay exceeds it.  The request was
+                NOT enqueued; the caller should back off.
+            ServerClosedError: the server is closed.
         """
         if self._stop.is_set():
-            raise RuntimeError("server is closed")
+            raise ServerClosedError("server is closed")
         self.sync_prototypes()
+        depth = self._requests.qsize()
+        if depth >= self.max_pending:
+            self.stats.observe_shed()
+            raise ServerOverloaded(
+                f"admission queue is full ({depth} >= {self.max_pending} "
+                f"pending requests)")
+        if self.latency_slo_s is not None:
+            estimate = self._estimated_wait_s(depth)
+            if estimate > self.latency_slo_s:
+                self.stats.observe_shed()
+                raise ServerOverloaded(
+                    f"estimated queueing delay {estimate * 1e3:.1f} ms "
+                    f"exceeds the {self.latency_slo_s * 1e3:.1f} ms SLO")
         future: Future = Future()
         future.set_running_or_notify_cancel()   # cancel() can never race us
         request = _PendingRequest(np.asarray(image, dtype=np.float32), future)
         with self._lifecycle_lock:
             if self._stop.is_set():
-                raise RuntimeError("server is closed")
+                raise ServerClosedError("server is closed")
             self._requests.put(request)
         self.stats.observe_submit(self._requests.qsize())
         return request.future
@@ -211,10 +302,28 @@ class Server:
                     batch.append(self._requests.get(timeout=remaining))
                 except queue.Empty:
                     break
+            # Backpressure: while every live shard is at its in-flight
+            # budget, hold the batch instead of piling more work onto the
+            # engine (admission control upstream bounds how much can wait
+            # here).  A pool with no live shards falls straight through —
+            # the dispatch then fails the batch with the engine's typed
+            # error instead of spinning.
+            while (not self._stop.is_set()
+                   and self.engine.live_workers
+                   and self.engine.min_live_inflight()
+                   >= self.max_inflight_batches):
+                time.sleep(0.001)
+            if self._stop.is_set():
+                for request in batch:
+                    _resolve_quietly(request.future,
+                                     exception=ServerClosedError(
+                                         "server closed"))
+                return
             self._dispatch(batch)
 
     def _dispatch(self, batch: List[_PendingRequest]) -> None:
         self.stats.observe_dispatch(len(batch))
+        dispatched_at = time.monotonic()
         try:
             images = np.stack([request.image for request in batch])
             future = self.engine.submit("predict", (images, None))
@@ -230,6 +339,8 @@ class Server:
                 for request in batch:
                     _resolve_quietly(request.future, exception=exc)
                 return
+            self.stats.observe_batch_latency(
+                time.monotonic() - dispatched_at)
             for request, label in zip(batch, labels):
                 _resolve_quietly(request.future, result=int(label))
 
@@ -272,6 +383,10 @@ class Server:
         """
         report = self.stats.as_dict()
         report["num_workers"] = self.num_workers
+        report["live_workers"] = self.engine.live_workers
+        report["inflight_per_worker"] = self.engine.inflight_per_worker()
+        report["max_pending"] = self.max_pending
+        report["latency_slo_s"] = self.latency_slo_s
         report["prototype_version"] = self._proto_version
         workers = self.worker_stats(timeout=timeout)
         report["workers"] = workers
@@ -297,13 +412,16 @@ class Server:
                 return
             self._stop.set()
         self._batcher.join(timeout=timeout)
+        closed = ServerClosedError("server closed with requests pending")
         while True:                      # fail whatever never got dispatched
             try:
                 request = self._requests.get_nowait()
             except queue.Empty:
                 break
-            _resolve_quietly(request.future,
-                             exception=RuntimeError("server closed"))
+            _resolve_quietly(request.future, exception=closed)
+        # Engine close fails any dispatched-but-unresolved batch with
+        # EngineClosedError, which the resolve callbacks forward to the
+        # per-request futures — nothing a caller holds can block forever.
         self.engine.close(timeout=timeout)
 
     def __enter__(self) -> "Server":

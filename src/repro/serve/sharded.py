@@ -2,10 +2,20 @@
 
 :class:`ShardedEngine` owns N worker processes, each holding a model replica
 restored from a picklable :class:`~repro.serve.snapshot.ModelSnapshot` (its
-own compiled plans, its own buffer caches).  Work items are pushed onto
-per-worker request queues — round-robin by default — and a collector thread
-resolves the shared result queue into per-item futures, so callers can
-overlap requests across every shard.
+own compiled plans, its own buffer caches).  The transport is fully
+per-worker: each shard has its own request queue, its own result queue, and
+a pair of :class:`~repro.serve.transport.SlotRing` shared-memory rings for
+tensor payloads — control queues carry only small pickled frames (tickets,
+slot descriptors, error strings), while batch and result tensors cross the
+process boundary as zero-copy NumPy views with explicit slot accounting.
+
+Nothing is shared between shards, so no lock exists that a hard-killed
+worker (OOM, SIGKILL) could die holding: the old single shared result queue
+let one dead writer wedge every surviving shard's replies.  A liveness
+watchdog polls the worker processes; when one dies it fails that shard's
+pending futures fast with :class:`RemoteWorkerError`, reclaims the shard's
+ring slots, and routing (least-loaded live worker) steers around the corpse
+— surviving shards keep answering.
 
 Workers default to the ``spawn`` start method: it exercises the snapshot's
 picklability end-to-end (``fork`` would silently inherit live state) and
@@ -20,20 +30,37 @@ from __future__ import annotations
 import itertools
 import multiprocessing as mp
 import os
+import queue as queue_module
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 from contextlib import contextmanager
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .snapshot import ModelSnapshot, PrototypeState
+from .transport import (
+    DEFAULT_RING_SLOTS,
+    DEFAULT_SLOT_BYTES,
+    SlotRing,
+    pack_payload,
+    unpack_payload,
+)
 from .worker import worker_main
 
 DEFAULT_NUM_WORKERS = 2
 DEFAULT_TIMEOUT = 120.0
 DEFAULT_START_METHOD = "spawn"
+
+#: Poll interval of the liveness watchdog.  Bounds how long a dead shard's
+#: pending futures can linger before failing with :class:`RemoteWorkerError`
+#: — milliseconds, not the two-minute request timeout.
+WATCHDOG_INTERVAL_S = 0.2
+
+#: Poll interval of the per-worker collector threads (they must notice
+#: ``close()`` even when their worker will never answer again).
+_COLLECT_POLL_S = 0.1
 
 #: Environment knobs that cap BLAS/OpenMP threading inside worker processes.
 _BLAS_ENV_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
@@ -42,7 +69,13 @@ _BLAS_ENV_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
 
 
 class RemoteWorkerError(RuntimeError):
-    """An exception raised inside a worker process, re-raised at the caller."""
+    """An exception raised inside (or by the death of) a worker process."""
+
+
+class EngineClosedError(RuntimeError):
+    """The engine was closed; raised by new submits and used to fail any
+    request still in flight at ``close()`` time, so callers never block on
+    a closed pool."""
 
 
 @contextmanager
@@ -70,36 +103,65 @@ class ShardedEngine:
                  num_workers: int = DEFAULT_NUM_WORKERS,
                  start_method: str = DEFAULT_START_METHOD,
                  blas_threads_per_worker: Optional[int] = 1,
-                 startup_timeout: float = DEFAULT_TIMEOUT):
+                 startup_timeout: float = DEFAULT_TIMEOUT,
+                 use_shared_memory: bool = True,
+                 ring_slots: int = DEFAULT_RING_SLOTS,
+                 slot_bytes: int = DEFAULT_SLOT_BYTES):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.snapshot = snapshot
         self.micro_batch = snapshot.micro_batch
         context = mp.get_context(start_method)
-        self._result_queue = context.Queue()
         self._request_queues = []
+        self._result_queues = []
+        self._request_rings: List[Optional[SlotRing]] = []
+        self._result_rings: List[Optional[SlotRing]] = []
         self._processes = []
-        self._pending: dict = {}
+        #: ticket -> (future, worker index); strictly per-worker bookkeeping
+        #: so a dead shard's futures can be failed without touching the rest.
+        self._pending: Dict[int, Tuple[Future, int]] = {}
+        self._inflight = [0] * num_workers
+        self._dead = [False] * num_workers
         self._lock = threading.Lock()
         self._tickets = itertools.count()
         self._round_robin = itertools.count()
         self._closed = False
+        self._stop = threading.Event()
         with _blas_threads_env(blas_threads_per_worker):
             for worker_id in range(num_workers):
-                queue = context.Queue()
+                request_queue = context.Queue()
+                result_queue = context.Queue()
+                request_ring = SlotRing(ring_slots, slot_bytes) \
+                    if use_shared_memory else None
+                result_ring = SlotRing(ring_slots, slot_bytes) \
+                    if use_shared_memory else None
                 process = context.Process(
                     target=worker_main,
-                    args=(worker_id, snapshot, queue, self._result_queue),
+                    args=(worker_id, snapshot, request_queue, result_queue,
+                          request_ring.spec() if request_ring else None,
+                          result_ring.spec() if result_ring else None),
                     daemon=True, name=f"repro-serve-worker-{worker_id}")
                 process.start()
-                self._request_queues.append(queue)
+                self._request_queues.append(request_queue)
+                self._result_queues.append(result_queue)
+                self._request_rings.append(request_ring)
+                self._result_rings.append(result_ring)
                 self._processes.append(process)
-        self._collector = threading.Thread(target=self._collect,
-                                           name="repro-serve-collector",
-                                           daemon=True)
-        self._collector.start()
+        self._collectors = []
+        for worker_id in range(num_workers):
+            collector = threading.Thread(
+                target=self._collect, args=(worker_id,),
+                name=f"repro-serve-collector-{worker_id}", daemon=True)
+            collector.start()
+            self._collectors.append(collector)
+        self._watchdog = threading.Thread(target=self._watch,
+                                          name="repro-serve-watchdog",
+                                          daemon=True)
+        self._watchdog.start()
         # Block until every worker finished importing + restoring its replica
         # (spawn pays the interpreter startup here, not on the first request).
+        # A worker that dies during startup fails its ping fast through the
+        # watchdog instead of running out the timeout.
         self.broadcast("ping", timeout=startup_timeout)
 
     # ------------------------------------------------------------------
@@ -107,54 +169,207 @@ class ShardedEngine:
     def num_workers(self) -> int:
         return len(self._processes)
 
-    def _collect(self) -> None:
-        while True:
-            item = self._result_queue.get()
-            if item[0] is None:            # close() sentinel
+    @property
+    def live_workers(self) -> List[int]:
+        """Indices of shards the watchdog still considers alive."""
+        with self._lock:
+            return [index for index in range(self.num_workers)
+                    if not self._dead[index]]
+
+    def inflight_per_worker(self) -> List[int]:
+        """Outstanding (submitted, unresolved) work items per shard."""
+        with self._lock:
+            return list(self._inflight)
+
+    def min_live_inflight(self) -> int:
+        """Smallest in-flight count among live shards (0 when none live —
+        the next dispatch then fails with the watchdog's typed error
+        instead of waiting forever for budget that cannot free up)."""
+        with self._lock:
+            counts = [self._inflight[index]
+                      for index in range(self.num_workers)
+                      if not self._dead[index]]
+        return min(counts) if counts else 0
+
+    # ------------------------------------------------------------------
+    # Pending-table bookkeeping (all under self._lock)
+    # ------------------------------------------------------------------
+    def _register_locked(self, future: Future, index: int) -> int:
+        ticket = next(self._tickets)
+        self._pending[ticket] = (future, index)
+        self._inflight[index] += 1
+        return ticket
+
+    def _pop_ticket(self, ticket: int) -> Optional[Future]:
+        with self._lock:
+            entry = self._pending.pop(ticket, None)
+            if entry is None:
+                return None
+            future, index = entry
+            self._inflight[index] -= 1
+        return future
+
+    def _discard_future(self, future: Future) -> None:
+        """Drop one future from the pending table by identity (a future
+        that will never resolve — e.g. its worker died behind a stats
+        deadline — must not linger until ``close()``)."""
+        with self._lock:
+            for ticket, (pending, index) in list(self._pending.items()):
+                if pending is future:
+                    del self._pending[ticket]
+                    self._inflight[index] -= 1
+                    break
+
+    # ------------------------------------------------------------------
+    # Collector / watchdog threads
+    # ------------------------------------------------------------------
+    def _collect(self, index: int) -> None:
+        """Drain one worker's result queue into its pending futures.
+
+        Strictly per-worker: a shard that dies mid-write can corrupt or
+        silence only its *own* channel; every other collector keeps
+        resolving its shard's replies.
+        """
+        result_queue = self._result_queues[index]
+        ring = self._result_rings[index]
+        while not self._stop.is_set():
+            try:
+                item = result_queue.get(timeout=_COLLECT_POLL_S)
+            except queue_module.Empty:
+                continue
+            except (EOFError, OSError):      # channel torn down under us
                 break
-            ticket, worker_id, ok, payload = item
-            with self._lock:
-                future = self._pending.pop(ticket, None)
-            if future is None:             # e.g. the shutdown ack
+            try:
+                ticket, worker_id, ok, packed = item
+            except (TypeError, ValueError):  # truncated frame from a corpse
+                continue
+            future = self._pop_ticket(ticket)
+            if future is None:               # e.g. the shutdown ack
                 continue
             # The collector must survive anything a caller did to the future
             # (a cancelled/raced future must not kill the loop and hang every
-            # later request on the engine).
+            # later request on this shard).
             try:
                 if ok:
+                    # Copy-out + slot free happen here, in one place, so the
+                    # caller's future owns plain arrays with no lifetime tie
+                    # to the ring.
+                    payload, _ = unpack_payload(ring, packed, copy=True)
                     future.set_result(payload)
                 else:
+                    payload, _ = unpack_payload(ring, packed, copy=True)
                     future.set_exception(
                         RemoteWorkerError(f"worker {worker_id}: {payload}"))
+            except InvalidStateError:
+                pass
+            except Exception as exc:  # noqa: BLE001 - defensive: bad frame
+                try:
+                    future.set_exception(RemoteWorkerError(
+                        f"worker {worker_id}: undecodable result "
+                        f"({type(exc).__name__}: {exc})"))
+                except InvalidStateError:
+                    pass
+
+    def _watch(self) -> None:
+        """Liveness watchdog: fail a dead shard's futures fast, reclaim its
+        transport slots, and leave routing to steer around it."""
+        while not self._stop.wait(WATCHDOG_INTERVAL_S):
+            if self._closed:
+                return
+            for index, process in enumerate(self._processes):
+                with self._lock:
+                    dead = self._dead[index]
+                if not dead and not process.is_alive():
+                    self._fail_worker(
+                        index,
+                        f"worker {index} process died "
+                        f"(exit code {process.exitcode})")
+
+    def _fail_worker(self, index: int, reason: str) -> None:
+        with self._lock:
+            if self._dead[index]:
+                return
+            self._dead[index] = True
+            doomed = [(ticket, future) for ticket, (future, owner)
+                      in self._pending.items() if owner == index]
+            for ticket, _ in doomed:
+                del self._pending[ticket]
+            self._inflight[index] = 0
+        # The dead worker was the only reader of its request ring and the
+        # only writer of its result ring: with it gone, both sides' slots
+        # are reclaimed wholesale instead of leaking for the engine's life.
+        for ring in (self._request_rings[index], self._result_rings[index]):
+            if ring is not None:
+                ring.reclaim_all()
+        error = RemoteWorkerError(reason)
+        for _, future in doomed:
+            try:
+                future.set_exception(error)
             except InvalidStateError:
                 pass
 
     # ------------------------------------------------------------------
     def submit(self, kind: str, payload=None,
                worker: Optional[int] = None) -> Future:
-        """Enqueue one work item; returns a future for its result."""
+        """Enqueue one work item; returns a future for its result.
+
+        With no explicit ``worker``, the item is routed to the live shard
+        with the fewest outstanding items (ties broken round-robin), so a
+        dead shard is simply never chosen.  Targeting a dead shard
+        explicitly raises :class:`RemoteWorkerError` immediately.
+        """
         if self._closed:
-            raise RuntimeError("engine is closed")
+            raise EngineClosedError("engine is closed")
         future: Future = Future()
         # Mark the future running immediately: cancel() then always returns
         # False, so the collector's set_result cannot race a cancellation.
         future.set_running_or_notify_cancel()
         with self._lock:
-            ticket = next(self._tickets)
-            self._pending[ticket] = future
-        index = worker if worker is not None \
-            else next(self._round_robin) % self.num_workers
-        self._request_queues[index].put((kind, ticket, payload))
+            if worker is not None:
+                index = worker
+                if self._dead[index]:
+                    raise RemoteWorkerError(f"worker {index} is dead")
+            else:
+                live = [i for i in range(self.num_workers)
+                        if not self._dead[i]]
+                if not live:
+                    raise RemoteWorkerError("no live workers left in the "
+                                            "pool")
+                offset = next(self._round_robin)
+                index = min(
+                    live, key=lambda i: (self._inflight[i],
+                                         (i - offset) % self.num_workers))
+            ticket = self._register_locked(future, index)
+        packed = pack_payload(self._request_rings[index], payload)
+        try:
+            self._request_queues[index].put((kind, ticket, packed))
+        except (OSError, ValueError) as exc:
+            if self._pop_ticket(ticket) is not None:
+                future.set_exception(RemoteWorkerError(
+                    f"worker {index}: request channel closed ({exc})"))
+            return future
+        # The watchdog may have declared the shard dead between routing and
+        # the queue put; its sweep can miss a ticket registered after it ran,
+        # so re-check and fail the straggler here instead of leaking it.
+        with self._lock:
+            died = self._dead[index]
+        if died and self._pop_ticket(ticket) is not None:
+            try:
+                future.set_exception(
+                    RemoteWorkerError(f"worker {index} is dead"))
+            except InvalidStateError:
+                pass
         return future
 
     def scatter(self, kind: str, images: np.ndarray,
                 timeout: float = DEFAULT_TIMEOUT) -> np.ndarray:
-        """Split ``images`` into micro-batches, round-robin them over the
+        """Split ``images`` into micro-batches, spread them over the live
         shards, and reassemble the results in submission order.
 
         The chunking replicates :meth:`InferenceEngine.run` exactly (same
         ``micro_batch`` boundaries), so per-chunk results are bit-identical
-        to the single-process engine's.
+        to the single-process engine's regardless of which shard — or how
+        many shards — served each chunk.
         """
         images = np.asarray(images, dtype=np.float32)
         if images.ndim == 3:
@@ -169,9 +384,13 @@ class ShardedEngine:
 
     def broadcast(self, kind: str, payload=None,
                   timeout: float = DEFAULT_TIMEOUT) -> List:
-        """Send one work item to *every* worker and wait for all replies."""
+        """Send one work item to every *live* worker and wait for all
+        replies (one result per live shard, in shard order)."""
+        indices = self.live_workers
+        if not indices:
+            raise RemoteWorkerError("no live workers left in the pool")
         futures = [self.submit(kind, payload, worker=index)
-                   for index in range(self.num_workers)]
+                   for index in indices]
         return [future.result(timeout=timeout) for future in futures]
 
     def set_prototypes(self, state: PrototypeState,
@@ -180,7 +399,8 @@ class ShardedEngine:
 
         Request queues are FIFO per worker, so once this returns every
         previously enqueued item has executed and every later item sees the
-        new prototypes.
+        new prototypes.  Prototype states are control frames: they cross as
+        pickle, never through the tensor rings.
         """
         return self.broadcast("set_prototypes", state, timeout=timeout)
 
@@ -198,18 +418,21 @@ class ShardedEngine:
         process is already gone are flagged immediately, without enqueueing
         work items no consumer will ever pop.
 
-        Degrading per shard matters beyond the obvious dead-process case: a
-        worker killed hard (OOM, SIGKILL) can die *holding the shared
-        result queue's write lock*, which wedges every other worker's
-        replies — the survivors are then alive and serving but cannot
-        answer, and only a deadline-bounded, per-shard collection gets the
-        operator a report at all.
+        With the per-worker transport a hard-killed worker can no longer
+        wedge the survivors' replies (there is no shared write lock to die
+        holding), so healthy shards answer at full fidelity even while a
+        sibling is a corpse; the deadline remains the backstop for shards
+        that are alive but buried behind a deep work queue.
         """
         deadline = time.monotonic() + timeout
         records: List[Optional[dict]] = [None] * self.num_workers
         futures = {}
+        dead = set()
+        with self._lock:
+            dead = {index for index in range(self.num_workers)
+                    if self._dead[index]}
         for index in range(self.num_workers):
-            if not self._processes[index].is_alive():
+            if index in dead or not self._processes[index].is_alive():
                 records[index] = {"worker_id": index,
                                   "error": "worker process is not alive",
                                   "alive": False}
@@ -227,22 +450,29 @@ class ShardedEngine:
                 }
                 # A future that will never resolve (dead worker) must not
                 # linger in the pending table until close().
-                with self._lock:
-                    self._pending = {ticket: pending
-                                     for ticket, pending in
-                                     self._pending.items()
-                                     if pending is not future}
+                self._discard_future(future)
         return records
 
     # ------------------------------------------------------------------
     def close(self, timeout: float = 10.0) -> None:
-        """Shut down workers and the collector; idempotent."""
+        """Shut down workers and the coordinator threads; idempotent.
+
+        Any request still unresolved once the pool is down — queued behind
+        a shutdown, or stranded by a terminated worker — is failed with
+        :class:`EngineClosedError`, so no caller ever blocks on a closed
+        engine.
+        """
         if self._closed:
             return
         self._closed = True
-        for queue in self._request_queues:
+        for index, request_queue in enumerate(self._request_queues):
+            with self._lock:
+                dead = self._dead[index]
+            if dead:
+                continue
             try:
-                queue.put(("shutdown", -1, None))
+                request_queue.put(("shutdown", -1,
+                                   pack_payload(None, None)))
             except (OSError, ValueError):
                 pass
         for process in self._processes:
@@ -250,17 +480,26 @@ class ShardedEngine:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
-        self._result_queue.put((None, None, True, None))
-        self._collector.join(timeout=5.0)
+        self._stop.set()
+        for collector in self._collectors:
+            collector.join(timeout=5.0)
+        self._watchdog.join(timeout=5.0)
         with self._lock:
-            pending = list(self._pending.values())
+            pending = [future for future, _ in self._pending.values()]
             self._pending.clear()
+            self._inflight = [0] * self.num_workers
+        error = EngineClosedError("engine closed with requests in flight")
         for future in pending:
-            if not future.done():
-                future.set_exception(RuntimeError("engine closed"))
-        for queue in (*self._request_queues, self._result_queue):
-            queue.close()
-            queue.cancel_join_thread()
+            try:
+                future.set_exception(error)
+            except InvalidStateError:
+                pass
+        for q in (*self._request_queues, *self._result_queues):
+            q.close()
+            q.cancel_join_thread()
+        for ring in (*self._request_rings, *self._result_rings):
+            if ring is not None:
+                ring.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self

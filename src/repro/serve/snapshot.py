@@ -18,6 +18,13 @@ model together with the normalised prototype state of its explicit memory
 (:class:`PrototypeState`, keyed by ``ExplicitMemory.version``) into a
 :class:`ModelSnapshot` — everything a worker process needs to serve
 ``predict`` / ``similarities`` on its own.
+
+Snapshots and prototype states are the *control-plane* payloads of the
+serving transport: they cross process boundaries as pickle (at worker
+startup and on ``set_prototypes`` broadcasts), while per-request tensor
+traffic rides the zero-copy shared-memory rings in
+:mod:`repro.serve.transport` — pickling here is a deliberate choice for
+rich, rarely-shipped objects, not the hot path.
 """
 
 from __future__ import annotations

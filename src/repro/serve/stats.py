@@ -4,8 +4,26 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Deque, Dict
+
+#: Batch latencies retained for the percentile window (bounded so a
+#: long-running server's stats surface stays O(1) in memory).
+LATENCY_WINDOW = 512
+
+#: Smoothing factor of the exponential moving average the admission
+#: controller's SLO estimate reads (higher = reacts faster to load shifts).
+EMA_ALPHA = 0.2
+
+
+def _percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (0.0 if empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
 
 
 @dataclass
@@ -16,6 +34,12 @@ class ServeStats:
     the shape of this histogram is the dynamic batcher's report card: a
     saturating workload should pile mass at ``max_batch``, a trickle of
     single requests should sit at 1 with ``max_latency`` bounding the wait.
+
+    ``requests_shed`` counts submits rejected by admission control
+    (:class:`~repro.serve.server.ServerOverloaded`); the shed *rate* against
+    accepted requests is the overload report card.  Batch latencies feed
+    both a bounded percentile window (p50/p99 in the stats surface) and the
+    EMA estimate the latency-SLO gate uses.
     """
 
     single_requests: int = 0
@@ -25,7 +49,11 @@ class ServeStats:
     batch_size_histogram: Dict[int, int] = field(default_factory=dict)
     max_queue_depth: int = 0
     prototype_broadcasts: int = 0
+    requests_shed: int = 0
     started_at: float = field(default_factory=time.perf_counter)
+    _batch_latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False)
+    _ema_batch_latency_s: float = field(default=0.0, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # ------------------------------------------------------------------
@@ -51,6 +79,20 @@ class ServeStats:
         with self._lock:
             self.prototype_broadcasts += 1
 
+    def observe_shed(self) -> None:
+        with self._lock:
+            self.requests_shed += 1
+
+    def observe_batch_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._batch_latencies.append(seconds)
+            if self._ema_batch_latency_s <= 0.0:
+                self._ema_batch_latency_s = seconds
+            else:
+                self._ema_batch_latency_s = (
+                    EMA_ALPHA * seconds
+                    + (1.0 - EMA_ALPHA) * self._ema_batch_latency_s)
+
     # ------------------------------------------------------------------
     @property
     def elapsed_s(self) -> float:
@@ -61,8 +103,28 @@ class ServeStats:
         elapsed = self.elapsed_s
         return self.samples / elapsed if elapsed > 0 else 0.0
 
-    def as_dict(self) -> dict:
+    @property
+    def ema_batch_latency_s(self) -> float:
         with self._lock:
+            return self._ema_batch_latency_s
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submit attempts rejected by admission control."""
+        with self._lock:
+            attempts = self.single_requests + self.requests_shed
+            return self.requests_shed / attempts if attempts else 0.0
+
+    def batch_latency_percentiles_ms(self) -> Dict[str, float]:
+        with self._lock:
+            window = list(self._batch_latencies)
+        return {"p50": _percentile(window, 0.50) * 1e3,
+                "p99": _percentile(window, 0.99) * 1e3}
+
+    def as_dict(self) -> dict:
+        percentiles = self.batch_latency_percentiles_ms()
+        with self._lock:
+            attempts = self.single_requests + self.requests_shed
             return {
                 "single_requests": self.single_requests,
                 "batch_requests": self.batch_requests,
@@ -71,6 +133,12 @@ class ServeStats:
                 "batch_size_histogram": dict(self.batch_size_histogram),
                 "max_queue_depth": self.max_queue_depth,
                 "prototype_broadcasts": self.prototype_broadcasts,
+                "requests_shed": self.requests_shed,
+                "shed_rate": (self.requests_shed / attempts
+                              if attempts else 0.0),
+                "batch_latency_p50_ms": round(percentiles["p50"], 3),
+                "batch_latency_p99_ms": round(percentiles["p99"], 3),
+                "ema_batch_latency_s": self._ema_batch_latency_s,
                 "elapsed_s": self.elapsed_s,
                 "samples_per_s": self.samples_per_s,
             }

@@ -4,8 +4,19 @@ Each worker owns a full model replica restored from a
 :class:`~repro.serve.snapshot.ModelSnapshot` — backbone and FCR engines with
 their own :class:`~repro.runtime.kernels.BufferCache` — plus the current
 :class:`~repro.serve.snapshot.PrototypeState`.  It pops work items from its
-request queue, executes them, and pushes ``(ticket, worker_id, ok, payload)``
-tuples onto the shared result queue.
+*own* request queue, executes them, and pushes
+``(ticket, worker_id, ok, payload)`` tuples onto its *own* result queue —
+no channel is shared with any sibling shard, so this worker dying can never
+wedge another shard's traffic.
+
+Tensor payloads arrive and leave through the worker's pair of
+:class:`~repro.serve.transport.SlotRing` shared-memory rings when the
+coordinator enabled them: request batches are consumed as zero-copy views
+(the slot is freed once the work item finished), results are written into
+the result ring with the control tuple carrying only the slot descriptor.
+Payloads that never went through a ring — control frames, oversized
+tensors, or a full ring — pass through :func:`unpack_payload` untouched,
+which also keeps this loop runnable over plain in-process queues in tests.
 
 Work item kinds:
 
@@ -39,6 +50,7 @@ from ..runtime.kernels import (
     quantize_unit_rows,
 )
 from .snapshot import ModelSnapshot, PrototypeState
+from .transport import SlotRing, pack_payload, unpack_payload
 
 
 class _WorkerState:
@@ -145,20 +157,51 @@ class _WorkerState:
 
 
 def worker_main(worker_id: int, snapshot: ModelSnapshot, request_queue,
-                result_queue) -> None:
-    """Entry point of a worker process (must stay importable for spawn)."""
+                result_queue, request_ring_spec=None,
+                result_ring_spec=None) -> None:
+    """Entry point of a worker process (must stay importable for spawn).
+
+    ``request_ring_spec`` / ``result_ring_spec`` are
+    :meth:`~repro.serve.transport.SlotRing.spec` tuples of the
+    coordinator-owned shared-memory rings; ``None`` (the default, and what
+    the in-process tests pass) runs the loop on pure queue transport.
+    """
+    request_ring = SlotRing.attach(request_ring_spec) \
+        if request_ring_spec is not None else None
+    result_ring = SlotRing.attach(result_ring_spec) \
+        if result_ring_spec is not None else None
     state = _WorkerState(worker_id, snapshot)
-    while True:
-        kind, ticket, payload = request_queue.get()
-        if kind == "shutdown":
-            # Tear the replica down before acking: once the coordinator sees
-            # the ack, no engine thread pool of this worker is left running.
-            state.close()
-            result_queue.put((ticket, worker_id, True, None))
-            break
-        try:
-            result_queue.put((ticket, worker_id, True,
-                              state.handle(kind, payload)))
-        except Exception as exc:  # noqa: BLE001 - forwarded to the caller
-            result_queue.put((ticket, worker_id, False,
-                              f"{type(exc).__name__}: {exc}"))
+    try:
+        while True:
+            kind, ticket, packed = request_queue.get()
+            if kind == "shutdown":
+                # Tear the replica down before acking: once the coordinator
+                # sees the ack, no engine thread pool of this worker is left
+                # running.
+                state.close()
+                result_queue.put((ticket, worker_id, True,
+                                  pack_payload(None, None)))
+                break
+            payload, held_slots = unpack_payload(request_ring, packed)
+            try:
+                result = state.handle(kind, payload)
+                # Results ride the result ring when they fit (fall back to
+                # an inline pickle frame when the ring is full or the
+                # tensor oversized), so the reply path is serialization-free
+                # exactly like the request path.
+                result_queue.put((ticket, worker_id, True,
+                                  pack_payload(result_ring, result)))
+            except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                result_queue.put((ticket, worker_id, False,
+                                  pack_payload(None,
+                                               f"{type(exc).__name__}: "
+                                               f"{exc}")))
+            finally:
+                # The batch view has been fully consumed by handle(); give
+                # the slot back so the coordinator can write the next batch.
+                for slot in held_slots:
+                    request_ring.free(slot)
+    finally:
+        for ring in (request_ring, result_ring):
+            if ring is not None:
+                ring.close()

@@ -8,7 +8,9 @@ two-worker server is shared across tests to amortise process startup; this
 doubles as the CI smoke scenario (2-worker end-to-end predict + learn).
 """
 
+import os
 import pickle
+import signal
 import time
 
 import numpy as np
@@ -20,9 +22,13 @@ from repro.models.mobilenetv2 import ConvBNReLU
 from repro.nn.tensor import Tensor
 from repro.runtime import InferenceEngine, compile_module
 from repro.serve import (
+    EngineClosedError,
     PlanSerializationError,
     RemoteWorkerError,
     Server,
+    ServerClosedError,
+    ServerOverloaded,
+    ShardedEngine,
     snapshot_model,
     snapshot_plan,
     snapshot_prototypes,
@@ -282,11 +288,11 @@ class TestDynamicBatcher:
         assert report["samples_per_s"] > 0
         assert len(report["workers"]) == 2
 
-    def test_submit_after_close_raises(self):
+    def test_submit_after_close_raises_typed_error(self):
         model, _ = make_learned_model(seed=3)
         server = Server(model, num_workers=1)
         server.close()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ServerClosedError):
             server.submit(np.zeros(IMAGE_SHAPE, dtype=np.float32))
         server.close()                    # idempotent
 
@@ -358,10 +364,11 @@ class TestDegradedStats:
             server.predict(shots[:8])   # two chunks -> warms both replicas
             victim = server.engine._processes[0]
             # Let the victim's result-queue feeder thread go quiescent
-            # before the hard kill: a process terminated while holding the
-            # shared result queue's write lock wedges the other writers
-            # (an inherent multiprocessing.Queue hazard, and one more
-            # reason stats collection must degrade per shard).
+            # before the hard kill.  With per-worker channels a worker
+            # terminated mid-write can only poison its *own* result queue —
+            # never the survivors' — but its own channel may still deliver a
+            # truncated frame, which is why stats collection degrades per
+            # shard instead of trusting every channel.
             time.sleep(0.3)
             victim.terminate()
             victim.join(timeout=10)
@@ -384,3 +391,141 @@ class TestDegradedStats:
                 assert survivor["plan_steps"] > 0
                 assert report["stale_workers"] == []
                 assert report["cache_bytes"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Fault injection, typed shutdown, admission control, transport parity
+# ---------------------------------------------------------------------------
+class TestFaultInjection:
+    def test_sigkill_mid_flight_fails_fast_and_survivors_serve(self):
+        # The headline regression of the per-worker transport: before it, a
+        # worker SIGKILLed while writing a result could die holding the
+        # *shared* result queue's write lock, wedging every surviving shard
+        # and leaving the dead shard's callers blocked until their timeout.
+        # Now the dead shard's pending futures must fail fast with
+        # RemoteWorkerError (liveness watchdog, not timeout), the survivors
+        # must keep answering bit-for-bit, and the dead worker's ring slots
+        # must be reclaimed rather than leaked.
+        model, shots = make_learned_model(seed=7)
+        rng = np.random.default_rng(11)
+        queries = rng.standard_normal((40, *IMAGE_SHAPE)).astype(np.float32)
+        reference = model.runtime_predictor().predict(queries)
+        with Server(model, num_workers=2, max_latency_s=0.05) as server:
+            server.predict(queries[:8])            # warm both replicas
+            big = rng.standard_normal((64, *IMAGE_SHAPE)).astype(np.float32)
+            inflight = [server.engine.submit("backbone", big, worker=0)
+                        for _ in range(4)]
+            os.kill(server.engine._processes[0].pid, signal.SIGKILL)
+
+            started = time.monotonic()
+            failures = 0
+            for future in inflight:
+                try:
+                    future.result(timeout=30)
+                except RemoteWorkerError:
+                    failures += 1
+            elapsed = time.monotonic() - started
+            assert failures >= 1, "no pinned-to-victim request failed"
+            # Fail *fast*: the watchdog polls at 0.2s, so well under the
+            # engine's default collection timeout (120s) — the old transport
+            # hung callers for the full timeout.
+            assert elapsed < 15.0, f"dead-shard futures took {elapsed:.1f}s"
+
+            # Survivors keep answering, still bit-for-bit with the local
+            # predictor, on both the sync and the batched async paths.
+            np.testing.assert_array_equal(server.predict(queries), reference)
+            label = server.predict_one(shots[0], timeout=60)
+            assert label == int(model.runtime_predictor()
+                                .predict(shots[:1])[0])
+
+            # stats() degrades the dead shard instead of hanging or raising.
+            report = server.stats_dict(timeout=10.0)
+            assert report["dead_workers"] == [0]
+            assert report["live_workers"] == [1]
+
+            # Explicitly routing new work at the corpse fails immediately.
+            with pytest.raises(RemoteWorkerError, match="dead"):
+                server.engine.submit("backbone", queries[:2], worker=0)
+
+            # The watchdog reclaimed every slot the victim held.
+            for ring in (server.engine._request_rings[0],
+                         server.engine._result_rings[0]):
+                assert ring is not None and ring.slots_in_use == 0
+
+
+class TestEngineClose:
+    def test_close_with_inflight_fails_futures_with_typed_error(self):
+        # close() must not strand in-flight callers: whatever has not
+        # resolved by the close deadline fails with EngineClosedError (a
+        # typed shutdown error, distinct from a worker crash).
+        model, _ = make_learned_model(seed=8)
+        snapshot = snapshot_model(model, micro_batch=8)
+        engine = ShardedEngine(snapshot, num_workers=1)
+        try:
+            rng = np.random.default_rng(3)
+            big = rng.standard_normal((64, *IMAGE_SHAPE)).astype(np.float32)
+            futures = [engine.submit("backbone", big) for _ in range(6)]
+        finally:
+            engine.close(timeout=0.05)
+        shutdown_errors = 0
+        for future in futures:
+            assert future.done(), "close() left a future unresolved"
+            exc = future.exception()
+            if exc is not None:
+                assert isinstance(exc, EngineClosedError)
+                shutdown_errors += 1
+        assert shutdown_errors >= 1, \
+            "every batch resolved before a 50ms close deadline?"
+        engine.close()                    # idempotent
+
+
+class TestAdmissionControl:
+    def test_full_admission_queue_sheds_with_typed_error(self):
+        model, shots = make_learned_model(seed=3)
+        with Server(model, num_workers=1, max_pending=0) as server:
+            with pytest.raises(ServerOverloaded, match="admission queue"):
+                server.submit(shots[0])
+            report = server.stats.as_dict()
+            assert report["requests_shed"] == 1
+            assert report["shed_rate"] == 1.0
+
+    def test_latency_slo_sheds_when_estimate_exceeds_budget(self):
+        model, shots = make_learned_model(seed=3)
+        with Server(model, num_workers=1, latency_slo_s=0.5) as server:
+            # Seed the latency EMA as if batches were observed taking 1s:
+            # the wait estimate for even one queued request then exceeds the
+            # 0.5s SLO deterministically, no real saturation needed.
+            server.stats.observe_batch_latency(1.0)
+            with pytest.raises(ServerOverloaded, match="SLO"):
+                server.submit(shots[0])
+            assert server.stats.as_dict()["requests_shed"] == 1
+            # The shed accounting shows up on the public stats surface too.
+            report = server.stats_dict()
+            assert report["requests_shed"] == 1
+            assert report["latency_slo_s"] == 0.5
+
+    def test_no_shedding_below_the_limits(self, served):
+        _, server, shots = served
+        future = server.submit(shots[0])       # default budgets: admitted
+        assert future.result(timeout=120) is not None
+        assert server.stats.as_dict()["shed_rate"] < 1.0
+
+
+class TestTransportParity:
+    def test_pickle_transport_matches_local_predictor_bitwise(self, queries):
+        # use_shared_memory=False forces every tensor through the inline
+        # pickle fallback.  It must be bit-for-bit with the local predictor —
+        # the same oracle the default shm transport is pinned against above
+        # (TestServerParity) — so shm and pickle transports are bit-identical
+        # end-to-end through real spawned workers.
+        model, _ = make_learned_model(seed=9)
+        reference = model.runtime_predictor().predict(queries)
+        with Server(model, num_workers=2, max_latency_s=0.05,
+                    use_shared_memory=False) as server:
+            assert all(ring is None for ring in server.engine._request_rings)
+            np.testing.assert_array_equal(server.predict(queries), reference)
+            sims, ids = server.similarities(queries[:32])
+            ref_sims, ref_ids = model.runtime_predictor() \
+                .similarities(queries[:32])
+            np.testing.assert_array_equal(sims, ref_sims)
+            np.testing.assert_array_equal(ids, ref_ids)

@@ -1,0 +1,183 @@
+"""Shared-memory ring-buffer transport: slot accounting, fallbacks, parity.
+
+The :class:`~repro.serve.transport.SlotRing` is the tensor data plane of the
+sharded serving engine — these tests pin its contract in isolation (no
+worker processes): slot wraparound and reuse, the pickle fallback for
+payloads that do not fit, wholesale reclamation after a worker death, and
+bit-for-bit fidelity of the shared-memory path against the pickle path on
+every dtype the runtime serves (float32 activations, int8 codes, int64
+labels).  The end-to-end bit-parity of shm vs pickle transport through real
+spawned workers is pinned in ``tests/test_serve.py``
+(``TestTransportParity``), and for int8 plans by the golden-fixture sharded
+test in ``tests/test_runtime_int8.py``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.serve.transport import (
+    SlotRing,
+    pack_payload,
+    unpack_payload,
+)
+
+
+@pytest.fixture()
+def ring():
+    ring = SlotRing(slots=4, slot_bytes=4096)
+    yield ring
+    ring.close()
+
+
+class TestSlotRing:
+    def test_roundtrip_is_bitwise_per_dtype(self, ring, rng):
+        for dtype in (np.float32, np.float64, np.int8, np.int32, np.int64):
+            array = (rng.standard_normal((8, 16)) * 100).astype(dtype)
+            descriptor = ring.try_write(array)
+            assert descriptor is not None
+            view = ring.read(descriptor)
+            assert view.dtype == array.dtype and view.shape == array.shape
+            np.testing.assert_array_equal(view, array)
+            ring.free(descriptor[0])
+        assert ring.slots_in_use == 0
+
+    def test_wraparound_reuses_freed_slots(self, ring, rng):
+        # Many more writes than slots: the cursor must wrap and recycle
+        # freed slots without corrupting payloads.
+        seen_slots = set()
+        for index in range(3 * ring.slots + 1):
+            array = np.full((16,), index, dtype=np.int64)
+            descriptor = ring.try_write(array)
+            assert descriptor is not None, f"write {index} found no slot"
+            seen_slots.add(descriptor[0])
+            np.testing.assert_array_equal(ring.read(descriptor), array)
+            ring.free(descriptor[0])
+        assert seen_slots == set(range(ring.slots))
+        assert ring.slots_in_use == 0
+
+    def test_interleaved_writes_do_not_clobber_held_slots(self, ring):
+        # A held (unfreed) slot must survive later writes and frees.
+        held = ring.try_write(np.full((4,), 7, dtype=np.int32))
+        for index in range(10):
+            other = ring.try_write(np.full((4,), index, dtype=np.int32))
+            assert other is not None and other[0] != held[0]
+            ring.free(other[0])
+        np.testing.assert_array_equal(ring.read(held),
+                                      np.full((4,), 7, dtype=np.int32))
+        ring.free(held[0])
+
+    def test_full_ring_refuses_writes(self, ring):
+        descriptors = [ring.try_write(np.zeros(4)) for _ in range(ring.slots)]
+        assert all(d is not None for d in descriptors)
+        assert ring.slots_in_use == ring.slots
+        assert ring.try_write(np.zeros(4)) is None
+        ring.free(descriptors[0][0])
+        assert ring.try_write(np.zeros(4)) is not None
+
+    def test_oversized_payload_refused(self, ring):
+        too_big = np.zeros(ring.slot_bytes // 8 + 1, dtype=np.float64)
+        assert ring.try_write(too_big) is None
+        assert ring.slots_in_use == 0          # a refused write claims nothing
+
+    def test_reclaim_after_worker_death(self, ring):
+        # A dead peer leaves slots marked in-use; reclaim_all is the
+        # watchdog's leak-proofing path and must return the ring to fully
+        # writable.
+        for _ in range(ring.slots):
+            assert ring.try_write(np.zeros(8)) is not None
+        assert ring.try_write(np.zeros(8)) is None
+        ring.reclaim_all()
+        assert ring.slots_in_use == 0
+        assert ring.try_write(np.zeros(8)) is not None
+
+    def test_attach_shares_slots_and_flags(self, ring, rng):
+        # The consumer side attaches by spec (as a worker process would) and
+        # must see the producer's payload bit-for-bit; its free() must be
+        # visible to the producer's accounting.
+        peer = SlotRing.attach(pickle.loads(pickle.dumps(ring.spec())))
+        try:
+            array = rng.standard_normal((32, 8)).astype(np.float32)
+            descriptor = ring.try_write(array)
+            np.testing.assert_array_equal(peer.read(descriptor), array)
+            assert ring.slots_in_use == 1
+            peer.free(descriptor[0])
+            assert ring.slots_in_use == 0
+        finally:
+            peer.close()
+
+    def test_non_contiguous_arrays_round_trip(self, ring, rng):
+        base = rng.standard_normal((16, 16)).astype(np.float32)
+        strided = base[::2, ::2]
+        assert not strided.flags["C_CONTIGUOUS"]
+        descriptor = ring.try_write(strided)
+        np.testing.assert_array_equal(ring.read(descriptor), strided)
+        ring.free(descriptor[0])
+
+
+class TestPackUnpack:
+    def test_shm_vs_pickle_paths_are_bit_identical(self, ring, rng):
+        # The same payload through the shared-memory path and through the
+        # inline (pickle) fallback must decode to identical bits — the
+        # guarantee that lets a full ring degrade transparently.
+        for dtype in (np.float32, np.int8):
+            array = (rng.standard_normal((6, 64)) * 50).astype(dtype)
+            shm_packed = pack_payload(ring, array)
+            inline_packed = pack_payload(None, array)
+            assert shm_packed[0] != inline_packed[0]
+            via_shm, _ = unpack_payload(ring, shm_packed, copy=True)
+            via_pickle, _ = unpack_payload(
+                None, pickle.loads(pickle.dumps(inline_packed)), copy=True)
+            np.testing.assert_array_equal(via_shm, via_pickle)
+            assert via_shm.dtype == via_pickle.dtype == dtype
+
+    def test_tuple_payload_packs_leading_tensor_only(self, ring, rng):
+        images = rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+        packed = pack_payload(ring, (images, [1, 2, 3]))
+        assert ring.slots_in_use == 1
+        payload, held = unpack_payload(ring, packed)
+        assert isinstance(payload, tuple)
+        np.testing.assert_array_equal(payload[0], images)
+        assert payload[1] == [1, 2, 3]
+        assert len(held) == 1
+        ring.free(held[0])
+        assert ring.slots_in_use == 0
+
+    def test_copy_mode_frees_the_slot_immediately(self, ring, rng):
+        array = rng.standard_normal((8,)).astype(np.float32)
+        packed = pack_payload(ring, array)
+        payload, held = unpack_payload(ring, packed, copy=True)
+        assert held == () and ring.slots_in_use == 0
+        np.testing.assert_array_equal(payload, array)
+        # The copy must be detached from the ring: overwriting the slot
+        # with a new payload cannot corrupt the already-returned array.
+        pack_payload(ring, np.zeros_like(array))
+        np.testing.assert_array_equal(payload, array)
+
+    def test_control_frames_stay_inline(self, ring):
+        for payload in (None, 7, "stats", {"requests": 3}, [1, 2]):
+            packed = pack_payload(ring, payload)
+            assert packed[0] == "__inline__"
+            decoded, held = unpack_payload(ring, packed)
+            assert decoded == payload and held == ()
+        assert ring.slots_in_use == 0
+
+    def test_oversized_and_full_ring_fall_back_inline(self, ring, rng):
+        oversized = np.zeros(ring.slot_bytes + 1, dtype=np.uint8)
+        packed = pack_payload(ring, oversized)
+        assert packed[0] == "__inline__"
+        while ring.try_write(np.zeros(1)) is not None:
+            pass                                        # exhaust the ring
+        fits = rng.standard_normal((4,)).astype(np.float32)
+        packed = pack_payload(ring, fits)
+        assert packed[0] == "__inline__"
+        decoded, _ = unpack_payload(ring, packed, copy=True)
+        np.testing.assert_array_equal(decoded, fits)
+
+    def test_raw_payloads_pass_through_untouched(self):
+        # Queue-generic consumers (the worker main loop under plain queues
+        # in tests) must keep working when payloads were never packed.
+        raw = (np.zeros((2, 2)), None)
+        payload, held = unpack_payload(None, raw)
+        assert payload is raw and held == ()
