@@ -1,0 +1,60 @@
+"""Zero-dependency telemetry for the runtime and serving stack.
+
+Three pieces, each usable alone, designed to thread through every layer:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named counters,
+  gauges and fixed-bucket histograms that aggregate lock-free per thread and
+  merge on scrape; the single quantile implementation
+  (:func:`quantile_from_counts`) every percentile surface shares.
+* :mod:`repro.obs.trace` — sampled request tracing: a :class:`Tracer` makes
+  one sampling decision at the root span, span context crosses process
+  boundaries inside the serving transport's control frames, and finished
+  spans export as JSON lines.  One traced request yields the tree
+  ``server.submit → batcher.coalesce → shard.dispatch → worker.execute →
+  engine.run`` across coordinator and worker processes.
+* :mod:`repro.obs.planprof` — opt-in per-op plan profiling: wall time and
+  bytes moved per compiled step, the per-kernel baseline for backend work
+  (``python -m repro.runtime.plan_stats --profile``).
+
+``python -m repro.obs`` runs a self-contained demo: it serves a tiny model
+with tracing at 100%, prints the metrics scrape and the span tree, and
+writes a sample trace JSONL (the CI serve-smoke artifact).
+"""
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    IntHistogram,
+    MetricsRegistry,
+    quantile_from_counts,
+)
+from .planprof import PlanProfiler
+from .trace import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    Span,
+    Tracer,
+    ambient_span,
+    read_jsonl_spans,
+    span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IntHistogram",
+    "MetricsRegistry",
+    "quantile_from_counts",
+    "DEFAULT_TIME_BUCKETS",
+    "PlanProfiler",
+    "Tracer",
+    "Span",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "ambient_span",
+    "read_jsonl_spans",
+    "span_tree",
+]

@@ -1,0 +1,289 @@
+"""Zero-dependency metrics registry: counters, gauges, fixed-bucket histograms.
+
+Instruments aggregate **lock-free per thread**: every thread that touches an
+instrument gets its own cell (a tiny mutable list or dict created once, under
+the instrument's lock), and all hot-path updates are plain ``+=`` on that
+cell — atomic under the GIL, no lock acquisition, no contention between the
+batcher thread, the collector threads and the engine's chunk pool.  Cells are
+merged only on *scrape* (:meth:`MetricsRegistry.scrape` or an instrument's
+``value`` / ``counts``), which is the cold path.
+
+The registry replaces the bespoke stat fields that used to be scattered
+through ``repro.serve`` (hand-rolled latency windows, ad-hoc worker counters)
+with named instruments — ``serve.requests_total``, ``serve.batch_latency_s``,
+``engine.backbone.arena_peak_bytes``, … — one scrape away from any exporter.
+
+Histogram quantiles are the *single* percentile implementation of the
+codebase (:func:`quantile_from_counts`): nearest-rank position with linear
+interpolation inside the bucket, pinned by known-values tests, so no two
+surfaces can disagree about what "p99" means.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default bucket upper bounds (seconds) for latency histograms: roughly
+#: geometric from 0.5 ms to 30 s; observations beyond the last bound land in
+#: the overflow bucket and quantiles clamp to the last bound.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+def quantile_from_counts(bounds: Sequence[float], counts: Sequence[int],
+                         fraction: float) -> float:
+    """Quantile of a fixed-bucket histogram (the shared implementation).
+
+    ``bounds`` are the bucket upper bounds; ``counts`` has one extra entry,
+    the overflow bucket ``(bounds[-1], inf)``.  The quantile is located at
+    rank ``fraction * total`` in the cumulative distribution and linearly
+    interpolated between the bucket's lower and upper bound; the overflow
+    bucket (and an empty histogram) clamp to ``bounds[-1]`` (resp. 0.0) —
+    there is nothing to interpolate against beyond the last bound.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    fraction = min(1.0, max(0.0, fraction))
+    target = fraction * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        if cumulative + count >= target:
+            if index >= len(bounds):          # overflow bucket: clamp
+                return float(bounds[-1])
+            lower = float(bounds[index - 1]) if index > 0 else 0.0
+            upper = float(bounds[index])
+            inside = max(0.0, target - cumulative)
+            return lower + (upper - lower) * (inside / count)
+        cumulative += count
+    return float(bounds[-1])
+
+
+class Counter:
+    """Monotonic counter with per-thread cells merged on read."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._cells: List[List[float]] = []
+
+    def _cell(self) -> List[float]:
+        cell = getattr(self._tls, "cell", None)
+        if cell is None:
+            cell = [0.0]
+            self._tls.cell = cell
+            with self._lock:
+                self._cells.append(cell)
+        return cell
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._cell()[0] += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return sum(cell[0] for cell in self._cells)
+
+    def scrape(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written-wins value; optionally backed by a callback.
+
+    A callback gauge (``fn``) reads its value lazily at scrape time, so
+    instruments like ``engine.arena_peak_bytes`` cost *nothing* on the hot
+    path — the engine just registers a property reference once.
+    ``set_max`` keeps a running maximum (e.g. peak queue depth).
+    """
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._fn = fn
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def scrape(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with per-thread cells merged on scrape.
+
+    Each thread-local cell is ``[count_0, ..., count_n, overflow, sum,
+    count]`` — every ``observe`` is a bisect plus three in-place adds, no
+    lock.  Quantiles go through :func:`quantile_from_counts`.
+    """
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted, "
+                             "non-empty sequence")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._cells: List[List[float]] = []
+
+    def _cell(self) -> List[float]:
+        cell = getattr(self._tls, "cell", None)
+        if cell is None:
+            cell = [0.0] * (len(self.bounds) + 3)   # buckets+overflow+sum+cnt
+            self._tls.cell = cell
+            with self._lock:
+                self._cells.append(cell)
+        return cell
+
+    def observe(self, value: float) -> None:
+        cell = self._cell()
+        cell[bisect_left(self.bounds, value)] += 1
+        cell[-2] += value
+        cell[-1] += 1
+
+    # -- merged views (cold path) --------------------------------------
+    def counts(self) -> List[int]:
+        """Merged per-bucket counts (last entry is the overflow bucket)."""
+        with self._lock:
+            cells = list(self._cells)
+        merged = [0.0] * (len(self.bounds) + 1)
+        for cell in cells:
+            for index in range(len(merged)):
+                merged[index] += cell[index]
+        return [int(count) for count in merged]
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return int(sum(cell[-1] for cell in self._cells))
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return float(sum(cell[-2] for cell in self._cells))
+
+    def quantile(self, fraction: float) -> float:
+        return quantile_from_counts(self.bounds, self.counts(), fraction)
+
+    def scrape(self) -> dict:
+        counts = self.counts()
+        return {"type": "histogram", "count": sum(counts), "sum": self.sum,
+                "bounds": list(self.bounds), "counts": counts}
+
+
+class IntHistogram:
+    """Exact histogram over small integer values (e.g. coalesced batch sizes).
+
+    Where :class:`Histogram` buckets a continuous quantity, this counts each
+    distinct integer exactly — the shape of the dynamic batcher's batch-size
+    distribution is only meaningful at integer resolution.  Per-thread dict
+    cells, merged on scrape.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._cells: List[Dict[int, int]] = []
+
+    def _cell(self) -> Dict[int, int]:
+        cell = getattr(self._tls, "cell", None)
+        if cell is None:
+            cell = {}
+            self._tls.cell = cell
+            with self._lock:
+                self._cells.append(cell)
+        return cell
+
+    def observe(self, value: int) -> None:
+        cell = self._cell()
+        cell[value] = cell.get(value, 0) + 1
+
+    def as_dict(self) -> Dict[int, int]:
+        with self._lock:
+            cells = list(self._cells)
+        merged: Dict[int, int] = {}
+        for cell in cells:
+            for value, count in cell.items():
+                merged[value] = merged.get(value, 0) + count
+        return merged
+
+    def scrape(self) -> dict:
+        return {"type": "int_histogram", "values": self.as_dict()}
+
+
+class MetricsRegistry:
+    """Named-instrument registry: get-or-create, scrape-all.
+
+    One registry per scope that should aggregate independently (one per
+    :class:`~repro.serve.server.Server`, one per worker replica, one per
+    profiled predictor) — instruments are *not* global, so two servers in
+    one process never bleed counters into each other.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"instrument {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}")
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, fn=fn))
+        if fn is not None:
+            gauge._fn = fn                   # rebind callback (idempotent)
+        return gauge
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_TIME_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(name, Histogram,
+                                   lambda: Histogram(name, bounds))
+
+    def int_histogram(self, name: str) -> IntHistogram:
+        return self._get_or_create(name, IntHistogram,
+                                   lambda: IntHistogram(name))
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def scrape(self) -> Dict[str, dict]:
+        """Merged snapshot of every instrument, keyed by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instrument.scrape()
+                for name, instrument in sorted(instruments.items())}

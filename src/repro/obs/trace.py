@@ -1,0 +1,281 @@
+"""Sampled request tracing with cross-process span propagation.
+
+One traced request through the serving stack yields a parented span tree::
+
+    server.submit                      (coordinator, root)
+    └── batcher.coalesce               (coordinator)
+        └── shard.dispatch             (coordinator)
+            └── worker.execute         (worker process)
+                ├── engine.run         (worker process, backbone)
+                └── engine.run         (worker process, FCR)
+
+The sampling decision is made exactly once, at the root
+(:meth:`Tracer.start_trace`); everything below inherits it, so an unsampled
+request pays a single ``random() < rate`` comparison and nothing else.  Span
+context — a ``(trace_id, span_id)`` pair — crosses the process boundary
+inside the transport control frames (see
+:func:`repro.serve.transport.pack_payload`); the worker finishes its spans
+locally and ships them back attached to the result frame, where the
+coordinator's tracer :meth:`adopts <Tracer.adopt>` them into one export
+stream.  A worker that dies mid-request never returns its spans; the engine
+then records a synthetic ``worker.execute`` span with ``status="failed"`` so
+the trace tree is complete even for the request that hit the corpse.
+
+Spans export as JSON lines (:class:`JsonlSpanExporter`) — one dict per line,
+greppable and loadable with nothing but the standard library — or into
+memory for tests (:class:`InMemorySpanExporter`).
+
+:func:`ambient_span` is the zero-coupling hook for lower layers: the worker
+activates its ``worker.execute`` span as the *ambient* span, and
+:class:`~repro.runtime.engine.InferenceEngine` opens an ``engine.run`` child
+under whatever span is ambient — or does nothing, at the cost of one
+context-variable read, when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: (tracer, span) the current execution context is inside, if any.
+_AMBIENT: ContextVar[Optional[Tuple["Tracer", "Span"]]] = ContextVar(
+    "repro_obs_ambient_span", default=None)
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One timed operation of a trace; export with :meth:`to_dict`."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "process",
+                 "start_s", "duration_s", "status", "error", "attrs")
+
+    def __init__(self, trace_id: str, span_id: str, parent_id: Optional[str],
+                 name: str, process: str, start_s: float,
+                 attrs: Optional[dict] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.process = process
+        self.start_s = start_s
+        self.duration_s = 0.0
+        self.status = "ok"
+        self.error = None
+        self.attrs = attrs or {}
+
+    @property
+    def context(self) -> Tuple[str, str]:
+        """The ``(trace_id, span_id)`` pair to propagate to children."""
+        return (self.trace_id, self.span_id)
+
+    def to_dict(self) -> dict:
+        record = {"trace_id": self.trace_id, "span_id": self.span_id,
+                  "parent_id": self.parent_id, "name": self.name,
+                  "process": self.process, "start_s": self.start_s,
+                  "duration_s": self.duration_s, "status": self.status}
+        if self.error:
+            record["error"] = self.error
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class InMemorySpanExporter:
+    """Collects finished spans in memory (tests, worker-side buffering)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: List[dict] = []
+
+    def export(self, span: dict) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> List[dict]:
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[dict]:
+        """Return and clear the buffered spans (the worker flush path)."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+
+class JsonlSpanExporter:
+    """Appends finished spans to a file, one JSON object per line."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+
+    def export(self, span: dict) -> None:
+        line = json.dumps(span, sort_keys=True, default=str)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as stream:
+                stream.write(line + "\n")
+
+
+def read_jsonl_spans(path) -> List[dict]:
+    """Load spans written by :class:`JsonlSpanExporter`."""
+    spans = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+class Tracer:
+    """Creates, finishes and exports spans for one process.
+
+    ``sample_rate`` only gates :meth:`start_trace` (the root); child spans
+    via :meth:`start_span` are always recorded because their parent already
+    won the sampling draw.  With ``sample_rate=0`` (the default) the tracer
+    is inert: ``start_trace`` is one comparison returning ``None``.
+    """
+
+    def __init__(self, sample_rate: float = 0.0, exporter=None,
+                 process: str = "coordinator",
+                 clock=time.time):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        self.sample_rate = sample_rate
+        self.exporter = exporter if exporter is not None \
+            else InMemorySpanExporter()
+        self.process = process
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    def start_trace(self, name: str,
+                    attrs: Optional[dict] = None) -> Optional[Span]:
+        """Root span of a new trace, or ``None`` when the draw loses."""
+        if self.sample_rate <= 0.0 or (self.sample_rate < 1.0
+                                       and random.random() >= self.sample_rate):
+            return None
+        trace_id = _new_id()
+        return Span(trace_id, _new_id(), None, name, self.process,
+                    self._clock(), attrs)
+
+    def start_span(self, name: str, parent: Optional[Span] = None,
+                   ctx: Optional[Sequence[str]] = None,
+                   start_s: Optional[float] = None,
+                   attrs: Optional[dict] = None) -> Span:
+        """Child span under ``parent`` (same-process) or ``ctx`` (remote)."""
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif ctx is not None:
+            trace_id, parent_id = str(ctx[0]), str(ctx[1])
+        else:
+            trace_id, parent_id = _new_id(), None
+        return Span(trace_id, _new_id(), parent_id, name, self.process,
+                    self._clock() if start_s is None else start_s, attrs)
+
+    def end_span(self, span: Optional[Span], status: str = "ok",
+                 error: Optional[str] = None,
+                 end_s: Optional[float] = None) -> None:
+        """Finalize and export; a ``None`` span (unsampled) is a no-op."""
+        if span is None:
+            return
+        end = self._clock() if end_s is None else end_s
+        span.duration_s = max(0.0, end - span.start_s)
+        span.status = status
+        span.error = error
+        self.exporter.export(span.to_dict())
+
+    def record_span(self, name: str, ctx: Sequence[str], start_s: float,
+                    status: str = "ok", error: Optional[str] = None,
+                    attrs: Optional[dict] = None) -> None:
+        """One-shot span (start + immediate end) — the synthetic-span path
+        used when the real owner of the span can no longer report it, e.g. a
+        ``worker.execute`` marked ``failed`` after a SIGKILL."""
+        span = self.start_span(name, ctx=ctx, start_s=start_s, attrs=attrs)
+        self.end_span(span, status=status, error=error)
+
+    def adopt(self, span_dicts: Sequence[dict]) -> None:
+        """Export spans finished in another process (already dicts)."""
+        for span in span_dicts:
+            if isinstance(span, dict):
+                self.exporter.export(span)
+
+    @contextmanager
+    def span(self, name: str, parent: Optional[Span] = None,
+             ctx: Optional[Sequence[str]] = None,
+             attrs: Optional[dict] = None):
+        span = self.start_span(name, parent=parent, ctx=ctx, attrs=attrs)
+        try:
+            yield span
+        except Exception as exc:
+            self.end_span(span, status="error",
+                          error=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
+            self.end_span(span)
+
+
+# ---------------------------------------------------------------------------
+# Ambient span: how layers that know nothing about each other nest spans
+# ---------------------------------------------------------------------------
+def activate(tracer: Tracer, span: Span):
+    """Install ``span`` as the ambient span; returns the reset token."""
+    return _AMBIENT.set((tracer, span))
+
+
+def deactivate(token) -> None:
+    _AMBIENT.reset(token)
+
+
+def current_span() -> Optional[Span]:
+    state = _AMBIENT.get()
+    return state[1] if state is not None else None
+
+
+@contextmanager
+def ambient_span(name: str, attrs: Optional[dict] = None, attrs_fn=None):
+    """Open a child of the ambient span, or do nothing if there is none.
+
+    This is what :meth:`InferenceEngine.run` calls: in a traced worker the
+    engine's execution shows up as an ``engine.run`` span under
+    ``worker.execute``; everywhere else the cost is a single context-variable
+    read.  ``attrs_fn`` is a zero-argument callable evaluated only when a
+    span is actually opened — attribute construction is free on the
+    untraced path.
+    """
+    state = _AMBIENT.get()
+    if state is None:
+        yield None
+        return
+    tracer, parent = state
+    if attrs_fn is not None:
+        attrs = dict(attrs or (), **attrs_fn())
+    span = tracer.start_span(name, parent=parent, attrs=attrs)
+    token = _AMBIENT.set((tracer, span))
+    try:
+        yield span
+    except Exception as exc:
+        tracer.end_span(span, status="error",
+                        error=f"{type(exc).__name__}: {exc}")
+        raise
+    else:
+        tracer.end_span(span)
+    finally:
+        _AMBIENT.reset(token)
+
+
+def span_tree(spans: Sequence[dict]) -> Dict[Optional[str], List[dict]]:
+    """Group exported span dicts by ``parent_id`` (a test/debug helper)."""
+    children: Dict[Optional[str], List[dict]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    return children

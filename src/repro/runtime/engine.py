@@ -11,6 +11,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..nn.modules import Module
+from ..obs.trace import ambient_span
 from .compiler import compile_module
 from .kernels import BufferCache
 from .optimizer import MemoryPlan, optimize_plan, plan_memory
@@ -63,7 +64,9 @@ class InferenceEngine:
                  optimize: bool = True,
                  num_threads: Optional[int] = None,
                  cache_budget: Optional[int] = None,
-                 memory_plan: Optional[MemoryPlan] = None):
+                 memory_plan: Optional[MemoryPlan] = None,
+                 registry=None, metrics_prefix: str = "engine",
+                 profiler=None):
         if micro_batch < 1:
             raise ValueError("micro_batch must be >= 1")
         self.plan = optimize_plan(plan) if optimize else plan
@@ -95,6 +98,9 @@ class InferenceEngine:
             self.memory_plan = None
         self.batches_run = 0
         self.samples_run = 0
+        #: Optional :class:`~repro.obs.planprof.PlanProfiler`; ``None`` costs
+        #: one comparison per executed step.
+        self.profiler = profiler
         self._parallel_ok = all(step.op != "opaque"
                                 for step in self.plan.steps)
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -102,6 +108,28 @@ class InferenceEngine:
         self._tls.cache = self.cache
         self._caches: List[BufferCache] = [self.cache]
         self._caches_lock = threading.Lock()
+        self.metrics_prefix = metrics_prefix
+        self._bind_registry(registry)
+
+    def _bind_registry(self, registry) -> None:
+        """Register this engine's gauges in ``registry`` (callback-valued).
+
+        Gauges are read lazily at scrape time, so an instrumented engine
+        pays nothing per request — the registry only ever calls back into
+        the ``cache_bytes`` / ``arena_peak_bytes`` properties when someone
+        scrapes it.
+        """
+        self.registry = registry
+        if registry is None:
+            return
+        prefix = self.metrics_prefix
+        registry.gauge(f"{prefix}.samples_run", fn=lambda: self.samples_run)
+        registry.gauge(f"{prefix}.batches_run", fn=lambda: self.batches_run)
+        registry.gauge(f"{prefix}.cache_bytes", fn=lambda: self.cache_bytes)
+        registry.gauge(f"{prefix}.arena_peak_bytes",
+                       fn=lambda: self.arena_peak_bytes)
+        registry.gauge(f"{prefix}.arena_slots", fn=lambda: self.arena_slots)
+        registry.gauge(f"{prefix}.plan_steps", fn=lambda: len(self.plan))
 
     @classmethod
     def for_module(cls, module: Module,
@@ -115,8 +143,10 @@ class InferenceEngine:
     # with empty caches and a fresh pool.
     def __getstate__(self):
         state = self.__dict__.copy()
+        # Telemetry handles (the registry's closures capture ``self``; the
+        # profiler holds cross-engine instruments) are process-local too.
         for transient in ("cache", "_pool", "_tls", "_caches",
-                          "_caches_lock"):
+                          "_caches_lock", "registry", "profiler"):
             state.pop(transient, None)
         return state
 
@@ -128,10 +158,25 @@ class InferenceEngine:
         self._tls.cache = self.cache
         self._caches = [self.cache]
         self._caches_lock = threading.Lock()
+        self.profiler = None
+        self._bind_registry(None)
 
     # ------------------------------------------------------------------
     def run(self, images: np.ndarray) -> np.ndarray:
-        """Run the plan over ``images``, micro-batching as needed."""
+        """Run the plan over ``images``, micro-batching as needed.
+
+        When a traced request is ambient (a serving worker activated its
+        ``worker.execute`` span around :meth:`handle
+        <repro.serve.worker._WorkerState.handle>`), the execution nests an
+        ``engine.run`` child span; otherwise the wrapper is one contextvar
+        read.
+        """
+        with ambient_span(f"{self.metrics_prefix}.run",
+                          attrs_fn=lambda: {"plan": self.plan.name,
+                                            "samples": len(images)}):
+            return self._run(images)
+
+    def _run(self, images: np.ndarray) -> np.ndarray:
         images = np.asarray(images, dtype=np.float32)
         squeeze = images.ndim == 3
         if squeeze:                       # a single sample without batch dim
@@ -155,7 +200,8 @@ class InferenceEngine:
                         cache.drop_arena()
             record: dict = {}
             outputs.append(self.plan.execute(chunks[0], self.cache,
-                                             record=record))
+                                             record=record,
+                                             profiler=self.profiler))
             self.batches_run += 1
             self.memory_plan = plan_memory(self.plan, record, chunks[0].shape,
                                            capacity_batch=self.micro_batch)
@@ -180,7 +226,8 @@ class InferenceEngine:
             self._tls.cache = cache
             with self._caches_lock:
                 self._caches.append(cache)
-        return self.plan.execute(chunk, cache, memory_plan=self.memory_plan)
+        return self.plan.execute(chunk, cache, memory_plan=self.memory_plan,
+                                 profiler=self.profiler)
 
     def _run_parallel(self, chunks: List[np.ndarray]) -> List[np.ndarray]:
         if self._pool is None:

@@ -13,6 +13,7 @@ and executed by :class:`repro.runtime.engine.InferenceEngine`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -135,7 +136,8 @@ class InferencePlan:
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray,
                 cache: Optional[kernels.BufferCache] = None,
-                memory_plan=None, record: Optional[Dict] = None) -> np.ndarray:
+                memory_plan=None, record: Optional[Dict] = None,
+                profiler=None) -> np.ndarray:
         """Run the plan on one micro-batch of raw arrays.
 
         With a matching :class:`~repro.runtime.optimizer.MemoryPlan` (and a
@@ -145,6 +147,10 @@ class InferencePlan:
         filled with each step output's ``(shape, dtype string)`` — the
         engine's way of collecting the shapes a memory plan needs without a
         synthetic dry run.
+
+        ``profiler`` (a :class:`~repro.obs.planprof.PlanProfiler`) records
+        each step's wall time and bytes moved (inputs read + output
+        written); ``None`` costs one comparison per step.
         """
         registers: Dict[str, np.ndarray] = {self.input_register: x}
         last_use = self.last_use()
@@ -152,6 +158,7 @@ class InferencePlan:
             and x.ndim >= 1 and memory_plan.matches(x.shape[1:])
         batch = x.shape[0]
         for index, step in enumerate(self.steps):
+            started = time.perf_counter() if profiler is not None else 0.0
             if planned and step.output in memory_plan.alias_of:
                 source = registers[memory_plan.alias_of[step.output]]
                 value = source.reshape(batch, -1)
@@ -159,6 +166,12 @@ class InferencePlan:
                 out = memory_plan.out_view(step.output, batch, cache) \
                     if planned else None
                 value = _execute_step(step, registers, cache, out)
+            if profiler is not None:
+                moved = value.nbytes + sum(
+                    registers[reg].nbytes for reg in step.inputs
+                    if reg in registers)
+                profiler.record(self.name, index, step.op, step.name,
+                                time.perf_counter() - started, moved)
             registers[step.output] = value
             if record is not None:
                 record[step.output] = (value.shape, value.dtype.str)

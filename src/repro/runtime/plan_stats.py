@@ -10,6 +10,11 @@ plan instead: the model is put through the deterministic PTQ recipe (seeded
 init, calibration on the synthetic base session, no QAT stages — the same
 construction the conformance fixtures use), so the int8 step/fusion/arena
 counts of both backbone families are pinned in the job log too.
+
+``--profile`` additionally executes the warm-up batch under a
+:class:`~repro.obs.planprof.PlanProfiler` and appends the per-op profile
+table — wall time, call counts, bytes moved and effective bandwidth per
+compiled step, plus the aggregate per op kind.
 """
 
 from __future__ import annotations
@@ -44,12 +49,17 @@ def _build_model(backbone: str, mode: str):
 
 
 def plan_stats(backbone: str = DEFAULT_BACKBONE,
-               mode: str = "float32") -> dict:
+               mode: str = "float32", profile: bool = False) -> dict:
     """Compile the backbone, serve one batch, and report plan/arena stats."""
     from ..models import get_config
+    from .predictor import BatchedPredictor
 
     model = _build_model(backbone, mode)
-    predictor = model.runtime_predictor()
+    predictor = BatchedPredictor(model,
+                                 micro_batch=model.config.feature_batch_size,
+                                 mode=getattr(model.config, "runtime_mode",
+                                              mode),
+                                 profile=profile)
     size = get_config(backbone).input_size
     # One real batch materialises the recorded-shape memory plan.
     predictor.embed(np.zeros((WARMUP_SAMPLES, 3, size, size),
@@ -71,17 +81,24 @@ def plan_stats(backbone: str = DEFAULT_BACKBONE,
         "peak_reduction": round(1.0 - peak / unplanned, 3) if unplanned else 0.0,
         "micro_batch": engine.micro_batch,
         "num_threads": engine.num_threads,
+        "profiler": predictor.profiler,
     }
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    profile = "--profile" in argv
+    argv = [arg for arg in argv if arg != "--profile"]
     backbone = argv[0] if argv else DEFAULT_BACKBONE
     mode = argv[1] if len(argv) > 1 else "float32"
-    stats = plan_stats(backbone, mode)
+    stats = plan_stats(backbone, mode, profile=profile)
+    profiler = stats.pop("profiler")
     width = max(len(key) for key in stats)
     for key, value in stats.items():
         print(f"{key:<{width}}  {value}")
+    if profiler is not None:
+        print()
+        print(profiler.table())
     return 0
 
 

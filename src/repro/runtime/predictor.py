@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from ..obs.planprof import PlanProfiler
 from .compiler import MODES, compile_backbone, compile_module
 from .engine import DEFAULT_MICRO_BATCH, InferenceEngine
 from .kernels import (
@@ -41,7 +42,8 @@ class BatchedPredictor:
 
     def __init__(self, model, micro_batch: int = DEFAULT_MICRO_BATCH,
                  mode: str = "float32", num_threads: Optional[int] = None,
-                 cache_budget: Optional[int] = None):
+                 cache_budget: Optional[int] = None,
+                 registry=None, profile: bool = False):
         if mode not in MODES:
             raise ValueError(f"unknown runtime mode {mode!r}; "
                              f"expected one of {MODES}")
@@ -50,6 +52,12 @@ class BatchedPredictor:
         self.mode = mode
         self.num_threads = num_threads
         self.cache_budget = cache_budget
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` the engines
+        #: publish their gauges into (callback-valued, free per request).
+        self.registry = registry
+        #: One profiler shared by backbone and FCR plans (``profile=True``),
+        #: so ``plan_stats --profile`` reads both from a single table.
+        self.profiler = PlanProfiler(registry=registry) if profile else None
         self._backbone_engine: Optional[InferenceEngine] = None
         self._backbone_state: list = []
         self._fcr_engine: Optional[InferenceEngine] = None
@@ -144,7 +152,8 @@ class BatchedPredictor:
             self._backbone_engine = InferenceEngine(
                 compile_backbone(self.model.backbone, mode=self.mode),
                 micro_batch=self.micro_batch, num_threads=self.num_threads,
-                cache_budget=self.cache_budget)
+                cache_budget=self.cache_budget, registry=self.registry,
+                metrics_prefix="engine.backbone", profiler=self.profiler)
             self._backbone_state = state
         return self._backbone_engine
 
@@ -157,7 +166,8 @@ class BatchedPredictor:
                 compile_module(self.model.fcr, "fcr", mode=self.mode),
                 micro_batch=max(self.micro_batch, 512),
                 num_threads=self.num_threads,
-                cache_budget=self.cache_budget)
+                cache_budget=self.cache_budget, registry=self.registry,
+                metrics_prefix="engine.fcr", profiler=self.profiler)
             self._fcr_state = state
         return self._fcr_engine
 
@@ -295,7 +305,7 @@ class BatchedPredictor:
         engines = [engine for engine in (self._backbone_engine,
                                          self._fcr_engine)
                    if engine is not None]
-        return {
+        stats = {
             "cache_bytes": sum(engine.cache_bytes for engine in engines),
             "arena_slots": sum(engine.arena_slots for engine in engines),
             "arena_peak_bytes": sum(engine.arena_peak_bytes
@@ -304,3 +314,6 @@ class BatchedPredictor:
                                          for engine in engines),
             "samples_served": self.samples_served,
         }
+        if self.profiler is not None:
+            stats["profile"] = self.profiler.as_dict()
+        return stats

@@ -44,12 +44,21 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from .sharded import DEFAULT_START_METHOD, ShardedEngine
+from ..obs.trace import Span, Tracer
+from .sharded import (
+    DEFAULT_START_METHOD,
+    WATCHDOG_INTERVAL_S,
+    ShardedEngine,
+)
 from .snapshot import snapshot_model, snapshot_prototypes
 from .stats import ServeStats
 
 #: Default time budget the dynamic batcher waits to fill a micro-batch.
 DEFAULT_MAX_LATENCY_S = 0.01
+
+#: Default shared deadline for one stats collection (see ``stats_timeout_s``
+#: on :class:`Server`).
+DEFAULT_STATS_TIMEOUT_S = 10.0
 
 #: Default admission cap, in queued single-sample requests per worker, as a
 #: multiple of ``max_batch`` (i.e. roughly how many coalesced batches per
@@ -77,6 +86,8 @@ class ServerOverloaded(RuntimeError):
 class _PendingRequest:
     image: np.ndarray
     future: Future
+    #: root ``server.submit`` span when this request won the sampling draw
+    span: Optional[Span] = None
 
 
 def _resolve_quietly(future: Future, result=None, exception=None) -> None:
@@ -106,7 +117,11 @@ class Server:
                  max_pending: Optional[int] = None,
                  latency_slo_s: Optional[float] = None,
                  max_inflight_batches: int = DEFAULT_MAX_INFLIGHT_BATCHES,
-                 use_shared_memory: bool = True):
+                 use_shared_memory: bool = True,
+                 trace_sample: float = 0.0,
+                 trace_exporter=None,
+                 stats_timeout_s: float = DEFAULT_STATS_TIMEOUT_S,
+                 watchdog_interval_s: float = WATCHDOG_INTERVAL_S):
         """Args beyond the model/pool shape:
 
         max_pending: admission cap on queued single-sample requests;
@@ -123,15 +138,31 @@ class Server:
         use_shared_memory: route tensor payloads through the shared-memory
             ring transport (on by default; off forces the pickle fallback —
             results are bit-identical either way).
+        trace_sample: fraction of :meth:`submit` requests to trace end to
+            end (0.0, the default, disables tracing entirely: an unsampled
+            request pays one comparison and the wire format is identical to
+            the untraced one).
+        trace_exporter: span sink for sampled requests, e.g. a
+            :class:`~repro.obs.trace.JsonlSpanExporter`; defaults to an
+            in-memory buffer on the server's tracer.
+        stats_timeout_s: shared deadline for one stats collection across
+            all shards (see :meth:`worker_stats`).
+        watchdog_interval_s: poll interval of the engine's liveness
+            watchdog.
         """
         self.model = model
         self.predictor = model.runtime_predictor()
         self.micro_batch = micro_batch or self.predictor.micro_batch
+        self.tracer = Tracer(sample_rate=trace_sample,
+                             exporter=trace_exporter, process="coordinator")
+        self.stats_timeout_s = stats_timeout_s
         snapshot = snapshot_model(model, micro_batch=self.micro_batch)
         self.engine = ShardedEngine(
             snapshot, num_workers=num_workers, start_method=start_method,
             blas_threads_per_worker=blas_threads_per_worker,
-            use_shared_memory=use_shared_memory)
+            use_shared_memory=use_shared_memory,
+            watchdog_interval_s=watchdog_interval_s,
+            tracer=self.tracer)
         self.max_batch = max_batch or self.micro_batch
         self.max_latency_s = max_latency_s
         self.max_pending = max_pending if max_pending is not None \
@@ -274,7 +305,23 @@ class Server:
                     f"exceeds the {self.latency_slo_s * 1e3:.1f} ms SLO")
         future: Future = Future()
         future.set_running_or_notify_cancel()   # cancel() can never race us
-        request = _PendingRequest(np.asarray(image, dtype=np.float32), future)
+        # The root span covers the whole request lifetime — admission to
+        # resolved future — and is ended by the future's done callback,
+        # whichever thread resolves it.
+        span = self.tracer.start_trace("server.submit",
+                                       attrs={"queue_depth": depth})
+        request = _PendingRequest(np.asarray(image, dtype=np.float32),
+                                  future, span)
+        if span is not None:
+            def finish_root(done: Future, span=span) -> None:
+                error = done.exception()
+                if error is not None:
+                    self.tracer.end_span(span, status="error",
+                                         error=f"{type(error).__name__}: "
+                                               f"{error}")
+                else:
+                    self.tracer.end_span(span)
+            future.add_done_callback(finish_root)
         with self._lifecycle_lock:
             if self._stop.is_set():
                 raise ServerClosedError("server is closed")
@@ -293,6 +340,7 @@ class Server:
             except queue.Empty:
                 continue
             batch = [first]
+            coalesce_started = time.time()
             deadline = time.monotonic() + self.max_latency_s
             while len(batch) < self.max_batch:
                 remaining = deadline - time.monotonic()
@@ -319,15 +367,36 @@ class Server:
                                      exception=ServerClosedError(
                                          "server closed"))
                 return
-            self._dispatch(batch)
+            self._dispatch(batch, coalesce_started)
 
-    def _dispatch(self, batch: List[_PendingRequest]) -> None:
+    def _dispatch(self, batch: List[_PendingRequest],
+                  coalesce_started: Optional[float] = None) -> None:
         self.stats.observe_dispatch(len(batch))
         dispatched_at = time.monotonic()
+        # A coalesced batch can hold several traced requests but gets one
+        # execution; the batch-level spans parent under the first traced
+        # request's root (the batch's other traces keep their root span and
+        # its timings — their execution is shared by construction).
+        traced = next((request.span for request in batch
+                       if request.span is not None), None)
+        dispatch_span = None
+        if traced is not None:
+            coalesce_span = self.tracer.start_span(
+                "batcher.coalesce", parent=traced,
+                start_s=coalesce_started,
+                attrs={"batch_size": len(batch)})
+            dispatch_span = self.tracer.start_span("shard.dispatch",
+                                                   parent=coalesce_span)
+            self.tracer.end_span(coalesce_span)
         try:
             images = np.stack([request.image for request in batch])
-            future = self.engine.submit("predict", (images, None))
+            future = self.engine.submit(
+                "predict", (images, None),
+                trace_ctx=dispatch_span.context
+                if dispatch_span is not None else None)
         except Exception as exc:  # noqa: BLE001 - fail the whole batch
+            self.tracer.end_span(dispatch_span, status="error",
+                                 error=f"{type(exc).__name__}: {exc}")
             for request in batch:
                 request.future.set_exception(exc)
             return
@@ -336,9 +405,12 @@ class Server:
             try:
                 labels = done.result()
             except Exception as exc:  # noqa: BLE001
+                self.tracer.end_span(dispatch_span, status="error",
+                                     error=f"{type(exc).__name__}: {exc}")
                 for request in batch:
                     _resolve_quietly(request.future, exception=exc)
                 return
+            self.tracer.end_span(dispatch_span)
             self.stats.observe_batch_latency(
                 time.monotonic() - dispatched_at)
             for request, label in zip(batch, labels):
@@ -353,18 +425,20 @@ class Server:
     def num_workers(self) -> int:
         return self.engine.num_workers
 
-    #: Shared deadline for one stats collection: past it, shards that have
-    #: not answered degrade to flagged records and the caller gets partial
-    #: stats instead of an exception (or a two-minute hang on the default
-    #: work timeout).  Stats items queue FIFO behind pending work, so a
-    #: saturated-but-healthy shard can legitimately miss this budget — that
-    #: is why only shards whose *process is gone* count as dead below; a
-    #: missed-deadline shard with ``alive=True`` merely has stale stats.
-    STATS_TIMEOUT_S = 10.0
-
     def worker_stats(self, timeout: Optional[float] = None) -> List[dict]:
+        """Per-worker replica statistics under a shared deadline.
+
+        The deadline (``stats_timeout_s``, a constructor parameter) bounds
+        the whole collection: past it, shards that have not answered degrade
+        to flagged records and the caller gets partial stats instead of an
+        exception (or a two-minute hang on the default work timeout).  Stats
+        items queue FIFO behind pending work, so a saturated-but-healthy
+        shard can legitimately miss this budget — that is why only shards
+        whose *process is gone* count as dead in :meth:`stats_dict`; a
+        missed-deadline shard with ``alive=True`` merely has stale stats.
+        """
         return self.engine.stats(timeout=timeout if timeout is not None
-                                 else self.STATS_TIMEOUT_S)
+                                 else self.stats_timeout_s)
 
     def stats_dict(self, timeout: Optional[float] = None) -> dict:
         """Server counters plus per-worker replica statistics.
@@ -404,6 +478,7 @@ class Server:
                                     for record in workers)
         report["arena_peak_bytes"] = sum(record.get("arena_peak_bytes", 0)
                                          for record in workers)
+        report["metrics"] = self.stats.scrape()
         return report
 
     def close(self, timeout: float = 10.0) -> None:

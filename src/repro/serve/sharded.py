@@ -45,6 +45,7 @@ from .transport import (
     DEFAULT_SLOT_BYTES,
     SlotRing,
     pack_payload,
+    payload_trace,
     unpack_payload,
 )
 from .worker import worker_main
@@ -53,9 +54,10 @@ DEFAULT_NUM_WORKERS = 2
 DEFAULT_TIMEOUT = 120.0
 DEFAULT_START_METHOD = "spawn"
 
-#: Poll interval of the liveness watchdog.  Bounds how long a dead shard's
-#: pending futures can linger before failing with :class:`RemoteWorkerError`
-#: — milliseconds, not the two-minute request timeout.
+#: Default poll interval of the liveness watchdog (overridable per engine via
+#: ``watchdog_interval_s``).  Bounds how long a dead shard's pending futures
+#: can linger before failing with :class:`RemoteWorkerError` — milliseconds,
+#: not the two-minute request timeout.
 WATCHDOG_INTERVAL_S = 0.2
 
 #: Poll interval of the per-worker collector threads (they must notice
@@ -106,11 +108,20 @@ class ShardedEngine:
                  startup_timeout: float = DEFAULT_TIMEOUT,
                  use_shared_memory: bool = True,
                  ring_slots: int = DEFAULT_RING_SLOTS,
-                 slot_bytes: int = DEFAULT_SLOT_BYTES):
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 watchdog_interval_s: float = WATCHDOG_INTERVAL_S,
+                 tracer=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if watchdog_interval_s <= 0:
+            raise ValueError("watchdog_interval_s must be positive")
         self.snapshot = snapshot
         self.micro_batch = snapshot.micro_batch
+        self.watchdog_interval_s = watchdog_interval_s
+        #: Optional :class:`~repro.obs.trace.Tracer`: the adoption point for
+        #: spans shipped back from workers, and the author of the synthetic
+        #: ``worker.execute`` spans of requests whose worker died on them.
+        self.tracer = tracer
         context = mp.get_context(start_method)
         self._request_queues = []
         self._result_queues = []
@@ -120,6 +131,11 @@ class ShardedEngine:
         #: ticket -> (future, worker index); strictly per-worker bookkeeping
         #: so a dead shard's futures can be failed without touching the rest.
         self._pending: Dict[int, Tuple[Future, int]] = {}
+        #: ticket -> (trace context, wall start) of traced submits, kept
+        #: separate from ``_pending`` so the untraced bookkeeping is
+        #: untouched; consumed on resolution or turned into a synthetic
+        #: failed span when the ticket's worker dies.
+        self._trace_ctx: Dict[int, Tuple[tuple, float]] = {}
         self._inflight = [0] * num_workers
         self._dead = [False] * num_workers
         self._lock = threading.Lock()
@@ -203,6 +219,7 @@ class ShardedEngine:
     def _pop_ticket(self, ticket: int) -> Optional[Future]:
         with self._lock:
             entry = self._pending.pop(ticket, None)
+            self._trace_ctx.pop(ticket, None)
             if entry is None:
                 return None
             future, index = entry
@@ -217,6 +234,7 @@ class ShardedEngine:
             for ticket, (pending, index) in list(self._pending.items()):
                 if pending is future:
                     del self._pending[ticket]
+                    self._trace_ctx.pop(ticket, None)
                     self._inflight[index] -= 1
                     break
 
@@ -246,6 +264,13 @@ class ShardedEngine:
             future = self._pop_ticket(ticket)
             if future is None:               # e.g. the shutdown ack
                 continue
+            # Spans the worker finished for this item ride the result frame;
+            # adopt them into the coordinator's export stream so one file
+            # holds the whole cross-process trace.
+            if self.tracer is not None:
+                shipped = payload_trace(packed)
+                if isinstance(shipped, dict):
+                    self.tracer.adopt(shipped.get("spans", ()))
             # The collector must survive anything a caller did to the future
             # (a cancelled/raced future must not kill the loop and hang every
             # later request on this shard).
@@ -273,7 +298,7 @@ class ShardedEngine:
     def _watch(self) -> None:
         """Liveness watchdog: fail a dead shard's futures fast, reclaim its
         transport slots, and leave routing to steer around it."""
-        while not self._stop.wait(WATCHDOG_INTERVAL_S):
+        while not self._stop.wait(self.watchdog_interval_s):
             if self._closed:
                 return
             for index, process in enumerate(self._processes):
@@ -292,9 +317,22 @@ class ShardedEngine:
             self._dead[index] = True
             doomed = [(ticket, future) for ticket, (future, owner)
                       in self._pending.items() if owner == index]
+            doomed_traces = []
             for ticket, _ in doomed:
                 del self._pending[ticket]
+                trace = self._trace_ctx.pop(ticket, None)
+                if trace is not None:
+                    doomed_traces.append(trace)
             self._inflight[index] = 0
+        # A worker that died mid-request can never report its span; close
+        # the trace tree anyway with a synthetic ``worker.execute`` marked
+        # failed, spanning submit-to-death.
+        if self.tracer is not None:
+            for ctx, started in doomed_traces:
+                self.tracer.record_span(
+                    "worker.execute", ctx=ctx, start_s=started,
+                    status="failed", error=reason,
+                    attrs={"worker": index, "synthetic": True})
         # The dead worker was the only reader of its request ring and the
         # only writer of its result ring: with it gone, both sides' slots
         # are reclaimed wholesale instead of leaking for the engine's life.
@@ -310,13 +348,20 @@ class ShardedEngine:
 
     # ------------------------------------------------------------------
     def submit(self, kind: str, payload=None,
-               worker: Optional[int] = None) -> Future:
+               worker: Optional[int] = None,
+               trace_ctx: Optional[tuple] = None) -> Future:
         """Enqueue one work item; returns a future for its result.
 
         With no explicit ``worker``, the item is routed to the live shard
         with the fewest outstanding items (ties broken round-robin), so a
         dead shard is simply never chosen.  Targeting a dead shard
         explicitly raises :class:`RemoteWorkerError` immediately.
+
+        ``trace_ctx`` — a ``(trace_id, span_id)`` pair of the sampled parent
+        span — rides the request's control frame to the worker, whose
+        execution spans come back attached to the result frame.  ``None``
+        (the overwhelmingly common case) leaves the frame bit-identical to
+        the pre-trace format.
         """
         if self._closed:
             raise EngineClosedError("engine is closed")
@@ -340,7 +385,11 @@ class ShardedEngine:
                     live, key=lambda i: (self._inflight[i],
                                          (i - offset) % self.num_workers))
             ticket = self._register_locked(future, index)
-        packed = pack_payload(self._request_rings[index], payload)
+            if trace_ctx is not None:
+                self._trace_ctx[ticket] = (tuple(trace_ctx), time.time())
+        packed = pack_payload(self._request_rings[index], payload,
+                              trace=tuple(trace_ctx)
+                              if trace_ctx is not None else None)
         try:
             self._request_queues[index].put((kind, ticket, packed))
         except (OSError, ValueError) as exc:
@@ -487,6 +536,7 @@ class ShardedEngine:
         with self._lock:
             pending = [future for future, _ in self._pending.values()]
             self._pending.clear()
+            self._trace_ctx.clear()
             self._inflight = [0] * self.num_workers
         error = EngineClosedError("engine closed with requests in flight")
         for future in pending:

@@ -1,91 +1,106 @@
-"""Serving statistics: throughput counters, queue depth, batch histogram."""
+"""Serving statistics served from the :mod:`repro.obs` metrics registry.
+
+Every counter the server exposes is a named instrument in a per-server
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+==================================  ========================================
+instrument                          meaning
+==================================  ========================================
+``serve.requests_total``            single-sample submits admitted
+``serve.batch_requests_total``      synchronous batch API calls
+``serve.samples_total``             samples served (both paths)
+``serve.batches_dispatched_total``  coalesced batches handed to the engine
+``serve.shed_total``                submits rejected by admission control
+``serve.broadcasts_total``          prototype broadcasts to the workers
+``serve.queue_depth``               admission-queue depth at last submit
+``serve.max_queue_depth``           peak admission-queue depth
+``serve.batch_latency_s``           dispatch→resolution latency histogram
+``serve.batch_size``                exact coalesced-batch-size histogram
+==================================  ========================================
+
+The batch-latency percentiles come from the fixed-bucket histogram through
+the shared quantile helper (:func:`repro.obs.metrics.quantile_from_counts`)
+— the former hand-rolled sorted-sample window is gone, so the stats surface
+and any registry scrape can never disagree about what p50/p99 means.
+
+The EMA batch-latency estimate survives as plain state: it is the admission
+controller's *control signal* (read per submit, smoothed by
+:data:`EMA_ALPHA`), not a reporting metric.
+"""
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict
+from typing import Dict, Optional
 
-#: Batch latencies retained for the percentile window (bounded so a
-#: long-running server's stats surface stays O(1) in memory).
-LATENCY_WINDOW = 512
+from ..obs.metrics import MetricsRegistry
 
 #: Smoothing factor of the exponential moving average the admission
 #: controller's SLO estimate reads (higher = reacts faster to load shifts).
 EMA_ALPHA = 0.2
 
-
-def _percentile(samples, fraction: float) -> float:
-    """Nearest-rank percentile of an unsorted sample list (0.0 if empty)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return ordered[rank]
+#: Bucket upper bounds (seconds) of ``serve.batch_latency_s``: geometric
+#: from 1 ms to 60 s, resolving the dynamic batcher's typical single-digit
+#: millisecond dispatch latencies without wasting buckets on the far tail.
+BATCH_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
 
 
-@dataclass
 class ServeStats:
-    """Thread-safe counters for one :class:`~repro.serve.server.Server`.
+    """Instrumented counters for one :class:`~repro.serve.server.Server`.
 
-    ``batch_size_histogram`` maps coalesced-batch size to occurrence count —
-    the shape of this histogram is the dynamic batcher's report card: a
-    saturating workload should pile mass at ``max_batch``, a trickle of
+    The ``serve.batch_size`` histogram is the dynamic batcher's report card:
+    a saturating workload should pile mass at ``max_batch``, a trickle of
     single requests should sit at 1 with ``max_latency`` bounding the wait.
-
-    ``requests_shed`` counts submits rejected by admission control
-    (:class:`~repro.serve.server.ServerOverloaded`); the shed *rate* against
-    accepted requests is the overload report card.  Batch latencies feed
-    both a bounded percentile window (p50/p99 in the stats surface) and the
-    EMA estimate the latency-SLO gate uses.
+    ``serve.shed_total`` against admitted requests is the overload report
+    card.
     """
 
-    single_requests: int = 0
-    batch_requests: int = 0
-    samples: int = 0
-    batches_dispatched: int = 0
-    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
-    max_queue_depth: int = 0
-    prototype_broadcasts: int = 0
-    requests_shed: int = 0
-    started_at: float = field(default_factory=time.perf_counter)
-    _batch_latencies: Deque[float] = field(
-        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False)
-    _ema_batch_latency_s: float = field(default=0.0, repr=False)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter("serve.requests_total")
+        self._batch_requests = self.registry.counter(
+            "serve.batch_requests_total")
+        self._samples = self.registry.counter("serve.samples_total")
+        self._batches = self.registry.counter(
+            "serve.batches_dispatched_total")
+        self._shed = self.registry.counter("serve.shed_total")
+        self._broadcasts = self.registry.counter("serve.broadcasts_total")
+        self._queue_depth = self.registry.gauge("serve.queue_depth")
+        self._max_queue_depth = self.registry.gauge("serve.max_queue_depth")
+        self._batch_latency = self.registry.histogram(
+            "serve.batch_latency_s", BATCH_LATENCY_BUCKETS)
+        self._batch_sizes = self.registry.int_histogram("serve.batch_size")
+        self.started_at = time.perf_counter()
+        self._ema_lock = threading.Lock()
+        self._ema_batch_latency_s = 0.0
 
     # ------------------------------------------------------------------
     def observe_submit(self, queue_depth: int) -> None:
-        with self._lock:
-            self.single_requests += 1
-            if queue_depth > self.max_queue_depth:
-                self.max_queue_depth = queue_depth
+        self._requests.inc()
+        self._queue_depth.set(queue_depth)
+        self._max_queue_depth.set_max(queue_depth)
 
     def observe_batch_request(self, num_samples: int) -> None:
-        with self._lock:
-            self.batch_requests += 1
-            self.samples += num_samples
+        self._batch_requests.inc()
+        self._samples.inc(num_samples)
 
     def observe_dispatch(self, batch_size: int) -> None:
-        with self._lock:
-            self.batches_dispatched += 1
-            self.samples += batch_size
-            self.batch_size_histogram[batch_size] = \
-                self.batch_size_histogram.get(batch_size, 0) + 1
+        self._batches.inc()
+        self._samples.inc(batch_size)
+        self._batch_sizes.observe(batch_size)
 
     def observe_broadcast(self) -> None:
-        with self._lock:
-            self.prototype_broadcasts += 1
+        self._broadcasts.inc()
 
     def observe_shed(self) -> None:
-        with self._lock:
-            self.requests_shed += 1
+        self._shed.inc()
 
     def observe_batch_latency(self, seconds: float) -> None:
-        with self._lock:
-            self._batch_latencies.append(seconds)
+        self._batch_latency.observe(seconds)
+        with self._ema_lock:
             if self._ema_batch_latency_s <= 0.0:
                 self._ema_batch_latency_s = seconds
             else:
@@ -101,44 +116,47 @@ class ServeStats:
     @property
     def samples_per_s(self) -> float:
         elapsed = self.elapsed_s
-        return self.samples / elapsed if elapsed > 0 else 0.0
+        return self._samples.value / elapsed if elapsed > 0 else 0.0
 
     @property
     def ema_batch_latency_s(self) -> float:
-        with self._lock:
+        with self._ema_lock:
             return self._ema_batch_latency_s
 
     @property
     def shed_rate(self) -> float:
         """Fraction of submit attempts rejected by admission control."""
-        with self._lock:
-            attempts = self.single_requests + self.requests_shed
-            return self.requests_shed / attempts if attempts else 0.0
+        shed = self._shed.value
+        attempts = self._requests.value + shed
+        return shed / attempts if attempts else 0.0
 
     def batch_latency_percentiles_ms(self) -> Dict[str, float]:
-        with self._lock:
-            window = list(self._batch_latencies)
-        return {"p50": _percentile(window, 0.50) * 1e3,
-                "p99": _percentile(window, 0.99) * 1e3}
+        """p50/p99 of the batch-latency histogram (shared quantile math)."""
+        return {"p50": self._batch_latency.quantile(0.50) * 1e3,
+                "p99": self._batch_latency.quantile(0.99) * 1e3}
+
+    def scrape(self) -> Dict[str, dict]:
+        """Raw instrument scrape of this server's registry."""
+        return self.registry.scrape()
 
     def as_dict(self) -> dict:
         percentiles = self.batch_latency_percentiles_ms()
-        with self._lock:
-            attempts = self.single_requests + self.requests_shed
-            return {
-                "single_requests": self.single_requests,
-                "batch_requests": self.batch_requests,
-                "samples": self.samples,
-                "batches_dispatched": self.batches_dispatched,
-                "batch_size_histogram": dict(self.batch_size_histogram),
-                "max_queue_depth": self.max_queue_depth,
-                "prototype_broadcasts": self.prototype_broadcasts,
-                "requests_shed": self.requests_shed,
-                "shed_rate": (self.requests_shed / attempts
-                              if attempts else 0.0),
-                "batch_latency_p50_ms": round(percentiles["p50"], 3),
-                "batch_latency_p99_ms": round(percentiles["p99"], 3),
-                "ema_batch_latency_s": self._ema_batch_latency_s,
-                "elapsed_s": self.elapsed_s,
-                "samples_per_s": self.samples_per_s,
-            }
+        requests = int(self._requests.value)
+        shed = int(self._shed.value)
+        attempts = requests + shed
+        return {
+            "single_requests": requests,
+            "batch_requests": int(self._batch_requests.value),
+            "samples": int(self._samples.value),
+            "batches_dispatched": int(self._batches.value),
+            "batch_size_histogram": self._batch_sizes.as_dict(),
+            "max_queue_depth": int(self._max_queue_depth.value),
+            "prototype_broadcasts": int(self._broadcasts.value),
+            "requests_shed": shed,
+            "shed_rate": shed / attempts if attempts else 0.0,
+            "batch_latency_p50_ms": round(percentiles["p50"], 3),
+            "batch_latency_p99_ms": round(percentiles["p99"], 3),
+            "ema_batch_latency_s": self.ema_batch_latency_s,
+            "elapsed_s": self.elapsed_s,
+            "samples_per_s": self.samples_per_s,
+        }

@@ -48,6 +48,12 @@ _SHM = "__shm__"
 _SHM_TUPLE = "__shm_tuple__"
 _MARKERS = (_INLINE, _SHM, _SHM_TUPLE)
 
+#: Frame length per marker *without* the optional trailing trace-context
+#: field; a frame one element longer carries trace metadata (see
+#: :func:`payload_trace`).  The pickle fallback ships the identical frame,
+#: so trace context propagates bit-for-bit through both transport paths.
+_BASE_LEN = {_INLINE: 2, _SHM: 2, _SHM_TUPLE: 3}
+
 
 # NOTE on resource tracking: on Python < 3.13 *attaching* to a segment
 # registers it with the resource tracker as if the attacher owned it
@@ -188,7 +194,7 @@ class SlotRing:
 # ---------------------------------------------------------------------------
 # Payload packing
 # ---------------------------------------------------------------------------
-def pack_payload(ring: Optional[SlotRing], payload):
+def pack_payload(ring: Optional[SlotRing], payload, trace=None):
     """Pack one work-item payload for the control queue.
 
     A bare ``ndarray`` payload — or the leading ``ndarray`` of a tuple
@@ -198,18 +204,40 @@ def pack_payload(ring: Optional[SlotRing], payload):
     frame.  With no ring, a full ring, or an oversized tensor the payload is
     shipped inline, i.e. the pre-ring pickle transport is the always-correct
     fallback.
+
+    ``trace`` is optional trace metadata riding the control frame (never a
+    ring slot): requests carry a ``(trace_id, span_id)`` context pair,
+    results carry ``{"spans": [...]}`` finished in the worker.  ``None``
+    (tracing off or request unsampled) emits the exact pre-trace frame
+    shapes, so the tracing-off wire format is byte-identical to before.
     """
     if ring is not None:
         if isinstance(payload, np.ndarray):
             descriptor = ring.try_write(payload)
             if descriptor is not None:
-                return (_SHM, descriptor)
+                return (_SHM, descriptor) if trace is None \
+                    else (_SHM, descriptor, trace)
         elif (isinstance(payload, tuple) and payload
               and isinstance(payload[0], np.ndarray)):
             descriptor = ring.try_write(payload[0])
             if descriptor is not None:
-                return (_SHM_TUPLE, descriptor, payload[1:])
-    return (_INLINE, payload)
+                return (_SHM_TUPLE, descriptor, payload[1:]) if trace is None \
+                    else (_SHM_TUPLE, descriptor, payload[1:], trace)
+    return (_INLINE, payload) if trace is None else (_INLINE, payload, trace)
+
+
+def payload_trace(packed):
+    """The optional trace field of a packed frame (``None`` when absent).
+
+    Raw (never-packed) payloads and pre-trace frames return ``None``, so
+    queue-generic consumers can probe any frame safely.
+    """
+    if (isinstance(packed, tuple) and packed
+            and isinstance(packed[0], str) and packed[0] in _MARKERS):
+        base = _BASE_LEN[packed[0]]
+        if len(packed) > base:
+            return packed[base]
+    return None
 
 
 def unpack_payload(ring: Optional[SlotRing], packed, copy: bool = False):
@@ -224,7 +252,8 @@ def unpack_payload(ring: Optional[SlotRing], packed, copy: bool = False):
 
     Raw (never-packed) payloads pass through untouched, so queue-generic
     consumers — like the worker main loop driven by plain queues in tests —
-    keep working without a ring.
+    keep working without a ring.  A trailing trace field is ignored here;
+    read it with :func:`payload_trace` before unpacking.
     """
     if not (isinstance(packed, tuple) and packed
             and isinstance(packed[0], str) and packed[0] in _MARKERS):

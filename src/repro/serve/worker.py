@@ -43,6 +43,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
 from ..runtime.engine import InferenceEngine
 from ..runtime.kernels import (
     cosine_similarities,
@@ -50,7 +52,7 @@ from ..runtime.kernels import (
     quantize_unit_rows,
 )
 from .snapshot import ModelSnapshot, PrototypeState
-from .transport import SlotRing, pack_payload, unpack_payload
+from .transport import SlotRing, pack_payload, payload_trace, unpack_payload
 
 
 class _WorkerState:
@@ -58,19 +60,24 @@ class _WorkerState:
 
     def __init__(self, worker_id: int, snapshot: ModelSnapshot):
         self.worker_id = worker_id
+        #: Per-replica instrument registry; scraped into the ``stats`` work
+        #: item, so every worker's engine gauges reach the coordinator.
+        self.registry = MetricsRegistry()
         self.backbone = InferenceEngine(
             snapshot.backbone.restore(),
             micro_batch=snapshot.micro_batch,
-            memory_plan=snapshot.backbone.restore_memory_plan())
+            memory_plan=snapshot.backbone.restore_memory_plan(),
+            registry=self.registry, metrics_prefix="engine.backbone")
         self.fcr = InferenceEngine(
             snapshot.fcr.restore(),
             micro_batch=max(snapshot.micro_batch, 512),
-            memory_plan=snapshot.fcr.restore_memory_plan())
+            memory_plan=snapshot.fcr.restore_memory_plan(),
+            registry=self.registry, metrics_prefix="engine.fcr")
         self.prototypes: PrototypeState = snapshot.prototypes
         self.relu_sharpening = snapshot.relu_sharpening
         self.mode = getattr(snapshot, "mode", "float32")
         self._protos_q = None          # int8 codes, rebuilt per broadcast
-        self.requests = 0
+        self._requests = self.registry.counter("worker.requests_total")
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -115,8 +122,12 @@ class _WorkerState:
             sims = cosine_similarities(features, matrix)
         return sims, ids
 
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
     def handle(self, kind: str, payload):
-        self.requests += 1
+        self._requests.inc()
         if kind == "ping":
             return None
         if kind == "backbone":
@@ -152,6 +163,7 @@ class _WorkerState:
                 + self.fcr.arena_slots,
                 "arena_peak_bytes": self.backbone.arena_peak_bytes
                 + self.fcr.arena_peak_bytes,
+                "metrics": self.registry.scrape(),
             }
         raise ValueError(f"unknown work item kind {kind!r}")
 
@@ -171,6 +183,12 @@ def worker_main(worker_id: int, snapshot: ModelSnapshot, request_queue,
     result_ring = SlotRing.attach(result_ring_spec) \
         if result_ring_spec is not None else None
     state = _WorkerState(worker_id, snapshot)
+    # Spans finished in this process buffer in memory and ship back to the
+    # coordinator attached to the result control frame — the worker never
+    # writes trace files of its own, so one JSONL export stream exists.
+    span_buffer = obs_trace.InMemorySpanExporter()
+    tracer = obs_trace.Tracer(sample_rate=1.0, exporter=span_buffer,
+                              process=f"worker-{worker_id}")
     try:
         while True:
             kind, ticket, packed = request_queue.get()
@@ -182,21 +200,40 @@ def worker_main(worker_id: int, snapshot: ModelSnapshot, request_queue,
                 result_queue.put((ticket, worker_id, True,
                                   pack_payload(None, None)))
                 break
+            # An incoming trace context means the coordinator sampled this
+            # request: its execution here becomes a ``worker.execute`` span
+            # (ambient, so the engines nest ``engine.run`` under it).
+            trace_ctx = payload_trace(packed)
+            span = token = None
+            if trace_ctx is not None:
+                span = tracer.start_span("worker.execute", ctx=trace_ctx,
+                                         attrs={"kind": kind,
+                                                "worker": worker_id})
+                token = obs_trace.activate(tracer, span)
             payload, held_slots = unpack_payload(request_ring, packed)
             try:
                 result = state.handle(kind, payload)
+                tracer.end_span(span)
+                trace_out = {"spans": span_buffer.drain()} \
+                    if span is not None else None
                 # Results ride the result ring when they fit (fall back to
                 # an inline pickle frame when the ring is full or the
                 # tensor oversized), so the reply path is serialization-free
                 # exactly like the request path.
                 result_queue.put((ticket, worker_id, True,
-                                  pack_payload(result_ring, result)))
+                                  pack_payload(result_ring, result,
+                                               trace=trace_out)))
             except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                message = f"{type(exc).__name__}: {exc}"
+                tracer.end_span(span, status="error", error=message)
+                trace_out = {"spans": span_buffer.drain()} \
+                    if span is not None else None
                 result_queue.put((ticket, worker_id, False,
-                                  pack_payload(None,
-                                               f"{type(exc).__name__}: "
-                                               f"{exc}")))
+                                  pack_payload(None, message,
+                                               trace=trace_out)))
             finally:
+                if token is not None:
+                    obs_trace.deactivate(token)
                 # The batch view has been fully consumed by handle(); give
                 # the slot back so the coordinator can write the next batch.
                 for slot in held_slots:
