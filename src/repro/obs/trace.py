@@ -113,17 +113,41 @@ class InMemorySpanExporter:
 
 
 class JsonlSpanExporter:
-    """Appends finished spans to a file, one JSON object per line."""
+    """Appends finished spans to a file, one JSON object per line.
+
+    The file is opened lazily on the first export and the handle is kept —
+    exporting a span is one buffered ``write``, not an open/append/close
+    cycle per span.  That makes :meth:`flush` / :meth:`close` part of the
+    contract: spans still sitting in the stdio buffer — exactly the ones
+    covering a shutdown — reach disk only when the owner flushes.
+    :meth:`Server.close` does so through :meth:`Tracer.close`; a span
+    exported *after* close reopens the file in append mode, so a straggling
+    done-callback degrades to the slow path instead of raising.
+    """
 
     def __init__(self, path):
         self.path = str(path)
         self._lock = threading.Lock()
+        self._stream = None
 
     def export(self, span: dict) -> None:
         line = json.dumps(span, sort_keys=True, default=str)
         with self._lock:
-            with open(self.path, "a", encoding="utf-8") as stream:
-                stream.write(line + "\n")
+            if self._stream is None or self._stream.closed:
+                self._stream = open(self.path, "a", encoding="utf-8")
+            self._stream.write(line + "\n")
+
+    def flush(self) -> None:
+        """Push buffered spans to disk without closing the file."""
+        with self._lock:
+            if self._stream is not None and not self._stream.closed:
+                self._stream.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._stream is not None and not self._stream.closed:
+                self._stream.close()
 
 
 def read_jsonl_spans(path) -> List[dict]:
@@ -208,6 +232,24 @@ class Tracer:
         for span in span_dicts:
             if isinstance(span, dict):
                 self.exporter.export(span)
+
+    def flush(self) -> None:
+        """Flush the exporter's buffers, if it has any (duck-typed: an
+        in-memory exporter has nothing to flush and nothing to implement)."""
+        flush = getattr(self.exporter, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        """Flush and close the exporter, if it supports it.  Called by
+        ``Server.close()`` so a file-backed exporter cannot lose the tail
+        of the trace — the spans covering the shutdown itself — in a
+        never-flushed buffer."""
+        close = getattr(self.exporter, "close", None)
+        if close is not None:
+            close()
+        else:
+            self.flush()
 
     @contextmanager
     def span(self, name: str, parent: Optional[Span] = None,

@@ -1,12 +1,20 @@
 """Reporting helpers: text tables and experiment records."""
 
-from .bench import DEFAULT_HISTORY_LIMIT, append_bench_record, load_bench
+from .bench import (
+    DEFAULT_HISTORY_LIMIT,
+    append_bench_record,
+    append_keyed_bench_record,
+    load_bench,
+    load_keyed_bench,
+)
 from .records import ExperimentRecord, load_records, save_records
 from .tables import dict_rows_to_table, format_table, relative_error
 
 __all__ = [
     "append_bench_record",
+    "append_keyed_bench_record",
     "load_bench",
+    "load_keyed_bench",
     "DEFAULT_HISTORY_LIMIT",
     "format_table",
     "dict_rows_to_table",

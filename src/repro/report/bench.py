@@ -69,3 +69,50 @@ def append_bench_record(path, record: dict,
     data["latest"] = record
     Path(path).write_text(json.dumps(data, indent=2) + "\n")
     return data
+
+
+def load_keyed_bench(path) -> dict:
+    """Read a *keyed* bench file: ``{key: {"latest", "history"}}``.
+
+    The multi-trend variant used by ``BENCH_scenarios.json``, where each
+    scenario keeps its own independent trend in one file.  Missing or
+    unreadable files normalise to ``{}``; malformed per-key entries
+    normalise the same way :func:`load_bench` does.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except (ValueError, OSError):
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    keyed = {}
+    for key, entry in data.items():
+        if not isinstance(entry, dict):
+            continue
+        history = [item for item in entry.get("history", [])
+                   if isinstance(item, dict)]
+        latest = entry.get("latest") or (history[-1] if history else None)
+        keyed[key] = {"latest": latest, "history": history}
+    return keyed
+
+
+def append_keyed_bench_record(path, key: str, record: dict,
+                              limit: Optional[int] = DEFAULT_HISTORY_LIMIT
+                              ) -> dict:
+    """Append ``record`` under ``key`` in a keyed bench file.
+
+    Same semantics as :func:`append_bench_record`, but the file holds one
+    ``{"latest", "history"}`` trend per key, so e.g. every scenario in a
+    matrix run accumulates its own history side by side.
+    """
+    data = load_keyed_bench(path)
+    entry = data.setdefault(key, {"latest": None, "history": []})
+    entry["history"].append(record)
+    if limit is not None and len(entry["history"]) > limit:
+        entry["history"] = entry["history"][-limit:] if limit > 0 else []
+    entry["latest"] = record
+    Path(path).write_text(json.dumps(data, indent=2) + "\n")
+    return data

@@ -1,0 +1,66 @@
+"""Trace-driven load + systematic chaos injection for the serving stack.
+
+The scenario harness is the serving layer's end-to-end correctness gate
+under failure: deterministic, seeded workloads (:mod:`.loadgen`) drive a
+live :class:`~repro.serve.server.Server` while scripted faults
+(:mod:`.chaos`) kill, hang, slow, corrupt and starve its shards — and
+every scenario asserts **degraded-but-correct** behaviour: answered
+requests are bit-identical to the single-process reference, unanswered
+ones fail with typed errors, and the stats/trace surfaces stay coherent.
+
+Run the full matrix (and append per-scenario trend records to
+``BENCH_scenarios.json``)::
+
+    python -m repro.scenarios --seed 0
+
+or a single scenario::
+
+    python -m repro.scenarios --seed 0 --scenario kill_shard
+
+Programmatic use::
+
+    from repro.scenarios import run_matrix, run_scenario, SCENARIOS
+
+    records = run_matrix(seed=0, write_bench=False)
+"""
+
+from .chaos import ChaosController, ChaosInjector
+from .loadgen import (
+    ARRIVALS,
+    Op,
+    Workload,
+    bursty_arrival_times,
+    diurnal_arrival_times,
+    generate_workload,
+    poisson_arrival_times,
+)
+from .runner import (
+    DEFAULT_BENCH_PATH,
+    SCENARIOS,
+    ScenarioFailure,
+    ScenarioRun,
+    build_model,
+    drive_workload,
+    run_matrix,
+    run_scenario,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "ChaosController",
+    "ChaosInjector",
+    "DEFAULT_BENCH_PATH",
+    "Op",
+    "SCENARIOS",
+    "ScenarioFailure",
+    "ScenarioRun",
+    "Workload",
+    "build_model",
+    "bursty_arrival_times",
+    "diurnal_arrival_times",
+    "drive_workload",
+    "generate_workload",
+    "poisson_arrival_times",
+    "run_matrix",
+    "run_scenario",
+]

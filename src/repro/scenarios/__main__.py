@@ -1,0 +1,56 @@
+"""CLI for the scenario matrix: ``python -m repro.scenarios --seed 0``.
+
+Runs every scenario (or ``--scenario NAME`` for one), prints each
+scenario's check count and timing, and appends one trend record per
+scenario to ``BENCH_scenarios.json`` (suppress with ``--no-bench``).
+Exits non-zero on the first violated check, printing the failed scenario
+and check — the seed reproduces the failure exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .runner import DEFAULT_BENCH_PATH, SCENARIOS, ScenarioFailure, run_matrix
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run the serving scenario matrix: seeded workloads + "
+                    "chaos injection, asserting degraded-but-correct "
+                    "behaviour.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload/model seed (default 0); the whole "
+                             "run is deterministic given the seed")
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        choices=sorted(SCENARIOS), metavar="NAME",
+                        help="run only this scenario (repeatable); "
+                             f"choices: {', '.join(sorted(SCENARIOS))}")
+    parser.add_argument("--bench", default=str(DEFAULT_BENCH_PATH),
+                        help="keyed bench file to append per-scenario "
+                             "records to (default: %(default)s)")
+    parser.add_argument("--no-bench", action="store_true",
+                        help="do not write BENCH_scenarios.json")
+    args = parser.parse_args(argv)
+    try:
+        records = run_matrix(seed=args.seed, names=args.scenarios,
+                             bench_path=args.bench,
+                             write_bench=not args.no_bench,
+                             progress=print)
+    except ScenarioFailure as failure:
+        print(f"\nSCENARIO FAILURE (reproduce with --seed {args.seed}):",
+              file=sys.stderr)
+        print(f"  {failure}", file=sys.stderr)
+        return 1
+    total_checks = sum(record["num_checks"] for record in records)
+    total_s = sum(record["elapsed_s"] for record in records)
+    print(f"\n{len(records)} scenarios passed "
+          f"({total_checks} checks, {total_s:.1f}s)"
+          + ("" if args.no_bench else f"; records -> {args.bench}"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Systematic fault injection against the sharded serving stack.
+
+Two cooperating pieces, covering every layer a fault can originate in:
+
+:class:`ChaosInjector`
+    The *engine-side* hook: :class:`~repro.serve.sharded.ShardedEngine`
+    calls ``on_result(worker_index, item)`` on every collected result
+    frame, and an armed injector replaces a bounded number of them with
+    undecodable garbage — modelling a shard that ships corrupted frames
+    (torn shared memory, a bad NIC, a buggy serializer).  The collector
+    must degrade those requests to a *typed*
+    :class:`~repro.serve.sharded.RemoteWorkerError` instead of crashing or
+    silently returning wrong bits.
+
+:class:`ChaosController`
+    The *coordinator-side* orchestrator for one live
+    :class:`~repro.serve.server.Server`:
+
+    * ``kill_worker`` — SIGKILL a shard (hard crash; the watchdog must
+      fail its futures fast and routing must steer around the corpse);
+    * ``hang_worker`` / ``resume_worker`` — SIGSTOP/SIGCONT a shard (a
+      wedged-but-alive process: liveness checks pass, work never
+      completes — the nastiest failure mode, only deadlines catch it);
+    * ``slow_shard`` — make one replica sleep before every work item
+      (sent through the worker's own FIFO ``chaos`` work item, so the
+      fault applies exactly after the items already queued);
+    * ``exhaust_result_ring`` — force a worker's result ring to report
+      full, driving every reply through the inline-pickle fallback (which
+      must be bit-identical);
+    * ``heal`` — unconditionally undo everything undoable: SIGCONT every
+      process and clear the worker-side chaos settings.  **Always call
+      this (in a ``finally``) before closing the server** — a SIGSTOPped
+      worker never receives SIGTERM, so an unhealed hang turns shutdown
+      into a timeout parade.
+
+Faults are injected through the same channels real failures use (signals
+to real pids, frames on the real result path, items through the real FIFO
+queues), so a scenario that passes is evidence about the production code
+path, not about a mock.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Dict, List, Optional
+
+from ..serve.transport import _SHM
+
+#: Descriptor dtype that no NumPy build accepts: reading it raises, which is
+#: exactly the undecodable-frame failure the injector models.
+_BOGUS_DTYPE = "?not-a-dtype?"
+
+
+class ChaosInjector:
+    """Bounded result-frame corruption hook for a :class:`ShardedEngine`.
+
+    Disarmed (the initial state) it passes every frame through untouched.
+    Once :meth:`arm`\\ ed it replaces up to ``max_corruptions`` successful
+    result frames from the targeted worker (any worker when ``None``) with
+    an undecodable shared-memory descriptor.  The cap exists because a
+    corrupted frame's original ring slot is lost until the shard's rings
+    are reclaimed — unbounded corruption would exhaust the ring and turn a
+    frame-corruption scenario into a ring-exhaustion one.
+    """
+
+    def __init__(self, max_corruptions: int = 2):
+        if max_corruptions < 1:
+            raise ValueError("max_corruptions must be >= 1")
+        self.max_corruptions = int(max_corruptions)
+        self._lock = threading.Lock()
+        self._armed = False
+        self._target: Optional[int] = None
+        self.corrupted = 0
+
+    def arm(self, worker: Optional[int] = None) -> None:
+        """Start corrupting frames (from ``worker`` only, or any)."""
+        with self._lock:
+            self._armed = True
+            self._target = worker
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._armed = False
+
+    # ------------------------------------------------------------------
+    def on_result(self, worker_index: int, item):
+        """Engine collector hook: maybe corrupt one result frame."""
+        with self._lock:
+            if (not self._armed or self.corrupted >= self.max_corruptions
+                    or (self._target is not None
+                        and worker_index != self._target)):
+                return item
+            try:
+                ticket, worker_id, ok, _packed = item
+            except (TypeError, ValueError):
+                return item
+            if not ok:                    # already an error frame; leave it
+                return item
+            self.corrupted += 1
+        # A syntactically valid frame whose descriptor cannot be decoded:
+        # the collector must fail *this* request with a typed error and
+        # keep collecting.
+        return (ticket, worker_id, True, (_SHM, (0, (1,), _BOGUS_DTYPE)))
+
+
+class ChaosController:
+    """Signal- and work-item-level fault orchestration for one server."""
+
+    def __init__(self, server):
+        self.server = server
+        self._stopped: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        return self.server.engine
+
+    def _pid(self, worker: int) -> int:
+        return self.engine.worker_pids[worker]
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker: int) -> None:
+        """SIGKILL one shard's process — the hard-crash fault."""
+        os.kill(self._pid(worker), signal.SIGKILL)
+
+    def hang_worker(self, worker: int) -> None:
+        """SIGSTOP one shard: alive to the watchdog, deaf to work."""
+        os.kill(self._pid(worker), signal.SIGSTOP)
+        self._stopped.add(worker)
+
+    def resume_worker(self, worker: int) -> None:
+        """SIGCONT a hung shard; it then drains its queued backlog."""
+        os.kill(self._pid(worker), signal.SIGCONT)
+        self._stopped.discard(worker)
+
+    def slow_shard(self, worker: int, slow_s: float,
+                   timeout: float = 60.0) -> Dict[str, object]:
+        """Make one replica sleep ``slow_s`` before each work item; blocks
+        until the shard acked the setting (FIFO: later items are slow)."""
+        return self.engine.submit(
+            "chaos", {"slow_s": float(slow_s)},
+            worker=worker).result(timeout=timeout)
+
+    def exhaust_result_ring(self, worker: int, on: bool = True,
+                            timeout: float = 60.0) -> Dict[str, object]:
+        """Force (or stop forcing) a worker's result ring to report full,
+        so replies take the inline-pickle fallback path."""
+        return self.engine.submit(
+            "chaos", {"exhaust_result_ring": bool(on)},
+            worker=worker).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def heal(self, timeout: float = 60.0) -> List[int]:
+        """Undo every undoable fault; returns the workers that acked.
+
+        SIGCONT goes to *every* worker pid unconditionally (a SIGSTOPped
+        process never dies to the close-time SIGTERM, so healing must not
+        depend on our bookkeeping being right), then every live shard gets
+        its chaos settings cleared through the normal FIFO path.  Safe to
+        call repeatedly and on a half-dead pool — per-shard failures are
+        swallowed, this is the cleanup path.
+        """
+        try:
+            pids = self.engine.worker_pids
+        except Exception:  # noqa: BLE001 - engine already torn down
+            return []
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except (ProcessLookupError, PermissionError):
+                pass
+        self._stopped.clear()
+        healed: List[int] = []
+        try:
+            live = self.engine.live_workers
+        except Exception:  # noqa: BLE001
+            return healed
+        for worker in live:
+            try:
+                self.engine.submit(
+                    "chaos", {"slow_s": 0.0, "exhaust_result_ring": False},
+                    worker=worker).result(timeout=timeout)
+                healed.append(worker)
+            except Exception:  # noqa: BLE001 - cleanup must not raise
+                pass
+        return healed

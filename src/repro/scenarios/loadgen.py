@@ -1,0 +1,179 @@
+"""Deterministic, seeded workload generation for scenario runs.
+
+A workload is a fully materialised schedule — a sorted list of
+:class:`Op` records, each carrying an arrival offset, a client session id,
+an operation kind and a query index — produced **before** the run starts,
+from nothing but a seed.  The same seed always yields the same schedule, so
+a scenario failure reproduces with ``python -m repro.scenarios --seed N``
+and nothing else.
+
+Three arrival processes cover the load shapes that historically break
+serving stacks differently:
+
+``poisson``
+    Memoryless steady traffic (i.i.d. exponential gaps) — the baseline.
+``bursty``
+    An on/off process: bursts of back-to-back requests separated by idle
+    gaps.  This is the shape that exposes admission-control overshoot and
+    sticky SLO shedding (a burst inflates the latency EMA, the idle gap is
+    when it must decay).
+``diurnal``
+    A thinned Poisson process whose acceptance probability follows a
+    sinusoidal envelope — slow load swings that exercise the dynamic
+    batcher across its whole coalescing range within one run.
+
+Operation kinds are mixed by seeded draw: ``submit`` (async single-sample),
+``predict`` (sync batch-of-one), ``malformed`` (async, wrong image shape)
+and ``oversized`` (sync, inflated spatial dims); ``learn`` bursts —
+:meth:`Server.learn_class` calls introducing novel classes — are spliced in
+at evenly spaced times.  Session churn rotates the active client-session
+set across epochs of the run, so per-session bookkeeping (if any) cannot
+rely on a stable population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+#: Op kinds a workload may schedule (see the module docstring).
+OP_KINDS = ("submit", "predict", "malformed", "oversized", "learn")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled client operation."""
+
+    at_s: float          #: arrival offset from the start of the run
+    session: int         #: client session id (churns across the run)
+    kind: str            #: one of :data:`OP_KINDS`
+    index: int           #: query-pool index, or the class id of a ``learn``
+
+
+@dataclass
+class Workload:
+    """A materialised, sorted schedule plus its generation parameters."""
+
+    name: str
+    seed: int
+    arrival: str
+    ops: List[Op] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return self.ops[-1].at_s if self.ops else 0.0
+
+    def counts(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in OP_KINDS}
+        for op in self.ops:
+            counts[op.kind] += 1
+        return counts
+
+    def summary(self) -> dict:
+        return {"name": self.name, "seed": self.seed,
+                "arrival": self.arrival, "num_ops": len(self.ops),
+                "duration_s": round(self.duration_s, 4), **self.counts()}
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes (all return a sorted array of n arrival times)
+# ---------------------------------------------------------------------------
+def poisson_arrival_times(rng: np.random.Generator, n: int,
+                          rate_hz: float) -> np.ndarray:
+    """Homogeneous Poisson arrivals: i.i.d. exponential inter-arrival gaps."""
+    return np.cumsum(rng.exponential(1.0 / rate_hz, size=n))
+
+
+def bursty_arrival_times(rng: np.random.Generator, n: int, rate_hz: float,
+                         burst_mean: int = 8,
+                         idle_mean_s: float = 0.05) -> np.ndarray:
+    """On/off arrivals: Poisson-sized bursts at ``rate_hz`` separated by
+    exponential idle gaps of mean ``idle_mean_s``."""
+    times: List[float] = []
+    t = 0.0
+    while len(times) < n:
+        burst = max(1, int(rng.poisson(burst_mean)))
+        for _ in range(min(burst, n - len(times))):
+            t += float(rng.exponential(1.0 / rate_hz))
+            times.append(t)
+        t += float(rng.exponential(idle_mean_s))
+    return np.asarray(times)
+
+
+def diurnal_arrival_times(rng: np.random.Generator, n: int, rate_hz: float,
+                          period_s: float = 0.5,
+                          floor: float = 0.15) -> np.ndarray:
+    """Thinned Poisson arrivals: candidates at the peak ``rate_hz``, each
+    accepted with probability following a sinusoid between ``floor`` and 1 —
+    a compressed day/night load curve."""
+    times: List[float] = []
+    t = 0.0
+    while len(times) < n:
+        t += float(rng.exponential(1.0 / rate_hz))
+        envelope = floor + (1.0 - floor) * 0.5 * (
+            1.0 + np.sin(2.0 * np.pi * t / period_s))
+        if rng.random() < envelope:
+            times.append(t)
+    return np.asarray(times)
+
+
+ARRIVALS: Dict[str, Callable[..., np.ndarray]] = {
+    "poisson": poisson_arrival_times,
+    "bursty": bursty_arrival_times,
+    "diurnal": diurnal_arrival_times,
+}
+
+
+# ---------------------------------------------------------------------------
+def generate_workload(name: str, seed: int, num_ops: int,
+                      arrival: str = "poisson", rate_hz: float = 150.0,
+                      num_sessions: int = 4, session_epochs: int = 3,
+                      sync_fraction: float = 0.15,
+                      malformed_fraction: float = 0.0,
+                      oversized_fraction: float = 0.0,
+                      learn_bursts: int = 0,
+                      first_learn_class: int = 100,
+                      query_pool: int = 30,
+                      **arrival_kwargs) -> Workload:
+    """Materialise one deterministic workload schedule.
+
+    ``num_ops`` traffic operations arrive per the chosen process; each is a
+    sync ``predict`` with probability ``sync_fraction``, a ``malformed`` /
+    ``oversized`` request per their fractions, and an async ``submit``
+    otherwise.  ``learn_bursts`` ``learn`` ops (novel class ids counting up
+    from ``first_learn_class``) are spliced in at evenly spaced times.
+    Session ids churn: each epoch of the run draws from a fresh block of
+    ``num_sessions`` ids, so sessions are born and die mid-run.
+    """
+    if arrival not in ARRIVALS:
+        raise ValueError(f"unknown arrival process {arrival!r}; "
+                         f"choose from {sorted(ARRIVALS)}")
+    fractions = sync_fraction + malformed_fraction + oversized_fraction
+    if not 0.0 <= fractions <= 1.0:
+        raise ValueError("op-kind fractions must sum into [0, 1]")
+    rng = np.random.default_rng(seed)
+    times = ARRIVALS[arrival](rng, num_ops, rate_hz, **arrival_kwargs)
+    epoch_len = max(1, num_ops // max(1, session_epochs))
+    ops: List[Op] = []
+    for position, at_s in enumerate(times):
+        epoch = position // epoch_len
+        session = int(epoch * num_sessions + rng.integers(num_sessions))
+        draw = float(rng.random())
+        index = int(rng.integers(query_pool))
+        if draw < malformed_fraction:
+            kind = "malformed"
+        elif draw < malformed_fraction + oversized_fraction:
+            kind = "oversized"
+        elif draw < fractions:
+            kind = "predict"
+        else:
+            kind = "submit"
+        ops.append(Op(float(at_s), session, kind, index))
+    duration = float(times[-1]) if num_ops else 0.0
+    for burst in range(learn_bursts):
+        at_s = duration * (burst + 1) / (learn_bursts + 1)
+        ops.append(Op(float(at_s), -1, "learn", first_learn_class + burst))
+    ops.sort(key=lambda op: (op.at_s, op.kind, op.index))
+    return Workload(name=name, seed=seed, arrival=arrival, ops=ops)

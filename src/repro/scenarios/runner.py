@@ -1,0 +1,677 @@
+"""Scenario harness: drive seeded workloads + chaos against a live Server.
+
+Every scenario follows the same contract:
+
+1. build a fresh learned model and a 2-worker :class:`Server` from the
+   scenario seed (deterministic: same seed, same model bits);
+2. drive a :mod:`generated workload <repro.scenarios.loadgen>` and/or a
+   scripted fault sequence (:mod:`repro.scenarios.chaos`) against it;
+3. assert **degraded-but-correct** behaviour: every answered request is
+   *bit-identical* to the single-process reference predictor, every
+   unanswered request fails with a *typed* error
+   (:class:`~repro.serve.sharded.RemoteWorkerError` /
+   :class:`~repro.serve.sharded.WorkerDiedError` /
+   :class:`~repro.serve.server.ServerOverloaded`) — never a hang, never
+   silently wrong bits — and the stats/trace surfaces stay coherent;
+4. record the outcome into ``BENCH_scenarios.json`` (a
+   ``{"latest", "history"}`` trend per scenario, see
+   :func:`repro.report.bench.append_keyed_bench_record`).
+
+A failed check raises :class:`ScenarioFailure` naming the scenario and the
+check; ``python -m repro.scenarios --seed N`` reproduces any failure
+exactly.
+
+The scenario matrix (one entry per chaos mode the serving stack claims to
+survive):
+
+====================  ======================================================
+scenario              what it proves
+====================  ======================================================
+``steady_poisson``    mixed sync/async + learn bursts + malformed and
+                      oversized requests under Poisson load: full parity,
+                      typed rejections, coherent trace export
+``burst_admission``   concurrent bursty overload: the admission cap is
+                      exact (never overshoots), shedding is typed, and the
+                      SLO gate un-sticks once the latency EMA decays
+``kill_shard``        SIGKILL mid-stream: survivors keep answering
+                      bit-identically, in-flight work fails typed, sync
+                      scatter re-dispatches the corpse's chunks
+``hang_shard``        SIGSTOP (wedged-but-alive): one shared scatter
+                      deadline (no per-chunk compounding), broadcasts
+                      tolerate the mute shard, SIGCONT heals
+``slow_shard``        one slow replica under diurnal load: slow is not
+                      wrong — all answers exact, chaos visible in stats
+``corrupt_frames``    corrupted result frames: bounded typed failures,
+                      no collector crash, full parity after
+``ring_exhaustion``   result ring permanently full: the pickle fallback
+                      carries all traffic bit-identically
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core import OFSCIL, OFSCILConfig
+from ..obs.trace import JsonlSpanExporter, read_jsonl_spans
+from ..report.bench import append_keyed_bench_record
+from ..serve import (
+    RemoteWorkerError,
+    Server,
+    ServerOverloaded,
+)
+from .chaos import ChaosController, ChaosInjector
+from .loadgen import Workload, generate_workload
+
+BACKBONE = "mobilenetv2_x4_tiny"
+BASE_CLASSES = 6
+SHOTS_PER_CLASS = 5
+IMAGE_SHAPE = (3, 16, 16)
+
+#: Default artefact file (repository root), one ``{"latest","history"}``
+#: trend per scenario name.
+DEFAULT_BENCH_PATH = \
+    Path(__file__).resolve().parents[3] / "BENCH_scenarios.json"
+
+#: Generous single-request deadline: scenarios run on arbitrarily loaded
+#: CI machines, so correctness checks never race the scheduler.
+RESULT_TIMEOUT_S = 120.0
+
+
+class ScenarioFailure(AssertionError):
+    """A scenario's degraded-but-correct contract was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Shared fixtures
+# ---------------------------------------------------------------------------
+def build_model(seed: int):
+    """A frozen model with BASE_CLASSES learned from deterministic shots
+    (the same recipe the serving test suite uses)."""
+    model = OFSCIL.from_registry(BACKBONE, OFSCILConfig(backbone=BACKBONE),
+                                 seed=seed)
+    model.freeze_feature_extractor()
+    rng = np.random.default_rng(seed + 42)
+    shots = rng.standard_normal(
+        (BASE_CLASSES * SHOTS_PER_CLASS, *IMAGE_SHAPE)).astype(np.float32)
+    for class_id in range(BASE_CLASSES):
+        start = class_id * SHOTS_PER_CLASS
+        model.learn_class(shots[start:start + SHOTS_PER_CLASS], class_id)
+    return model, shots
+
+
+def learn_shots_for(class_id: int) -> np.ndarray:
+    """Deterministic novel-class shots keyed by the class id alone, so the
+    driver and any replaying verifier materialise identical bits."""
+    rng = np.random.default_rng(10_000 + class_id)
+    return rng.standard_normal(
+        (SHOTS_PER_CLASS, *IMAGE_SHAPE)).astype(np.float32)
+
+
+class ScenarioRun:
+    """One scenario's server, query pools, and check bookkeeping."""
+
+    def __init__(self, name: str, seed: int, **server_kwargs):
+        self.name = name
+        self.seed = seed
+        self.checks: List[str] = []
+        self.model, self.shots = build_model(seed)
+        rng = np.random.default_rng(seed + 17)
+        self.queries = rng.standard_normal(
+            (24, *IMAGE_SHAPE)).astype(np.float32)
+        # A shape the compiled stack genuinely rejects: the backbone is
+        # spatially shape-agnostic, but a wrong channel count cannot pass
+        # the first conv — the typed-error path, not a silent answer.
+        self.malformed_image = rng.standard_normal(
+            (4, 16, 16)).astype(np.float32)
+        # A legitimate batch big enough to overflow a scenario-shrunk ring
+        # slot: it must still answer correctly through the pickle fallback.
+        self.oversized_batch = rng.standard_normal(
+            (32, *IMAGE_SHAPE)).astype(np.float32)
+        kwargs = dict(num_workers=2, max_latency_s=0.02)
+        kwargs.update(server_kwargs)
+        self.server = Server(self.model, **kwargs)
+        self.chaos = ChaosController(self.server)
+
+    # ------------------------------------------------------------------
+    def reference(self):
+        """A fresh single-process predictor over the *current* model state
+        — the ground truth every served answer must match bit-for-bit."""
+        return self.model.runtime_predictor()
+
+    def check(self, condition: bool, label: str) -> None:
+        if not condition:
+            raise ScenarioFailure(f"[{self.name}] FAILED: {label}")
+        self.checks.append(label)
+
+    def parity_sweep(self, label: str = "final parity sweep") -> None:
+        """Bit-for-bit sweep: served predict + backbone features against
+        the single-process reference."""
+        reference = self.reference()
+        self.check(
+            np.array_equal(self.server.predict(self.queries),
+                           reference.predict(self.queries)),
+            f"{label}: predict bitwise")
+        self.check(
+            np.array_equal(
+                self.server.extract_backbone_features(self.queries[:8]),
+                reference.extract_backbone_features(self.queries[:8])),
+            f"{label}: backbone features bitwise")
+
+    def coherent_stats(self) -> dict:
+        """Invariants the stats surface must satisfy in *any* state."""
+        report = self.server.stats_dict()
+        self.check(report["samples"] >= report["batches_dispatched"],
+                   "stats: samples cover dispatched batches")
+        self.check(0.0 <= report["shed_rate"] <= 1.0,
+                   "stats: shed rate within [0, 1]")
+        self.check(report["ema_batch_latency_s"] >= 0.0,
+                   "stats: latency EMA non-negative")
+        self.check(all(count >= 0
+                       for count in report["inflight_per_worker"]),
+                   "stats: in-flight counts non-negative")
+        self.check(
+            set(report["dead_workers"]).issubset(
+                range(report["num_workers"])),
+            "stats: dead-worker ids valid")
+        self.check(len(report["workers"]) == report["num_workers"],
+                   "stats: one record per worker")
+        return report
+
+    def counters(self) -> dict:
+        report = self.server.stats.as_dict()
+        return {
+            "single_requests": report["single_requests"],
+            "batch_requests": report["batch_requests"],
+            "samples": report["samples"],
+            "batches_dispatched": report["batches_dispatched"],
+            "requests_shed": report["requests_shed"],
+            "batch_latency_p50_ms": report["batch_latency_p50_ms"],
+            "batch_latency_p99_ms": report["batch_latency_p99_ms"],
+        }
+
+    def close(self) -> None:
+        self.chaos.heal(timeout=30.0)
+        self.server.close()
+
+
+# ---------------------------------------------------------------------------
+# Workload driver
+# ---------------------------------------------------------------------------
+def drive_workload(run: ScenarioRun, workload: Workload,
+                   time_scale: float = 1.0) -> dict:
+    """Execute a workload schedule against the run's server.
+
+    Async ops enqueue through :meth:`Server.submit`; sync ops (``predict``,
+    ``oversized``, ``learn``) run on a small thread pool so they do not
+    stall the arrival schedule — which also makes concurrent sync callers a
+    standing part of every scenario.  Returns the raw per-op outcomes for
+    the scenario to assert on.
+    """
+    server = run.server
+    pool = run.shots
+    async_ops: List[tuple] = []        # (op, future)
+    sync_ops: List[tuple] = []         # (op, thread-future)
+    sheds = 0
+    started = time.monotonic()
+    with ThreadPoolExecutor(max_workers=3,
+                            thread_name_prefix="scenario-sync") as executor:
+        for op in workload.ops:
+            delay = op.at_s * time_scale - (time.monotonic() - started)
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                if op.kind == "submit":
+                    image = pool[op.index % len(pool)]
+                    async_ops.append((op, server.submit(image)))
+                elif op.kind == "malformed":
+                    async_ops.append(
+                        (op, server.submit(run.malformed_image)))
+                elif op.kind == "predict":
+                    image = pool[op.index % len(pool)][None]
+                    sync_ops.append(
+                        (op, executor.submit(server.predict, image)))
+                elif op.kind == "oversized":
+                    sync_ops.append(
+                        (op, executor.submit(server.predict,
+                                             run.oversized_batch)))
+                elif op.kind == "learn":
+                    sync_ops.append(
+                        (op, executor.submit(server.learn_class,
+                                             learn_shots_for(op.index),
+                                             op.index)))
+                else:  # pragma: no cover - loadgen only emits known kinds
+                    raise ValueError(f"unknown op kind {op.kind!r}")
+            except ServerOverloaded:
+                sheds += 1
+    outcomes = {"sheds": sheds, "async": [], "sync": []}
+    for op, future in async_ops:
+        try:
+            outcomes["async"].append(
+                (op, future.result(timeout=RESULT_TIMEOUT_S), None))
+        except Exception as exc:  # noqa: BLE001 - classified by scenario
+            outcomes["async"].append((op, None, exc))
+    for op, future in sync_ops:
+        try:
+            outcomes["sync"].append(
+                (op, future.result(timeout=RESULT_TIMEOUT_S), None))
+        except Exception as exc:  # noqa: BLE001
+            outcomes["sync"].append((op, None, exc))
+    return outcomes
+
+
+def _split_outcomes(outcomes: dict, kind: str) -> tuple:
+    """(successes, failures) of one op kind from a driver outcome dict."""
+    channel = "async" if kind in ("submit", "malformed") else "sync"
+    entries = [entry for entry in outcomes[channel]
+               if entry[0].kind == kind]
+    successes = [entry for entry in entries if entry[2] is None]
+    failures = [entry for entry in entries if entry[2] is not None]
+    return successes, failures
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+def scenario_steady_poisson(seed: int) -> dict:
+    """Mixed traffic under Poisson load, tracing on: parity + typed
+    rejections for malformed/oversized + coherent trace export."""
+    trace_path = Path(tempfile.mkdtemp(prefix="repro-scn-")) / "trace.jsonl"
+    # slot_bytes is shrunk so the oversized sync batches overflow a ring
+    # slot and exercise the inline-pickle fallback under live load.
+    run = ScenarioRun("steady_poisson", seed, trace_sample=1.0,
+                      trace_exporter=JsonlSpanExporter(trace_path),
+                      slot_bytes=65536)
+    try:
+        expected = run.reference().predict(run.shots)
+        # Phase 1 — version-stable exact labels for a deterministic slice.
+        futures = [run.server.submit(run.shots[i]) for i in range(12)]
+        labels = [future.result(timeout=RESULT_TIMEOUT_S)
+                  for future in futures]
+        run.check(labels == [int(label) for label in expected[:12]],
+                  "pre-churn async labels match reference bitwise")
+        # Phase 2 — the generated mixed workload (learn bursts included).
+        workload = generate_workload(
+            "steady_poisson", seed, num_ops=48, arrival="poisson",
+            rate_hz=120.0, sync_fraction=0.15, malformed_fraction=0.08,
+            oversized_fraction=0.06, learn_bursts=2,
+            first_learn_class=BASE_CLASSES, query_pool=len(run.shots))
+        outcomes = drive_workload(run, workload)
+        run.check(outcomes["sheds"] == 0,
+                  "no shedding below the admission limits")
+        submits, submit_failures = _split_outcomes(outcomes, "submit")
+        run.check(not submit_failures,
+                  "every well-formed async submit answered")
+        valid_ids = set(range(BASE_CLASSES + 2))
+        run.check(all(int(label) in valid_ids for _, label, _ in submits),
+                  "async labels within the learned class-id set")
+        malformed_ok, malformed_failed = _split_outcomes(outcomes,
+                                                         "malformed")
+        run.check(not malformed_ok and all(
+            isinstance(exc, RemoteWorkerError)
+            for _, _, exc in malformed_failed),
+            "malformed submits fail with typed RemoteWorkerError")
+        oversized_ok, oversized_failed = _split_outcomes(outcomes,
+                                                         "oversized")
+        run.check(not oversized_failed and all(
+            int(label) in valid_ids
+            for _, labels, _ in oversized_ok for label in labels),
+            "oversized batches answer via the ring-overflow fallback")
+        learns, learn_failures = _split_outcomes(outcomes, "learn")
+        run.check(len(learns) == 2 and not learn_failures,
+                  "both learn bursts applied")
+        run.parity_sweep("post-churn")
+        report = run.coherent_stats()
+        run.check(report["prototype_broadcasts"] >= 1,
+                  "learn bursts broadcast prototypes")
+        run.check(report["dead_workers"] == [],
+                  "malformed traffic kills requests, not workers")
+        counters = run.counters()
+        workload_summary = workload.summary()
+    finally:
+        run.close()
+    # The trace file is complete only because close() flushed the exporter.
+    spans = read_jsonl_spans(trace_path)
+    roots = [span for span in spans if span.get("parent_id") is None]
+    span_ids = {span["span_id"] for span in spans}
+    orphans = [span for span in spans
+               if span.get("parent_id") is not None
+               and span["parent_id"] not in span_ids]
+    run.check(len(roots) >= 12, "traced roots exported for async submits")
+    run.check(not orphans, "every exported span parents into the trace")
+    return {"workload": workload_summary, "counters": counters,
+            "checks": run.checks}
+
+
+def scenario_burst_admission(seed: int) -> dict:
+    """Concurrent bursty overload: exact admission cap, typed shedding,
+    and EMA decay un-sticking the SLO gate."""
+    run = ScenarioRun("burst_admission", seed, max_pending=8,
+                      max_latency_s=0.005, ema_halflife_s=0.3)
+    try:
+        expected = run.reference().predict(run.shots)
+        accepted: List[tuple] = []
+        sheds: List[Exception] = []
+        peak = {"outstanding": 0}
+        stop_sampling = threading.Event()
+
+        def sample_outstanding() -> None:
+            while not stop_sampling.is_set():
+                peak["outstanding"] = max(peak["outstanding"],
+                                          run.server.outstanding)
+                time.sleep(0.0005)
+
+        def flood(thread_id: int) -> None:
+            for i in range(25):
+                index = (thread_id * 25 + i) % len(run.shots)
+                try:
+                    future = run.server.submit(run.shots[index])
+                except ServerOverloaded as exc:
+                    sheds.append(exc)
+                else:
+                    accepted.append((index, future))
+
+        sampler = threading.Thread(target=sample_outstanding, daemon=True)
+        sampler.start()
+        threads = [threading.Thread(target=flood, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop_sampling.set()
+        sampler.join(timeout=5.0)
+        run.check(peak["outstanding"] <= 8,
+                  "outstanding requests never exceed the admission cap")
+        run.check(len(sheds) > 0, "the burst was shed, not queued")
+        run.check(all(isinstance(exc, ServerOverloaded) for exc in sheds),
+                  "every rejection is a typed ServerOverloaded")
+        for index, future in accepted:
+            label = future.result(timeout=RESULT_TIMEOUT_S)
+            run.check(int(label) == int(expected[index]),
+                      f"accepted request {index} answered bitwise")
+        # Sticky-shed regression: a stale run of 1s latency readings must
+        # decay instead of shedding the now-idle server forever.
+        run.server.latency_slo_s = 0.25
+        for _ in range(10):
+            run.server.stats.observe_batch_latency(1.0)
+        try:
+            run.server.submit(run.shots[0])
+            raise ScenarioFailure("[burst_admission] FAILED: stale latency "
+                                  "EMA did not trip the SLO gate")
+        except ServerOverloaded:
+            run.checks.append("stale latency EMA trips the SLO gate")
+        time.sleep(1.2)                   # > grace + 2 half-lives at 0.3s
+        label = run.server.submit(
+            run.shots[0]).result(timeout=RESULT_TIMEOUT_S)
+        run.check(int(label) == int(expected[0]),
+                  "SLO gate re-admits once the stale EMA decays")
+        run.server.latency_slo_s = None
+        report = run.coherent_stats()
+        run.check(report["requests_shed"] == len(sheds) + 1,
+                  "shed accounting matches the observed rejections")
+        counters = run.counters()
+    finally:
+        run.close()
+    return {"workload": {"name": "burst_admission", "num_ops": 100,
+                         "arrival": "concurrent-flood"},
+            "counters": counters, "checks": run.checks}
+
+
+def scenario_kill_shard(seed: int) -> dict:
+    """SIGKILL one shard mid-stream: survivors answer bit-identically,
+    the corpse's in-flight work fails typed, scatter re-dispatches."""
+    run = ScenarioRun("kill_shard", seed)
+    try:
+        expected = run.reference().predict(run.shots)
+        run.server.predict(run.queries[:8])          # warm both replicas
+        futures: List[tuple] = []
+        for i in range(30):
+            if i == 8:
+                run.chaos.kill_worker(1)
+            index = i % len(run.shots)
+            futures.append((index, run.server.submit(run.shots[index])))
+            time.sleep(0.005)
+        successes = 0
+        for index, future in futures:
+            try:
+                label = future.result(timeout=RESULT_TIMEOUT_S)
+            except RemoteWorkerError:
+                continue          # typed: the corpse took it down
+            successes += 1
+            run.check(int(label) == int(expected[index]),
+                      f"post-kill async answer {index} bitwise")
+        run.check(successes >= 10,
+                  "the surviving shard kept answering the stream")
+        started = time.monotonic()
+        run.parity_sweep("degraded pool")
+        run.check(time.monotonic() - started < 60.0,
+                  "degraded sync predict completes promptly")
+        report = run.coherent_stats()
+        run.check(report["dead_workers"] == [1],
+                  "stats name exactly the killed shard")
+        run.check(report["live_workers"] == [0],
+                  "stats keep the survivor live")
+        counters = run.counters()
+    finally:
+        run.close()
+    return {"workload": {"name": "kill_shard", "num_ops": 30,
+                         "arrival": "paced-stream"},
+            "counters": counters, "checks": run.checks}
+
+
+def scenario_hang_shard(seed: int) -> dict:
+    """SIGSTOP one shard: shared scatter deadline (no compounding),
+    partial broadcast, async rerouting, SIGCONT heals completely."""
+    run = ScenarioRun("hang_shard", seed, micro_batch=8)
+    try:
+        run.server.predict(run.queries)              # warm both replicas
+        run.chaos.hang_worker(0)
+        deadline_s = 4.0
+        started = time.monotonic()
+        try:
+            run.server.engine.scatter("backbone", run.queries,
+                                      timeout=deadline_s)
+            raise ScenarioFailure("[hang_shard] FAILED: scatter over a "
+                                  "hung shard did not time out")
+        except TimeoutError:
+            elapsed = time.monotonic() - started
+            run.check(elapsed < 2.0 * deadline_s,
+                      "scatter respects one shared deadline "
+                      f"({elapsed:.1f}s for {deadline_s:.1f}s budget)")
+        # Broadcast tolerates the mute shard and reports who answered.
+        answered = run.server.engine.broadcast("ping", timeout=2.0)
+        run.check(sorted(answered) == [1],
+                  "broadcast returns the answering shard and omits the "
+                  "hung one")
+        # Async traffic reroutes around the hung shard (its in-flight
+        # count stays elevated, so least-loaded routing avoids it).
+        expected = run.reference().predict(run.shots)
+        futures = [(i, run.server.submit(run.shots[i])) for i in range(8)]
+        for index, future in futures:
+            label = future.result(timeout=RESULT_TIMEOUT_S)
+            run.check(int(label) == int(expected[index]),
+                      f"rerouted async answer {index} bitwise")
+        run.chaos.resume_worker(0)
+        time.sleep(0.2)                  # let the woken shard drain
+        run.parity_sweep("post-heal")
+        report = run.coherent_stats()
+        run.check(report["dead_workers"] == [],
+                  "a hung-then-resumed shard is never declared dead")
+        counters = run.counters()
+    finally:
+        run.close()
+    return {"workload": {"name": "hang_shard", "num_ops": 8,
+                         "arrival": "scripted"},
+            "counters": counters, "checks": run.checks}
+
+
+def scenario_slow_shard(seed: int) -> dict:
+    """One slow replica under diurnal load: slow is not wrong."""
+    run = ScenarioRun("slow_shard", seed)
+    try:
+        run.server.predict(run.queries[:8])          # warm both replicas
+        acked = run.chaos.slow_shard(1, slow_s=0.03)
+        run.check(acked.get("slow_s") == 0.03, "slow shard acked the fault")
+        workload = generate_workload(
+            "slow_shard", seed, num_ops=30, arrival="diurnal",
+            rate_hz=120.0, sync_fraction=0.2, learn_bursts=1,
+            first_learn_class=BASE_CLASSES, query_pool=len(run.shots))
+        outcomes = drive_workload(run, workload)
+        submits, submit_failures = _split_outcomes(outcomes, "submit")
+        run.check(not submit_failures and outcomes["sheds"] == 0,
+                  "every request answered despite the slow shard")
+        valid_ids = set(range(BASE_CLASSES + 1))
+        run.check(all(int(label) in valid_ids for _, label, _ in submits),
+                  "slow-shard labels within the learned class-id set")
+        records = run.server.worker_stats()
+        run.check(records[1].get("chaos", {}).get("slow_s") == 0.03,
+                  "worker stats expose the active chaos settings")
+        run.parity_sweep("slow shard active")
+        run.chaos.heal()
+        records = run.server.worker_stats()
+        run.check(not records[1].get("chaos", {}).get("slow_s"),
+                  "heal clears the slow-shard fault")
+        run.coherent_stats()
+        counters = run.counters()
+        workload_summary = workload.summary()
+    finally:
+        run.close()
+    return {"workload": workload_summary, "counters": counters,
+            "checks": run.checks}
+
+
+def scenario_corrupt_frames(seed: int) -> dict:
+    """Corrupted result frames fail their requests typed — bounded blast
+    radius, no collector crash, full parity afterwards."""
+    injector = ChaosInjector(max_corruptions=2)
+    run = ScenarioRun("corrupt_frames", seed, chaos=injector)
+    try:
+        expected = run.reference().predict(run.shots)
+        run.server.predict(run.queries[:8])          # warm, uncorrupted
+        injector.arm()
+        failures: List[Exception] = []
+        for i in range(10):
+            try:
+                label = run.server.submit(
+                    run.shots[i]).result(timeout=RESULT_TIMEOUT_S)
+            except RemoteWorkerError as exc:
+                failures.append(exc)
+            else:
+                run.check(int(label) == int(expected[i]),
+                          f"uncorrupted answer {i} bitwise")
+        injector.disarm()
+        run.check(len(failures) == injector.corrupted == 2,
+                  "exactly the corrupted frames failed their requests")
+        run.check(all("undecodable result" in str(exc)
+                      for exc in failures),
+                  "corrupted frames degrade to typed undecodable errors")
+        run.parity_sweep("post-corruption")
+        report = run.coherent_stats()
+        run.check(report["dead_workers"] == [],
+                  "frame corruption kills requests, not workers")
+        counters = run.counters()
+    finally:
+        run.close()
+    return {"workload": {"name": "corrupt_frames", "num_ops": 10,
+                         "arrival": "sequential"},
+            "counters": counters, "checks": run.checks}
+
+
+def scenario_ring_exhaustion(seed: int) -> dict:
+    """Result rings permanently full: every reply takes the pickle
+    fallback and stays bit-identical."""
+    run = ScenarioRun("ring_exhaustion", seed)
+    try:
+        run.server.predict(run.queries[:8])          # warm both replicas
+        for worker in run.server.engine.live_workers:
+            acked = run.chaos.exhaust_result_ring(worker, on=True)
+            run.check(acked.get("exhaust_result_ring") is True,
+                      f"worker {worker} acked ring exhaustion")
+        workload = generate_workload(
+            "ring_exhaustion", seed, num_ops=30, arrival="bursty",
+            rate_hz=200.0, sync_fraction=0.3, query_pool=len(run.shots))
+        outcomes = drive_workload(run, workload)
+        expected = run.reference().predict(run.shots)
+        submits, submit_failures = _split_outcomes(outcomes, "submit")
+        run.check(not submit_failures and outcomes["sheds"] == 0,
+                  "every request answered through the pickle fallback")
+        run.check(all(int(label) == int(expected[op.index % len(run.shots)])
+                      for op, label, _ in submits),
+                  "fallback-path async labels match reference bitwise")
+        run.parity_sweep("ring exhausted")
+        records = run.server.worker_stats()
+        run.check(all(record.get("chaos", {}).get("exhaust_result_ring")
+                      for record in records),
+                  "worker stats expose the ring-exhaustion fault")
+        run.chaos.heal()
+        run.parity_sweep("post-heal")
+        run.coherent_stats()
+        counters = run.counters()
+        workload_summary = workload.summary()
+    finally:
+        run.close()
+    return {"workload": workload_summary, "counters": counters,
+            "checks": run.checks}
+
+
+#: name -> scenario callable (runs the scenario, returns its record body).
+SCENARIOS: Dict[str, Callable[[int], dict]] = {
+    "steady_poisson": scenario_steady_poisson,
+    "burst_admission": scenario_burst_admission,
+    "kill_shard": scenario_kill_shard,
+    "hang_shard": scenario_hang_shard,
+    "slow_shard": scenario_slow_shard,
+    "corrupt_frames": scenario_corrupt_frames,
+    "ring_exhaustion": scenario_ring_exhaustion,
+}
+
+
+# ---------------------------------------------------------------------------
+# Entrypoints
+# ---------------------------------------------------------------------------
+def run_scenario(name: str, seed: int = 0) -> dict:
+    """Run one scenario; raises :class:`ScenarioFailure` on any violated
+    check, returns its bench record on success."""
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"choose from {sorted(SCENARIOS)}")
+    started = time.monotonic()
+    body = SCENARIOS[name](seed)
+    return {"scenario": name, "seed": seed, "ok": True,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "elapsed_s": round(time.monotonic() - started, 3),
+            "num_checks": len(body.get("checks", [])), **body}
+
+
+def run_matrix(seed: int = 0, names: Optional[List[str]] = None,
+               bench_path=DEFAULT_BENCH_PATH,
+               write_bench: bool = True,
+               progress: Optional[Callable[[str], None]] = None
+               ) -> List[dict]:
+    """Run the scenario matrix; record each scenario's result trend.
+
+    Fails fast: the first :class:`ScenarioFailure` propagates (the run is
+    a correctness gate, not a survey).  On success every scenario has
+    appended one record to its ``{"latest","history"}`` trend in
+    ``bench_path``.
+    """
+    records = []
+    for name in names if names is not None else list(SCENARIOS):
+        if progress is not None:
+            progress(f"scenario {name} (seed {seed}) ...")
+        record = run_scenario(name, seed)
+        if write_bench:
+            append_keyed_bench_record(bench_path, name, record)
+        if progress is not None:
+            progress(f"  ok: {record['num_checks']} checks, "
+                     f"{record['elapsed_s']:.1f}s")
+        records.append(record)
+    return records

@@ -46,6 +46,7 @@ from .sharded import (
     EngineClosedError,
     RemoteWorkerError,
     ShardedEngine,
+    WorkerDiedError,
 )
 from .snapshot import (
     ModelSnapshot,
@@ -66,6 +67,7 @@ __all__ = [
     "DEFAULT_MAX_LATENCY_S",
     "ShardedEngine",
     "RemoteWorkerError",
+    "WorkerDiedError",
     "EngineClosedError",
     "DEFAULT_NUM_WORKERS",
     "DEFAULT_START_METHOD",

@@ -51,7 +51,8 @@ from .sharded import (
     ShardedEngine,
 )
 from .snapshot import snapshot_model, snapshot_prototypes
-from .stats import ServeStats
+from .stats import DEFAULT_EMA_HALFLIFE_S, ServeStats
+from .transport import DEFAULT_RING_SLOTS, DEFAULT_SLOT_BYTES
 
 #: Default time budget the dynamic batcher waits to fill a micro-batch.
 DEFAULT_MAX_LATENCY_S = 0.01
@@ -118,16 +119,24 @@ class Server:
                  latency_slo_s: Optional[float] = None,
                  max_inflight_batches: int = DEFAULT_MAX_INFLIGHT_BATCHES,
                  use_shared_memory: bool = True,
+                 ring_slots: int = DEFAULT_RING_SLOTS,
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
                  trace_sample: float = 0.0,
                  trace_exporter=None,
                  stats_timeout_s: float = DEFAULT_STATS_TIMEOUT_S,
-                 watchdog_interval_s: float = WATCHDOG_INTERVAL_S):
+                 watchdog_interval_s: float = WATCHDOG_INTERVAL_S,
+                 ema_halflife_s: float = DEFAULT_EMA_HALFLIFE_S,
+                 chaos=None):
         """Args beyond the model/pool shape:
 
-        max_pending: admission cap on queued single-sample requests;
-            submits beyond it raise :class:`ServerOverloaded`.  Defaults to
-            ``DEFAULT_ADMISSION_BATCHES_PER_WORKER * max_batch *
-            num_workers``.
+        max_pending: admission cap on *outstanding* (admitted, unresolved)
+            single-sample requests; submits beyond it raise
+            :class:`ServerOverloaded`.  The count is exact — an atomic
+            counter incremented at admission and released when the
+            request's future resolves — so concurrent submits cannot
+            overshoot the cap the way the old approximate ``qsize`` check
+            could.  Defaults to ``DEFAULT_ADMISSION_BATCHES_PER_WORKER *
+            max_batch * num_workers``.
         latency_slo_s: optional latency SLO for the async path.  When the
             estimated queueing delay (queued batches plus in-flight batches,
             times the observed batch latency) exceeds it, submits are shed
@@ -138,6 +147,10 @@ class Server:
         use_shared_memory: route tensor payloads through the shared-memory
             ring transport (on by default; off forces the pickle fallback —
             results are bit-identical either way).
+        ring_slots / slot_bytes: shape of each worker's shared-memory rings
+            (payloads that do not fit take the pickle fallback); scenario
+            runs shrink ``slot_bytes`` to exercise the overflow path under
+            load.
         trace_sample: fraction of :meth:`submit` requests to trace end to
             end (0.0, the default, disables tracing entirely: an unsampled
             request pays one comparison and the wire format is identical to
@@ -149,6 +162,12 @@ class Server:
             all shards (see :meth:`worker_stats`).
         watchdog_interval_s: poll interval of the engine's liveness
             watchdog.
+        ema_halflife_s: idle half-life of the SLO latency estimate (see
+            :mod:`repro.serve.stats` — a stale slow-burst reading decays
+            instead of shedding a healthy server forever).
+        chaos: optional fault-injection hook forwarded to the engine (see
+            :class:`~repro.serve.sharded.ShardedEngine` and
+            :mod:`repro.scenarios.chaos`).
         """
         self.model = model
         self.predictor = model.runtime_predictor()
@@ -161,8 +180,9 @@ class Server:
             snapshot, num_workers=num_workers, start_method=start_method,
             blas_threads_per_worker=blas_threads_per_worker,
             use_shared_memory=use_shared_memory,
+            ring_slots=ring_slots, slot_bytes=slot_bytes,
             watchdog_interval_s=watchdog_interval_s,
-            tracer=self.tracer)
+            tracer=self.tracer, chaos=chaos)
         self.max_batch = max_batch or self.micro_batch
         self.max_latency_s = max_latency_s
         self.max_pending = max_pending if max_pending is not None \
@@ -170,9 +190,22 @@ class Server:
                   * num_workers)
         self.latency_slo_s = latency_slo_s
         self.max_inflight_batches = max_inflight_batches
-        self.stats = ServeStats()
+        self.stats = ServeStats(ema_halflife_s=ema_halflife_s)
         self._proto_version = snapshot.prototypes.version
         self._proto_lock = threading.Lock()
+        # The coordinator-side predictor (FCR projection + prototype GEMM)
+        # is one single-process engine stack; concurrent sync callers must
+        # not run it in parallel — its arena slots and buffer caches are
+        # per-engine, and two interleaved run() calls would scribble over
+        # each other's live slots (a bug the scenario harness flushed out:
+        # concurrent Server.predict returned corrupted features).  The conv
+        # backbone — the heavy part — still fans out over the shards.
+        self._predictor_lock = threading.Lock()
+        # Exact admission accounting: admitted-but-unresolved submits.
+        # qsize() is documented approximate and misses dispatched batches,
+        # so concurrent submits could overshoot max_pending.
+        self._admission_lock = threading.Lock()
+        self._outstanding = 0
         self._requests: "queue.Queue[_PendingRequest]" = queue.Queue()
         self._stop = threading.Event()
         # Serialises submit() against close() so no request can slip into the
@@ -210,14 +243,22 @@ class Server:
 
     def embed(self, images: np.ndarray) -> np.ndarray:
         """Images -> ``theta_p`` (backbone on shards, FCR on coordinator)."""
-        return self.predictor.project(self.extract_backbone_features(images))
+        features = self.extract_backbone_features(images)
+        with self._predictor_lock:
+            return self.predictor.project(features)
 
     def predict(self, images: np.ndarray,
                 class_ids: Optional[Iterable[int]] = None) -> np.ndarray:
-        """Classify a batch; bit-for-bit equal to ``BatchedPredictor.predict``."""
+        """Classify a batch; bit-for-bit equal to ``BatchedPredictor.predict``.
+
+        Safe to call from concurrent client threads: the scattered backbone
+        runs in parallel across shards, the coordinator's FCR + prototype
+        GEMM serialise on the predictor lock.
+        """
         features = self.embed(images)
         self.stats.observe_batch_request(features.shape[0])
-        return self.predictor.predict_features(features, class_ids)
+        with self._predictor_lock:
+            return self.predictor.predict_features(features, class_ids)
 
     def similarities(self, images: np.ndarray,
                      class_ids: Optional[Iterable[int]] = None
@@ -225,8 +266,9 @@ class Server:
         """Similarity scores with the model's ReLU sharpening applied."""
         features = self.embed(images)
         self.stats.observe_batch_request(features.shape[0])
-        sims, ids = self.predictor.similarities_from_features(features,
-                                                              class_ids)
+        with self._predictor_lock:
+            sims, ids = self.predictor.similarities_from_features(features,
+                                                                  class_ids)
         if getattr(self.model.config, "relu_sharpening", False):
             sims = np.maximum(sims, 0.0)
         return sims, ids
@@ -250,8 +292,9 @@ class Server:
         """
         theta_a = self.extract_backbone_features(
             np.asarray(images, dtype=np.float32))
-        theta_p = self.predictor.project(theta_a)
-        prototype = self.model.memory.update_class(int(class_id), theta_p)
+        with self._predictor_lock:
+            theta_p = self.predictor.project(theta_a)
+            prototype = self.model.memory.update_class(int(class_id), theta_p)
         self.model.activation_memory[int(class_id)] = \
             theta_a.mean(axis=0).astype(np.float32)
         self.sync_prototypes()
@@ -260,18 +303,24 @@ class Server:
     # ------------------------------------------------------------------
     # Asynchronous single-sample API (dynamic batching)
     # ------------------------------------------------------------------
-    def _estimated_wait_s(self, queue_depth: int) -> float:
-        """Predicted queueing delay for a request admitted now: batches
-        ahead of it (queued plus dispatched) times the observed per-batch
-        latency.  Zero until a first batch latency exists — the SLO gate
-        never sheds on a cold server."""
+    def _estimated_wait_s(self, outstanding: int) -> float:
+        """Predicted queueing delay for a request admitted now: every
+        admitted-but-unresolved request ahead of it (queued *or* already
+        dispatched — the outstanding counter covers both, so in-flight
+        batches are no longer double-counted on top of queue depth),
+        converted to batches, spread over the live shards, times the
+        observed per-batch latency.  Zero until a first batch latency
+        exists — the SLO gate never sheds on a cold server."""
         batch_latency = self.stats.ema_batch_latency_s
         if batch_latency <= 0.0:
             return 0.0
-        queued_batches = -(-(queue_depth + 1) // self.max_batch)
-        inflight = sum(self.engine.inflight_per_worker())
+        batches_ahead = -(-(outstanding + 1) // self.max_batch)
         live = max(1, len(self.engine.live_workers))
-        return (queued_batches + inflight) / live * batch_latency
+        return batches_ahead / live * batch_latency
+
+    def _release_admission(self, _done: Future) -> None:
+        with self._admission_lock:
+            self._outstanding -= 1
 
     def submit(self, image: np.ndarray) -> Future:
         """Enqueue one query image; resolves to its predicted class id.
@@ -281,52 +330,72 @@ class Server:
         of a batch, and each batch is answered end-to-end by one shard.
 
         Raises:
-            ServerOverloaded: the admission queue already holds
-                ``max_pending`` requests, or ``latency_slo_s`` is set and
-                the estimated queueing delay exceeds it.  The request was
-                NOT enqueued; the caller should back off.
+            ServerOverloaded: ``max_pending`` requests are already
+                outstanding (admitted, future unresolved), or
+                ``latency_slo_s`` is set and the estimated queueing delay
+                exceeds it.  The request was NOT enqueued; the caller
+                should back off.
             ServerClosedError: the server is closed.
         """
         if self._stop.is_set():
             raise ServerClosedError("server is closed")
         self.sync_prototypes()
-        depth = self._requests.qsize()
-        if depth >= self.max_pending:
+        # Admission is decided and accounted under one lock on an exact
+        # outstanding-request counter.  The old check read qsize() —
+        # documented approximate, blind to requests the batcher had already
+        # drained but not resolved — so a burst of concurrent submits could
+        # overshoot max_pending arbitrarily.  The counter is released by the
+        # future's done callback, whoever resolves it.
+        with self._admission_lock:
+            outstanding = self._outstanding
+            error: Optional[ServerOverloaded] = None
+            if outstanding >= self.max_pending:
+                error = ServerOverloaded(
+                    f"admission queue is full ({outstanding} >= "
+                    f"{self.max_pending} outstanding requests)")
+            elif self.latency_slo_s is not None:
+                estimate = self._estimated_wait_s(outstanding)
+                if estimate > self.latency_slo_s:
+                    error = ServerOverloaded(
+                        f"estimated queueing delay {estimate * 1e3:.1f} ms "
+                        f"exceeds the {self.latency_slo_s * 1e3:.1f} ms SLO")
+            if error is None:
+                self._outstanding = outstanding + 1
+        if error is not None:
             self.stats.observe_shed()
-            raise ServerOverloaded(
-                f"admission queue is full ({depth} >= {self.max_pending} "
-                f"pending requests)")
-        if self.latency_slo_s is not None:
-            estimate = self._estimated_wait_s(depth)
-            if estimate > self.latency_slo_s:
-                self.stats.observe_shed()
-                raise ServerOverloaded(
-                    f"estimated queueing delay {estimate * 1e3:.1f} ms "
-                    f"exceeds the {self.latency_slo_s * 1e3:.1f} ms SLO")
-        future: Future = Future()
-        future.set_running_or_notify_cancel()   # cancel() can never race us
-        # The root span covers the whole request lifetime — admission to
-        # resolved future — and is ended by the future's done callback,
-        # whichever thread resolves it.
-        span = self.tracer.start_trace("server.submit",
-                                       attrs={"queue_depth": depth})
-        request = _PendingRequest(np.asarray(image, dtype=np.float32),
-                                  future, span)
-        if span is not None:
-            def finish_root(done: Future, span=span) -> None:
-                error = done.exception()
-                if error is not None:
-                    self.tracer.end_span(span, status="error",
-                                         error=f"{type(error).__name__}: "
-                                               f"{error}")
-                else:
-                    self.tracer.end_span(span)
-            future.add_done_callback(finish_root)
-        with self._lifecycle_lock:
-            if self._stop.is_set():
-                raise ServerClosedError("server is closed")
-            self._requests.put(request)
-        self.stats.observe_submit(self._requests.qsize())
+            raise error
+        try:
+            future: Future = Future()
+            future.set_running_or_notify_cancel()   # cancel() never races us
+            # The root span covers the whole request lifetime — admission to
+            # resolved future — and is ended by the future's done callback,
+            # whichever thread resolves it.
+            span = self.tracer.start_trace("server.submit",
+                                           attrs={"queue_depth": outstanding})
+            request = _PendingRequest(np.asarray(image, dtype=np.float32),
+                                      future, span)
+            if span is not None:
+                def finish_root(done: Future, span=span) -> None:
+                    error = done.exception()
+                    if error is not None:
+                        self.tracer.end_span(span, status="error",
+                                             error=f"{type(error).__name__}: "
+                                                   f"{error}")
+                    else:
+                        self.tracer.end_span(span)
+                future.add_done_callback(finish_root)
+            with self._lifecycle_lock:
+                if self._stop.is_set():
+                    raise ServerClosedError("server is closed")
+                self._requests.put(request)
+        except BaseException:
+            # Not enqueued — nothing will ever resolve the future, so the
+            # admission slot must be handed back here.
+            with self._admission_lock:
+                self._outstanding -= 1
+            raise
+        future.add_done_callback(self._release_admission)
+        self.stats.observe_submit(outstanding + 1)
         return request.future
 
     def predict_one(self, image: np.ndarray, timeout: float = 120.0) -> int:
@@ -334,12 +403,17 @@ class Server:
         return self.submit(image).result(timeout=timeout)
 
     def _batch_loop(self) -> None:
+        carry: Optional[_PendingRequest] = None
         while not self._stop.is_set():
-            try:
-                first = self._requests.get(timeout=0.05)
-            except queue.Empty:
-                continue
+            if carry is not None:
+                first, carry = carry, None
+            else:
+                try:
+                    first = self._requests.get(timeout=0.05)
+                except queue.Empty:
+                    continue
             batch = [first]
+            shape = first.image.shape
             coalesce_started = time.time()
             deadline = time.monotonic() + self.max_latency_s
             while len(batch) < self.max_batch:
@@ -347,9 +421,20 @@ class Server:
                 if remaining <= 0:
                     break
                 try:
-                    batch.append(self._requests.get(timeout=remaining))
+                    request = self._requests.get(timeout=remaining)
                 except queue.Empty:
                     break
+                if request.image.shape != shape:
+                    # A mis-shaped request must not poison the batch it
+                    # happened to coalesce with: np.stack over mixed shapes
+                    # raised in the batcher and failed every innocent
+                    # neighbour.  Close this batch and start the next one
+                    # from the odd request — dispatched alone, a genuinely
+                    # malformed shape gets its own typed error from the
+                    # shard and fails only its sender.
+                    carry = request
+                    break
+                batch.append(request)
             # Backpressure: while every live shard is at its in-flight
             # budget, hold the batch instead of piling more work onto the
             # engine (admission control upstream bounds how much can wait
@@ -362,12 +447,17 @@ class Server:
                    >= self.max_inflight_batches):
                 time.sleep(0.001)
             if self._stop.is_set():
+                if carry is not None:
+                    batch.append(carry)
                 for request in batch:
                     _resolve_quietly(request.future,
                                      exception=ServerClosedError(
                                          "server closed"))
                 return
             self._dispatch(batch, coalesce_started)
+        if carry is not None:            # stop flag won the top-of-loop race
+            _resolve_quietly(carry.future,
+                             exception=ServerClosedError("server closed"))
 
     def _dispatch(self, batch: List[_PendingRequest],
                   coalesce_started: Optional[float] = None) -> None:
@@ -424,6 +514,13 @@ class Server:
     @property
     def num_workers(self) -> int:
         return self.engine.num_workers
+
+    @property
+    def outstanding(self) -> int:
+        """Admitted single-sample requests whose futures are unresolved —
+        the exact quantity ``max_pending`` caps."""
+        with self._admission_lock:
+            return self._outstanding
 
     def worker_stats(self, timeout: Optional[float] = None) -> List[dict]:
         """Per-worker replica statistics under a shared deadline.
@@ -498,6 +595,11 @@ class Server:
         # EngineClosedError, which the resolve callbacks forward to the
         # per-request futures — nothing a caller holds can block forever.
         self.engine.close(timeout=timeout)
+        # Flush and close the span exporter last: spans for the failing
+        # futures above are ended by their done callbacks, and a buffered
+        # JSONL exporter that is never flushed silently loses the tail of
+        # the trace — exactly the spans covering the shutdown.
+        self.tracer.close()
 
     def __enter__(self) -> "Server":
         return self

@@ -74,6 +74,14 @@ class RemoteWorkerError(RuntimeError):
     """An exception raised inside (or by the death of) a worker process."""
 
 
+class WorkerDiedError(RemoteWorkerError):
+    """The worker *process* backing a request is gone (crash, SIGKILL, torn
+    channel) — as opposed to a worker-side exception forwarded through
+    :class:`RemoteWorkerError`.  The distinction matters for retries: a dead
+    shard's work can be re-dispatched to a survivor, while a genuine
+    exception (bad payload) would fail identically anywhere."""
+
+
 class EngineClosedError(RuntimeError):
     """The engine was closed; raised by new submits and used to fail any
     request still in flight at ``close()`` time, so callers never block on
@@ -110,7 +118,7 @@ class ShardedEngine:
                  ring_slots: int = DEFAULT_RING_SLOTS,
                  slot_bytes: int = DEFAULT_SLOT_BYTES,
                  watchdog_interval_s: float = WATCHDOG_INTERVAL_S,
-                 tracer=None):
+                 tracer=None, chaos=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if watchdog_interval_s <= 0:
@@ -122,6 +130,12 @@ class ShardedEngine:
         #: spans shipped back from workers, and the author of the synthetic
         #: ``worker.execute`` spans of requests whose worker died on them.
         self.tracer = tracer
+        #: Optional fault-injection hook (see :mod:`repro.scenarios.chaos`):
+        #: an object whose ``on_result(worker_index, item)`` may mutate or
+        #: replace a result frame before the collector decodes it —
+        #: modelling a shard that ships corrupted frames.  ``None`` (the
+        #: default) costs one attribute check per result.
+        self._chaos = chaos
         context = mp.get_context(start_method)
         self._request_queues = []
         self._result_queues = []
@@ -177,13 +191,20 @@ class ShardedEngine:
         # Block until every worker finished importing + restoring its replica
         # (spawn pays the interpreter startup here, not on the first request).
         # A worker that dies during startup fails its ping fast through the
-        # watchdog instead of running out the timeout.
-        self.broadcast("ping", timeout=startup_timeout)
+        # watchdog instead of running out the timeout; a pool that cannot
+        # bring up *every* worker is a startup failure, not a degraded pool.
+        self.broadcast("ping", timeout=startup_timeout, require_all=True)
 
     # ------------------------------------------------------------------
     @property
     def num_workers(self) -> int:
         return len(self._processes)
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """OS pids of the worker processes (the chaos layer's signal
+        targets; a dead worker keeps reporting its last pid)."""
+        return [process.pid for process in self._processes]
 
     @property
     def live_workers(self) -> List[int]:
@@ -257,6 +278,14 @@ class ShardedEngine:
                 continue
             except (EOFError, OSError):      # channel torn down under us
                 break
+            if self._chaos is not None:
+                # Fault injection: the hook may return a corrupted frame
+                # (modelling a shard shipping garbage); a hook that raises
+                # is treated as a no-op so the collector never dies to it.
+                try:
+                    item = self._chaos.on_result(index, item)
+                except Exception:  # noqa: BLE001 - chaos must not kill us
+                    pass
             try:
                 ticket, worker_id, ok, packed = item
             except (TypeError, ValueError):  # truncated frame from a corpse
@@ -339,7 +368,7 @@ class ShardedEngine:
         for ring in (self._request_rings[index], self._result_rings[index]):
             if ring is not None:
                 ring.reclaim_all()
-        error = RemoteWorkerError(reason)
+        error = WorkerDiedError(reason)
         for _, future in doomed:
             try:
                 future.set_exception(error)
@@ -373,7 +402,7 @@ class ShardedEngine:
             if worker is not None:
                 index = worker
                 if self._dead[index]:
-                    raise RemoteWorkerError(f"worker {index} is dead")
+                    raise WorkerDiedError(f"worker {index} is dead")
             else:
                 live = [i for i in range(self.num_workers)
                         if not self._dead[i]]
@@ -394,7 +423,7 @@ class ShardedEngine:
             self._request_queues[index].put((kind, ticket, packed))
         except (OSError, ValueError) as exc:
             if self._pop_ticket(ticket) is not None:
-                future.set_exception(RemoteWorkerError(
+                future.set_exception(WorkerDiedError(
                     f"worker {index}: request channel closed ({exc})"))
             return future
         # The watchdog may have declared the shard dead between routing and
@@ -405,7 +434,7 @@ class ShardedEngine:
         if died and self._pop_ticket(ticket) is not None:
             try:
                 future.set_exception(
-                    RemoteWorkerError(f"worker {index} is dead"))
+                    WorkerDiedError(f"worker {index} is dead"))
             except InvalidStateError:
                 pass
         return future
@@ -419,37 +448,108 @@ class ShardedEngine:
         ``micro_batch`` boundaries), so per-chunk results are bit-identical
         to the single-process engine's regardless of which shard — or how
         many shards — served each chunk.
+
+        ``timeout`` is one *shared* deadline for the whole batch, not a
+        per-chunk budget: the old per-chunk ``future.result(timeout=...)``
+        let an N-chunk batch over a wedged shard wait up to N x timeout.
+        A chunk whose shard *dies* mid-flight (:class:`WorkerDiedError`,
+        never a worker-side exception) is re-dispatched to a surviving
+        shard instead of failing the whole batch — results stay
+        bit-identical because any shard computes the same chunk bits.
         """
         images = np.asarray(images, dtype=np.float32)
         if images.ndim == 3:
             images = images[None]
         if images.shape[0] == 0:
             raise ValueError("cannot scatter an empty batch")
-        futures = [self.submit(kind, np.ascontiguousarray(
-                       images[start:start + self.micro_batch]))
-                   for start in range(0, images.shape[0], self.micro_batch)]
-        outputs = [future.result(timeout=timeout) for future in futures]
+        deadline = time.monotonic() + timeout
+        chunks = [np.ascontiguousarray(images[start:start + self.micro_batch])
+                  for start in range(0, images.shape[0], self.micro_batch)]
+        futures = [self.submit(kind, chunk) for chunk in chunks]
+        outputs: List[Optional[np.ndarray]] = [None] * len(chunks)
+        for position, future in enumerate(futures):
+            redispatches = 0
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"scatter({kind!r}) exceeded its shared {timeout:g}s "
+                        f"deadline with chunk {position}/{len(chunks)} "
+                        f"unresolved")
+                try:
+                    outputs[position] = future.result(timeout=remaining)
+                    break
+                except WorkerDiedError:
+                    # Every retry implies another dead shard, so the retry
+                    # count is naturally bounded by the pool size; the
+                    # explicit cap guards against a miscounting bug turning
+                    # into an infinite loop.
+                    redispatches += 1
+                    if redispatches > self.num_workers:
+                        raise
+                    # submit raises RemoteWorkerError("no live workers...")
+                    # once the whole pool is gone.
+                    future = self.submit(kind, chunks[position])
         return outputs[0] if len(outputs) == 1 else np.concatenate(outputs)
 
     def broadcast(self, kind: str, payload=None,
-                  timeout: float = DEFAULT_TIMEOUT) -> List:
-        """Send one work item to every *live* worker and wait for all
-        replies (one result per live shard, in shard order)."""
+                  timeout: float = DEFAULT_TIMEOUT,
+                  require_all: bool = False) -> Dict[int, object]:
+        """Send one work item to every *live* worker under one shared
+        deadline; returns ``{shard_index: result}`` for the shards that
+        answered.
+
+        A shard that dies between the liveness snapshot and its reply — or
+        that never answers within the deadline — is simply omitted from the
+        result instead of failing the whole broadcast, so one corpse cannot
+        wedge e.g. a prototype sync for every healthy shard.  The mapping
+        keys report exactly which shards answered.  Raises
+        :class:`RemoteWorkerError` only when *no* shard answered, or on the
+        first failure when ``require_all`` is set (startup, where a pool
+        missing a worker is a failure, not a degraded pool).
+        """
         indices = self.live_workers
         if not indices:
             raise RemoteWorkerError("no live workers left in the pool")
-        futures = [self.submit(kind, payload, worker=index)
-                   for index in indices]
-        return [future.result(timeout=timeout) for future in futures]
+        deadline = time.monotonic() + timeout
+        futures: Dict[int, Future] = {}
+        failures: Dict[int, str] = {}
+        for index in indices:
+            try:
+                futures[index] = self.submit(kind, payload, worker=index)
+            except RemoteWorkerError as exc:   # died since the snapshot
+                if require_all:
+                    raise
+                failures[index] = f"{type(exc).__name__}: {exc}"
+        results: Dict[int, object] = {}
+        for index, future in futures.items():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                results[index] = future.result(timeout=remaining)
+            except (RemoteWorkerError, TimeoutError) as exc:
+                if require_all:
+                    raise
+                # The future is deliberately left pending on a timeout: a
+                # slow-but-alive shard still applies the (FIFO-queued) item
+                # when it gets there, and the watchdog or close() fails the
+                # future if the shard is actually gone.
+                failures[index] = f"{type(exc).__name__}: {exc}"
+        if not results:
+            raise RemoteWorkerError(
+                f"broadcast {kind!r} reached no shard: {failures}")
+        return results
 
     def set_prototypes(self, state: PrototypeState,
-                       timeout: float = DEFAULT_TIMEOUT) -> List[int]:
-        """Broadcast a prototype state; returns the acked version per worker.
+                       timeout: float = DEFAULT_TIMEOUT) -> Dict[int, int]:
+        """Broadcast a prototype state; returns ``{shard: acked version}``
+        for every shard that answered (see :meth:`broadcast` — a shard
+        dying mid-broadcast is omitted, not fatal, so ``sync_prototypes``
+        during a ``learn_class`` storm can never wedge serving).
 
-        Request queues are FIFO per worker, so once this returns every
-        previously enqueued item has executed and every later item sees the
-        new prototypes.  Prototype states are control frames: they cross as
-        pickle, never through the tensor rings.
+        Request queues are FIFO per worker, so every answering shard has
+        executed all previously enqueued items and every later item sees
+        the new prototypes.  Prototype states are control frames: they
+        cross as pickle, never through the tensor rings.
         """
         return self.broadcast("set_prototypes", state, timeout=timeout)
 

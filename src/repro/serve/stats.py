@@ -25,7 +25,11 @@ and any registry scrape can never disagree about what p50/p99 means.
 
 The EMA batch-latency estimate survives as plain state: it is the admission
 controller's *control signal* (read per submit, smoothed by
-:data:`EMA_ALPHA`), not a reporting metric.
+:data:`EMA_ALPHA`), not a reporting metric.  It **decays while idle**: after
+a grace of one half-life with no completed batch, the estimate halves every
+:data:`DEFAULT_EMA_HALFLIFE_S` seconds.  Without the decay a transient slow
+burst was sticky — the SLO gate kept shedding on the stale estimate, no new
+batch ever completed to refresh it, and a now-healthy server shed forever.
 """
 
 from __future__ import annotations
@@ -39,6 +43,12 @@ from ..obs.metrics import MetricsRegistry
 #: Smoothing factor of the exponential moving average the admission
 #: controller's SLO estimate reads (higher = reacts faster to load shifts).
 EMA_ALPHA = 0.2
+
+#: Default idle half-life of the EMA batch-latency estimate: after one
+#: half-life with no completed batch the estimate starts halving per
+#: half-life, so a stale slow-burst reading cannot shed a healthy server
+#: forever (the shedding itself starves the EMA of fresh observations).
+DEFAULT_EMA_HALFLIFE_S = 2.0
 
 #: Bucket upper bounds (seconds) of ``serve.batch_latency_s``: geometric
 #: from 1 ms to 60 s, resolving the dynamic batcher's typical single-digit
@@ -58,8 +68,12 @@ class ServeStats:
     card.
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 ema_halflife_s: float = DEFAULT_EMA_HALFLIFE_S):
+        if ema_halflife_s <= 0:
+            raise ValueError("ema_halflife_s must be positive")
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.ema_halflife_s = float(ema_halflife_s)
         self._requests = self.registry.counter("serve.requests_total")
         self._batch_requests = self.registry.counter(
             "serve.batch_requests_total")
@@ -76,6 +90,7 @@ class ServeStats:
         self.started_at = time.perf_counter()
         self._ema_lock = threading.Lock()
         self._ema_batch_latency_s = 0.0
+        self._ema_updated_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     def observe_submit(self, queue_depth: int) -> None:
@@ -100,13 +115,15 @@ class ServeStats:
 
     def observe_batch_latency(self, seconds: float) -> None:
         self._batch_latency.observe(seconds)
+        now = time.monotonic()
         with self._ema_lock:
-            if self._ema_batch_latency_s <= 0.0:
+            current = self._decayed_ema_locked(now)
+            if current <= 0.0:
                 self._ema_batch_latency_s = seconds
             else:
                 self._ema_batch_latency_s = (
-                    EMA_ALPHA * seconds
-                    + (1.0 - EMA_ALPHA) * self._ema_batch_latency_s)
+                    EMA_ALPHA * seconds + (1.0 - EMA_ALPHA) * current)
+            self._ema_updated_at = now
 
     # ------------------------------------------------------------------
     @property
@@ -118,10 +135,21 @@ class ServeStats:
         elapsed = self.elapsed_s
         return self._samples.value / elapsed if elapsed > 0 else 0.0
 
+    def _decayed_ema_locked(self, now: float) -> float:
+        """The EMA after idle decay: the raw value for up to one half-life
+        since the last completed batch (so a *serving* server reads the
+        plain EMA), then halving per half-life of further idleness."""
+        if self._ema_batch_latency_s <= 0.0 or self._ema_updated_at is None:
+            return self._ema_batch_latency_s
+        idle = now - self._ema_updated_at - self.ema_halflife_s
+        if idle <= 0.0:
+            return self._ema_batch_latency_s
+        return self._ema_batch_latency_s * 0.5 ** (idle / self.ema_halflife_s)
+
     @property
     def ema_batch_latency_s(self) -> float:
         with self._ema_lock:
-            return self._ema_batch_latency_s
+            return self._decayed_ema_locked(time.monotonic())
 
     @property
     def shed_rate(self) -> float:

@@ -97,6 +97,11 @@ class SlotRing:
             self._flags[:] = 0
         self._cursor = 0
         self._closed = False
+        #: Fault-injection switch (process-local, never shared state): while
+        #: set, :meth:`try_write` reports a full ring so every payload takes
+        #: the inline-pickle fallback — the scenario harness's way of
+        #: exercising ring exhaustion deterministically.
+        self.fail_writes = False
 
     # ------------------------------------------------------------------
     @property
@@ -126,7 +131,7 @@ class SlotRing:
         instead of blocking.
         """
         array = np.ascontiguousarray(array)
-        if array.nbytes > self.slot_bytes:
+        if self.fail_writes or array.nbytes > self.slot_bytes:
             return None
         for probe in range(self.slots):
             slot = (self._cursor + probe) % self.slots

@@ -30,8 +30,17 @@ kind                payload                                   result
 ``similarities``    ``(images, class_ids | None)``            ``(sims, ids)``
 ``set_prototypes``  :class:`PrototypeState`                   acked ``version``
 ``stats``           ``None``                                  stats ``dict``
+``chaos``           settings ``dict``                         applied ``dict``
 ``shutdown``        ``None``                                  ``None`` (stops)
 ==================  ========================================  =================
+
+The ``chaos`` item is the scenario harness's worker-side fault hook (see
+:mod:`repro.scenarios.chaos`): ``{"slow_s": 0.05}`` makes every subsequent
+work item sleep before executing (a slow-but-alive shard), and
+``{"exhaust_result_ring": True}`` forces the result ring's ``try_write`` to
+report a full ring so replies take the pickle fallback.  Settings merge, an
+empty dict resets nothing, explicit keys overwrite — chaos is injected and
+healed through the exact same FIFO path real work takes.
 
 Exceptions never kill the loop: they are captured per work item and re-raised
 at the caller as :class:`~repro.serve.sharded.RemoteWorkerError`.
@@ -39,6 +48,7 @@ at the caller as :class:`~repro.serve.sharded.RemoteWorkerError`.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -78,6 +88,9 @@ class _WorkerState:
         self.mode = getattr(snapshot, "mode", "float32")
         self._protos_q = None          # int8 codes, rebuilt per broadcast
         self._requests = self.registry.counter("worker.requests_total")
+        #: Active fault-injection settings (the ``chaos`` work item merges
+        #: into this); empty in production — one dict lookup per item.
+        self.chaos: dict = {}
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -128,6 +141,12 @@ class _WorkerState:
 
     def handle(self, kind: str, payload):
         self._requests.inc()
+        if kind == "chaos":
+            self.chaos.update(dict(payload or {}))
+            return dict(self.chaos)
+        slow_s = self.chaos.get("slow_s")
+        if slow_s:
+            time.sleep(float(slow_s))
         if kind == "ping":
             return None
         if kind == "backbone":
@@ -163,6 +182,7 @@ class _WorkerState:
                 + self.fcr.arena_slots,
                 "arena_peak_bytes": self.backbone.arena_peak_bytes
                 + self.fcr.arena_peak_bytes,
+                "chaos": dict(self.chaos),
                 "metrics": self.registry.scrape(),
             }
         raise ValueError(f"unknown work item kind {kind!r}")
@@ -213,6 +233,11 @@ def worker_main(worker_id: int, snapshot: ModelSnapshot, request_queue,
             payload, held_slots = unpack_payload(request_ring, packed)
             try:
                 result = state.handle(kind, payload)
+                if kind == "chaos" and result_ring is not None:
+                    # Ring-exhaustion chaos lives on the ring object itself
+                    # so the transport layer stays oblivious to scenarios.
+                    result_ring.fail_writes = bool(
+                        state.chaos.get("exhaust_result_ring"))
                 tracer.end_span(span)
                 trace_out = {"spans": span_buffer.drain()} \
                     if span is not None else None

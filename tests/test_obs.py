@@ -187,10 +187,28 @@ class TestTracer:
         root = tracer.start_trace("root")
         tracer.end_span(tracer.start_span("child", parent=root))
         tracer.end_span(root)
+        tracer.flush()          # the exporter buffers; flushing is the API
         spans = read_jsonl_spans(path)
         assert [span["name"] for span in spans] == ["child", "root"]
         tree = span_tree(spans)
         assert [span["name"] for span in tree[root.span_id]] == ["child"]
+
+    def test_jsonl_exporter_buffers_until_flush_and_survives_close(
+            self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonlSpanExporter(path)
+        tracer = Tracer(sample_rate=1.0, exporter=exporter)
+        tracer.end_span(tracer.start_trace("tail"))
+        # The span sits in the stdio buffer: without the close-time flush
+        # this is precisely the trace loss the server shutdown used to hit.
+        assert not path.exists() or read_jsonl_spans(path) == []
+        tracer.close()
+        assert [span["name"] for span in read_jsonl_spans(path)] == ["tail"]
+        tracer.close()                                        # idempotent
+        tracer.end_span(tracer.start_trace("late"))           # reopens
+        tracer.flush()
+        names = [span["name"] for span in read_jsonl_spans(path)]
+        assert names == ["tail", "late"]
 
     def test_ambient_span_nests_and_is_inert_without_activation(self):
         with obs_trace.ambient_span("engine.run") as span:
