@@ -33,9 +33,9 @@ scenario              what it proves
 ``burst_admission``   concurrent bursty overload: the admission cap is
                       exact (never overshoots), shedding is typed, and the
                       SLO gate un-sticks once the latency EMA decays
-``kill_shard``        SIGKILL mid-stream: survivors keep answering
-                      bit-identically, in-flight work fails typed, sync
-                      scatter re-dispatches the corpse's chunks
+``kill_shard``        SIGKILL with respawn disabled: survivors keep
+                      answering bit-identically, in-flight work fails
+                      typed, sync scatter re-dispatches the corpse's chunks
 ``hang_shard``        SIGSTOP (wedged-but-alive): one shared scatter
                       deadline (no per-chunk compounding), broadcasts
                       tolerate the mute shard, SIGCONT heals
@@ -45,7 +45,28 @@ scenario              what it proves
                       no collector crash, full parity after
 ``ring_exhaustion``   result ring permanently full: the pickle fallback
                       carries all traffic bit-identically
+``kill_recover``      SIGKILL with the supervisor on: the full worker
+                      count is restored within a bounded window, the
+                      respawned shard answers bit-identically (prototype
+                      resync proven by targeted submits), and the
+                      recovery latency lands in the bench record
+``crash_loop``        every respawned incarnation is killed again: the
+                      crash-loop budget gives the shard up with typed
+                      errors and coherent stats, survivors unaffected
+``sigstop_escalation``  SIGSTOP under hang detection: the heartbeat-silent
+                      shard is escalated, SIGKILLed, respawned, and
+                      rejoins with full parity
+``restart_replay``    learn_class churn (including one mid-crash) into a
+                      write-ahead journal, full restart, journal replay:
+                      the restored server is bit-identical
 ====================  ======================================================
+
+Besides its checks, every matrix run is also a latency regression gate:
+once a scenario's recorded trend carries :data:`LATENCY_FLOOR_MIN_HISTORY`
+history entries with a positive batch-latency p50, the scenario's *latency
+floor* arms — a new record whose p50 exceeds
+:data:`LATENCY_FLOOR_MULTIPLIER` x the historical median fails the run
+(see :func:`apply_latency_floor`).
 """
 
 from __future__ import annotations
@@ -61,11 +82,13 @@ import numpy as np
 
 from ..core import OFSCIL, OFSCILConfig
 from ..obs.trace import JsonlSpanExporter, read_jsonl_spans
-from ..report.bench import append_keyed_bench_record
+from ..report.bench import append_keyed_bench_record, load_keyed_bench
 from ..serve import (
+    BackoffSchedule,
     RemoteWorkerError,
     Server,
     ServerOverloaded,
+    WorkerDiedError,
 )
 from .chaos import ChaosController, ChaosInjector
 from .loadgen import Workload, generate_workload
@@ -80,9 +103,37 @@ IMAGE_SHAPE = (3, 16, 16)
 DEFAULT_BENCH_PATH = \
     Path(__file__).resolve().parents[3] / "BENCH_scenarios.json"
 
+#: Where ``restart_replay`` writes its learn_class journal (repository
+#: root, gitignored).  Left on disk after the run on purpose: CI uploads
+#: it as an artifact so a failed replay can be re-examined offline.
+DEFAULT_JOURNAL_PATH = \
+    Path(__file__).resolve().parents[3] / "scenario_learn_journal.bin"
+
 #: Generous single-request deadline: scenarios run on arbitrarily loaded
 #: CI machines, so correctness checks never race the scheduler.
 RESULT_TIMEOUT_S = 120.0
+
+#: Bounded recovery window the supervised-respawn scenarios hold the
+#: engine to: detection + backoff + interpreter spawn + replica restore +
+#: prototype resync must all fit, even on a loaded CI machine.
+RECOVERY_WINDOW_S = 60.0
+
+#: History entries with a positive batch-latency p50 a scenario's trend
+#: needs before its latency floor arms — fewer and the median is noise.
+LATENCY_FLOOR_MIN_HISTORY = 3
+
+#: Armed latency limit as a multiple of the historical median p50.  Loose
+#: by design: the gate exists to catch order-of-magnitude serving
+#: regressions (a lost fast path, an accidental sync wait), not scheduler
+#: jitter on shared CI machines.
+LATENCY_FLOOR_MULTIPLIER = 5.0
+
+#: Fast, deterministic respawn backoff for the recovery scenarios: real
+#: deployments want the default quarter-second-doubling schedule, a
+#: scenario wants recovery (or crash-loop exhaustion) inside seconds.
+def _fast_backoff(seed: int) -> BackoffSchedule:
+    return BackoffSchedule(base_s=0.05, cap_s=0.1, jitter=0.0,
+                           seed=seed)
 
 
 class ScenarioFailure(AssertionError):
@@ -427,8 +478,13 @@ def scenario_burst_admission(seed: int) -> dict:
 
 def scenario_kill_shard(seed: int) -> dict:
     """SIGKILL one shard mid-stream: survivors answer bit-identically,
-    the corpse's in-flight work fails typed, scatter re-dispatches."""
-    run = ScenarioRun("kill_shard", seed)
+    the corpse's in-flight work fails typed, scatter re-dispatches.
+
+    Respawn is explicitly disabled (``max_respawns=0``): this scenario
+    pins the *degraded* contract — a dead shard stays dead and the pool
+    keeps serving around it.  ``kill_recover`` covers the supervised
+    respawn path."""
+    run = ScenarioRun("kill_shard", seed, max_respawns=0)
     try:
         expected = run.reference().predict(run.shots)
         run.server.predict(run.queries[:8])          # warm both replicas
@@ -622,6 +678,267 @@ def scenario_ring_exhaustion(seed: int) -> dict:
             "checks": run.checks}
 
 
+def _await_recovery(run: ScenarioRun, worker: int, old_pid: int,
+                    deadline_s: float = RECOVERY_WINDOW_S) -> float:
+    """Block until ``worker`` is live again under a *new* pid; returns the
+    observed wall-clock recovery time.  Raises :class:`ScenarioFailure` if
+    the bounded window elapses first — an unbounded wait would turn a
+    respawn bug into a hung CI job."""
+    engine = run.server.engine
+    started = time.monotonic()
+    while time.monotonic() - started < deadline_s:
+        if (worker in engine.live_workers
+                and engine.worker_pids[worker] != old_pid):
+            return time.monotonic() - started
+        time.sleep(0.02)
+    raise ScenarioFailure(
+        f"[{run.name}] FAILED: worker {worker} not respawned within "
+        f"{deadline_s:.0f}s (live={engine.live_workers}, "
+        f"gave_up={engine.gave_up_workers})")
+
+
+def scenario_kill_recover(seed: int) -> dict:
+    """SIGKILL with the supervisor on: the pool self-heals.
+
+    The full worker count must come back within :data:`RECOVERY_WINDOW_S`,
+    the respawned shard must hold the *current* prototype state (proven by
+    a targeted submit, which least-loaded routing could otherwise dodge),
+    post-recovery answers must be bit-identical, and the measured recovery
+    latency must land in the stats surface and the bench record."""
+    run = ScenarioRun("kill_recover", seed, watchdog_interval_s=0.05,
+                      respawn_backoff=_fast_backoff(seed))
+    try:
+        expected = run.reference().predict(run.shots)
+        run.server.predict(run.queries[:8])          # warm both replicas
+        old_pid = run.server.engine.worker_pids[1]
+        run.chaos.kill_worker(1)
+        recovered_s = _await_recovery(run, 1, old_pid)
+        run.check(recovered_s < RECOVERY_WINDOW_S,
+                  "full worker count restored within the bounded window "
+                  f"({recovered_s:.2f}s)")
+        run.check(run.server.engine.worker_pids[1] != old_pid,
+                  "the respawned shard is a fresh process")
+        run.check(sorted(run.server.engine.live_workers) == [0, 1],
+                  "routing rejoined the respawned shard")
+        run.check(run.server.engine.restart_counts == [0, 1],
+                  "exactly the killed shard restarted, exactly once")
+        # Targeted submit at the respawned shard: least-loaded routing
+        # could answer everything from the survivor, so parity alone would
+        # not prove the replacement resynced its prototype replica.
+        labels = run.server.engine.submit(
+            "predict", (run.shots[:6], None),
+            worker=1).result(timeout=RESULT_TIMEOUT_S)
+        run.check(np.array_equal(labels, expected[:6]),
+                  "targeted answers from the respawned shard bitwise "
+                  "(prototype state resynced)")
+        run.parity_sweep("post-recovery")
+        report = run.coherent_stats()
+        run.check(report["dead_workers"] == [],
+                  "no shard left dead after recovery")
+        run.check(report["worker_restarts"] == 1,
+                  "stats count exactly one supervised restart")
+        latency = report["last_recovery_latency_s"]
+        run.check(latency is not None and 0.0 < latency < RECOVERY_WINDOW_S,
+                  "recovery latency measured and within the window")
+        counters = run.counters()
+        counters["recovery_latency_s"] = round(float(latency), 3)
+        counters["worker_restarts"] = report["worker_restarts"]
+    finally:
+        run.close()
+    return {"workload": {"name": "kill_recover", "num_ops": 8,
+                         "arrival": "scripted"},
+            "counters": counters, "checks": run.checks}
+
+
+def scenario_crash_loop(seed: int) -> dict:
+    """Kill every respawned incarnation: the crash-loop budget holds.
+
+    After ``max_respawns`` respawns inside the reset window the shard must
+    degrade permanently — typed :class:`WorkerDiedError` on targeted work,
+    no further spawn attempts, survivors bit-identical, stats coherent."""
+    max_respawns = 2
+    run = ScenarioRun("crash_loop", seed, watchdog_interval_s=0.05,
+                      max_respawns=max_respawns,
+                      respawn_backoff=_fast_backoff(seed))
+    try:
+        run.server.predict(run.queries[:8])          # warm both replicas
+        engine = run.server.engine
+        kills = 0
+        seen_pids = {engine.worker_pids[0]}
+        deadline = time.monotonic() + RECOVERY_WINDOW_S
+        # Kill worker 0's every incarnation the moment it rejoins; the
+        # supervisor burns its budget and must then stop trying.
+        while 0 not in engine.gave_up_workers:
+            if time.monotonic() > deadline:
+                raise ScenarioFailure(
+                    "[crash_loop] FAILED: budget never exhausted "
+                    f"(kills={kills}, restarts={engine.restart_counts})")
+            if 0 in engine.live_workers:
+                seen_pids.add(engine.worker_pids[0])
+                try:
+                    run.chaos.kill_worker(0)
+                    kills += 1
+                except ProcessLookupError:
+                    pass                 # lost the race; it is already dead
+            time.sleep(0.02)
+        run.check(engine.gave_up_workers == [0],
+                  "the crash-looping shard — and only it — was given up")
+        run.check(engine.restart_counts[0] <= max_respawns,
+                  "respawns never exceeded the crash-loop budget")
+        run.check(len(seen_pids) == engine.restart_counts[0] + 1,
+                  "every incarnation was a distinct process")
+        # The budget is terminal: the corpse must stay down.
+        settle_restarts = engine.restart_counts[0]
+        time.sleep(0.5)
+        run.check(engine.restart_counts[0] == settle_restarts
+                  and 0 not in engine.live_workers,
+                  "no further respawn attempts after giving up")
+        try:
+            engine.submit("ping", None, worker=0).result(timeout=5.0)
+            raise ScenarioFailure("[crash_loop] FAILED: targeted work at "
+                                  "the given-up shard did not fail")
+        except WorkerDiedError:
+            run.checks.append("targeted work at the given-up shard fails "
+                              "with typed WorkerDiedError")
+        run.parity_sweep("survivor after crash loop")
+        report = run.coherent_stats()
+        run.check(report["dead_workers"] == [0],
+                  "stats keep naming the given-up shard dead")
+        run.check(report["live_workers"] == [1],
+                  "the survivor stays live through the crash loop")
+        run.check(report["gave_up_workers"] == [0],
+                  "stats expose the exhausted crash-loop budget")
+        run.check(report["respawns_abandoned"] == 1,
+                  "stats count exactly one abandoned respawn")
+        run.check(report["worker_failures"] >= max_respawns + 1,
+                  "every kill surfaced as a worker failure")
+        counters = run.counters()
+        counters["kills"] = kills
+        counters["worker_restarts"] = report["worker_restarts"]
+    finally:
+        run.close()
+    return {"workload": {"name": "crash_loop", "num_ops": 8,
+                         "arrival": "scripted"},
+            "counters": counters, "checks": run.checks}
+
+
+def scenario_sigstop_escalation(seed: int) -> dict:
+    """SIGSTOP under hang detection: silence is failure.
+
+    A SIGSTOPped shard passes ``is_alive()`` forever; only its heartbeat
+    goes quiet.  With ``hang_silence_s`` armed the watchdog must escalate
+    the mute shard to the failure path — SIGKILL, respawn, resync — and
+    the pool must return to full strength with full parity."""
+    run = ScenarioRun("sigstop_escalation", seed, watchdog_interval_s=0.05,
+                      hang_silence_s=1.0,
+                      respawn_backoff=_fast_backoff(seed))
+    try:
+        expected = run.reference().predict(run.shots)
+        run.server.predict(run.queries[:8])          # warm both replicas
+        old_pid = run.server.engine.worker_pids[0]
+        run.chaos.hang_worker(0)
+        recovered_s = _await_recovery(run, 0, old_pid)
+        run.check(recovered_s < RECOVERY_WINDOW_S,
+                  "hung shard escalated and respawned within the window "
+                  f"({recovered_s:.2f}s)")
+        run.check(recovered_s > 0.5,
+                  "escalation waited out the silence threshold "
+                  "(no hair-trigger on a merely busy shard)")
+        run.check(run.server.engine.worker_pids[0] != old_pid,
+                  "the SIGSTOPped process was replaced, not resumed")
+        run.check(sorted(run.server.engine.live_workers) == [0, 1],
+                  "routing rejoined the escalated shard")
+        labels = run.server.engine.submit(
+            "predict", (run.shots[:6], None),
+            worker=0).result(timeout=RESULT_TIMEOUT_S)
+        run.check(np.array_equal(labels, expected[:6]),
+                  "targeted answers from the escalated shard bitwise")
+        run.parity_sweep("post-escalation")
+        report = run.coherent_stats()
+        run.check(report["hang_escalations"] == 1,
+                  "stats count exactly one hang escalation")
+        run.check(report["worker_restarts"] == 1,
+                  "the escalation fed the one supervised restart")
+        run.check(report["dead_workers"] == [],
+                  "no shard left dead after escalation")
+        counters = run.counters()
+        counters["recovery_latency_s"] = report["last_recovery_latency_s"]
+        counters["hang_escalations"] = report["hang_escalations"]
+    finally:
+        run.close()
+    return {"workload": {"name": "sigstop_escalation", "num_ops": 8,
+                         "arrival": "scripted"},
+            "counters": counters, "checks": run.checks}
+
+
+def scenario_restart_replay(seed: int) -> dict:
+    """learn_class churn + crash + full restart: the journal restores bits.
+
+    Learned classes are journalled write-ahead (fsync-always), one shard is
+    SIGKILLed mid-churn so at least one append races a recovery, the server
+    is torn down completely, and a *fresh* server over a fresh base model
+    replays the journal — prototype matrix, class ids, memory version, and
+    served predictions must all come back bit-identical.  The journal file
+    stays on disk (gitignored; CI uploads it as an artifact)."""
+    journal_path = DEFAULT_JOURNAL_PATH
+    journal_path.unlink(missing_ok=True)
+    learned = [BASE_CLASSES + i for i in range(4)]
+    run = ScenarioRun("restart_replay", seed, journal_path=journal_path,
+                      journal_fsync="always", watchdog_interval_s=0.05,
+                      respawn_backoff=_fast_backoff(seed))
+    try:
+        run.server.predict(run.queries[:8])          # warm both replicas
+        for class_id in learned[:3]:
+            run.server.learn_class(learn_shots_for(class_id), class_id)
+        expected = run.reference().predict(run.shots)
+        run.check(np.array_equal(run.server.predict(run.shots), expected),
+                  "pre-crash parity over the journalled classes")
+        old_pid = run.server.engine.worker_pids[1]
+        run.chaos.kill_worker(1)
+        # Learn while the supervisor is mid-recovery: the append and the
+        # respawned shard's resync must not step on each other.
+        run.server.learn_class(learn_shots_for(learned[3]), learned[3])
+        _await_recovery(run, 1, old_pid)
+        run.parity_sweep("post-crash, pre-restart")
+        memory = run.model.memory
+        saved_matrix, saved_ids = memory.prototype_matrix()
+        saved_matrix = saved_matrix.copy()
+        saved_version = memory.version
+        saved_predictions = run.server.predict(run.queries)
+        counters = run.counters()
+    finally:
+        run.close()
+    run.check(journal_path.exists() and journal_path.stat().st_size > 0,
+              "the journal survived server shutdown")
+    # Full restart: fresh base model (same seed, none of the journalled
+    # classes), fresh server, replay.
+    model, _ = build_model(seed)
+    restored = Server(model, num_workers=2, max_latency_s=0.02)
+    try:
+        applied = restored.restore(journal_path)
+        run.check(applied == len(learned),
+                  "replay applied exactly the journalled learn events")
+        matrix, ids = model.memory.prototype_matrix()
+        run.check(list(ids) == list(saved_ids),
+                  "restored class-id set identical")
+        run.check(np.array_equal(matrix, saved_matrix),
+                  "restored prototype matrix bit-identical")
+        run.check(model.memory.version == saved_version,
+                  "restored memory version identical")
+        run.check(
+            np.array_equal(restored.predict(run.queries), saved_predictions),
+            "served predictions after restore bit-identical to pre-restart")
+        run.check(applied == restored.restore(journal_path) + applied,
+                  "replay is idempotent (a second restore applies nothing)")
+    finally:
+        restored.close()
+    counters["journal_bytes"] = journal_path.stat().st_size
+    counters["records_applied"] = applied
+    return {"workload": {"name": "restart_replay",
+                         "num_ops": len(learned), "arrival": "scripted"},
+            "counters": counters, "checks": run.checks}
+
+
 #: name -> scenario callable (runs the scenario, returns its record body).
 SCENARIOS: Dict[str, Callable[[int], dict]] = {
     "steady_poisson": scenario_steady_poisson,
@@ -631,7 +948,71 @@ SCENARIOS: Dict[str, Callable[[int], dict]] = {
     "slow_shard": scenario_slow_shard,
     "corrupt_frames": scenario_corrupt_frames,
     "ring_exhaustion": scenario_ring_exhaustion,
+    "kill_recover": scenario_kill_recover,
+    "crash_loop": scenario_crash_loop,
+    "sigstop_escalation": scenario_sigstop_escalation,
+    "restart_replay": scenario_restart_replay,
 }
+
+
+# ---------------------------------------------------------------------------
+# Latency floors
+# ---------------------------------------------------------------------------
+def latency_floor_ms(history,
+                     min_history: int = LATENCY_FLOOR_MIN_HISTORY,
+                     multiplier: float = LATENCY_FLOOR_MULTIPLIER):
+    """The armed latency limit (ms) for one scenario's recorded trend.
+
+    Returns ``None`` — the floor is *unarmed* — until at least
+    ``min_history`` history entries carry a positive
+    ``counters.batch_latency_p50_ms`` (scenarios that do not measure
+    batch latency, malformed entries, and zero-sample histograms all
+    leave the trend unarmed rather than producing a garbage limit).
+    Armed, the limit is ``multiplier`` times the median of those
+    readings: the median is robust to the occasional slow-CI outlier a
+    mean would let poison the baseline.
+    """
+    samples = []
+    for entry in history:
+        if not isinstance(entry, dict):
+            continue
+        counters = entry.get("counters")
+        if not isinstance(counters, dict):
+            continue
+        p50 = counters.get("batch_latency_p50_ms")
+        if isinstance(p50, (int, float)) and not isinstance(p50, bool) \
+                and p50 > 0:
+            samples.append(float(p50))
+    if len(samples) < min_history:
+        return None
+    return multiplier * float(np.median(samples))
+
+
+def apply_latency_floor(name: str, record: dict, history) -> None:
+    """Gate one fresh scenario record against its armed latency floor.
+
+    Annotates ``record["latency_floor"]`` with the gate's verdict (so the
+    bench trend shows when the floor armed and what it held the run to)
+    and raises :class:`ScenarioFailure` when the new record's p50 exceeds
+    the limit.  A record without a measurable p50 passes — absence of a
+    measurement is not a regression.
+    """
+    limit = latency_floor_ms(history)
+    if limit is None:
+        record["latency_floor"] = {"armed": False}
+        return
+    p50 = record.get("counters", {}).get("batch_latency_p50_ms")
+    measured = (isinstance(p50, (int, float))
+                and not isinstance(p50, bool) and p50 > 0)
+    verdict = {"armed": True, "limit_ms": round(limit, 3),
+               "p50_ms": round(float(p50), 3) if measured else None}
+    record["latency_floor"] = verdict
+    if measured and p50 > limit:
+        raise ScenarioFailure(
+            f"[{name}] FAILED: latency floor violated — batch p50 "
+            f"{p50:.3f}ms exceeds {limit:.3f}ms "
+            f"({LATENCY_FLOOR_MULTIPLIER:.0f}x the median of the last "
+            f"{len(history)} recorded runs)")
 
 
 # ---------------------------------------------------------------------------
@@ -662,13 +1043,21 @@ def run_matrix(seed: int = 0, names: Optional[List[str]] = None,
     a correctness gate, not a survey).  On success every scenario has
     appended one record to its ``{"latest","history"}`` trend in
     ``bench_path``.
+
+    When writing bench records, each scenario's fresh record is also held
+    to its armed latency floor (:func:`apply_latency_floor`) against the
+    trend recorded *before* this run — a passing-but-5x-slower scenario is
+    a failure, not a data point.
     """
     records = []
+    trends = load_keyed_bench(bench_path) if write_bench else {}
     for name in names if names is not None else list(SCENARIOS):
         if progress is not None:
             progress(f"scenario {name} (seed {seed}) ...")
         record = run_scenario(name, seed)
         if write_bench:
+            apply_latency_floor(
+                name, record, trends.get(name, {}).get("history", []))
             append_keyed_bench_record(bench_path, name, record)
         if progress is not None:
             progress(f"  ok: {record['num_checks']} checks, "

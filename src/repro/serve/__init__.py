@@ -15,7 +15,15 @@ one process; this package scales that out to a pool of worker processes:
   worker pool where each worker owns a plan replica plus its own buffer
   cache and a fully private channel pair (request/result queues + rings) —
   no shared lock a killed worker could poison — supervised by a liveness
-  watchdog that fails a dead shard's futures fast and routes around it;
+  watchdog that fails a dead shard's futures fast and routes around it,
+  and a supervisor that respawns the shard with backoff
+  (:mod:`repro.serve.backoff`), resyncs its state, and rejoins it (up to a
+  crash-loop budget); heartbeat-silent shards (SIGSTOP, livelock) are
+  escalated to the same path;
+* :mod:`repro.serve.journal` — :class:`LearnJournal`, the write-ahead
+  ``learn_class`` log: checksummed append-only records replayed by
+  :meth:`Server.restore` so online-learned classes survive a full server
+  restart bit-for-bit;
 * :mod:`repro.serve.server` — :class:`Server`, the dynamic batcher: it
   coalesces single-sample requests under a latency budget, dispatches
   micro-batches to the least-loaded live shard, sheds overload with a
@@ -34,6 +42,13 @@ Typical use::
         print(server.stats_dict())
 """
 
+from .backoff import BackoffSchedule
+from .journal import (
+    JournalCorruptError,
+    JournalError,
+    JournalReplayError,
+    LearnJournal,
+)
 from .server import (
     DEFAULT_MAX_LATENCY_S,
     Server,
@@ -41,6 +56,7 @@ from .server import (
     ServerOverloaded,
 )
 from .sharded import (
+    DEFAULT_MAX_RESPAWNS,
     DEFAULT_NUM_WORKERS,
     DEFAULT_START_METHOD,
     EngineClosedError,
@@ -71,6 +87,12 @@ __all__ = [
     "EngineClosedError",
     "DEFAULT_NUM_WORKERS",
     "DEFAULT_START_METHOD",
+    "DEFAULT_MAX_RESPAWNS",
+    "BackoffSchedule",
+    "LearnJournal",
+    "JournalError",
+    "JournalCorruptError",
+    "JournalReplayError",
     "ModelSnapshot",
     "PlanSnapshot",
     "PrototypeState",

@@ -1,0 +1,77 @@
+"""Capped exponential backoff with jitter for the shard supervisor.
+
+Respawning a crashed worker immediately is the wrong move twice over: a
+crash caused by transient pressure (OOM, a full disk, a saturated host)
+recurs instantly, and a pool of shards all dying to the same cause would
+respawn in lockstep — the classic thundering-herd retry.  The supervisor
+therefore waits ``base * multiplier**(attempt-1)`` seconds, capped at
+``cap``, and *jitters* the wait downward by up to ``jitter`` of its span so
+simultaneous respawns decorrelate.
+
+The schedule object owns its RNG so tests can seed it and assert the exact
+delays the supervisor will use — determinism is what makes the crash-loop
+regression test exact instead of sleep-and-hope.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+#: Default first-retry delay (seconds).
+DEFAULT_BASE_S = 0.25
+
+#: Default delay cap (seconds): respawn attempts never wait longer than
+#: this, so a recovering-but-flaky shard rejoins within a bounded window.
+DEFAULT_CAP_S = 5.0
+
+#: Default per-attempt growth factor.
+DEFAULT_MULTIPLIER = 2.0
+
+#: Default jitter fraction: each delay is drawn uniformly from
+#: ``[delay * (1 - jitter), delay]``.
+DEFAULT_JITTER = 0.5
+
+
+class BackoffSchedule:
+    """Deterministic-under-seed capped exponential backoff with jitter."""
+
+    def __init__(self, base_s: float = DEFAULT_BASE_S,
+                 cap_s: float = DEFAULT_CAP_S,
+                 multiplier: float = DEFAULT_MULTIPLIER,
+                 jitter: float = DEFAULT_JITTER,
+                 seed: Optional[int] = None):
+        if base_s <= 0:
+            raise ValueError("base_s must be positive")
+        if cap_s < base_s:
+            raise ValueError("cap_s must be >= base_s")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff never "
+                             "shrinks with attempts)")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self._rng = random.Random(seed)
+
+    def raw_delay(self, attempt: int) -> float:
+        """The un-jittered delay for ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        return min(self.cap_s,
+                   self.base_s * self.multiplier ** (attempt - 1))
+
+    def delay(self, attempt: int) -> float:
+        """The jittered delay for ``attempt``: uniform in
+        ``[raw * (1 - jitter), raw]`` (jitter pulls *down* only, so the
+        cap is a true upper bound on every wait)."""
+        raw = self.raw_delay(attempt)
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BackoffSchedule(base_s={self.base_s}, cap_s={self.cap_s}, "
+                f"multiplier={self.multiplier}, jitter={self.jitter})")

@@ -1,0 +1,238 @@
+"""Write-ahead journal for online ``learn_class`` updates.
+
+The paper's product surface is classes a user teaches online — and until
+now those lived only in the coordinator's ``ExplicitMemory`` and died with
+the process.  The journal makes them durable: ``Server.learn_class``
+appends a checksummed record of *(version, class id, projected features)*
+**before** applying the update to the in-memory prototype store, so a
+restarted server (or a worker respawned mid-broadcast) can replay the log
+and reconstruct the exact memory, bit for bit.
+
+Why features instead of the resulting prototype?  ``ExplicitMemory``
+prototypes are running means over every feature batch ever presented for a
+class (see ``update_class``).  Re-presenting the identical float32 feature
+batches in the identical order re-executes the identical arithmetic, so
+replay reproduces prototypes *and* per-class counts exactly — storing only
+the post-update prototype would lose the counts and make the next
+``learn_class`` after a restart diverge.
+
+On-disk format (little-endian):
+
+    magic: 8 bytes ``b"REPROJ1\\0"``
+    record: ``<II`` (payload length, CRC32 of payload) + pickled payload
+            ``{"version": int, "class_id": int, "features": float32 array}``
+
+The reader tolerates a *torn tail* — a record cut short by the crash that
+the journal exists to survive — by discarding the partial record.  A CRC
+mismatch or short record in the *middle* of the file is real corruption
+and raises ``JournalCorruptError`` instead of silently dropping updates.
+
+Durability is a knob (``fsync=``): ``"always"`` fsyncs every append (each
+acknowledged ``learn_class`` survives power loss), ``"interval"`` fsyncs at
+most once per ``fsync_interval_s`` (bounded loss window, much cheaper under
+learn storms), ``"never"`` leaves flushing to the OS (survives process
+death, not power loss).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Optional, Union
+
+import numpy as np
+
+MAGIC = b"REPROJ1\x00"
+_HEADER = struct.Struct("<II")  # payload length, CRC32(payload)
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+#: Default flush cadence for ``fsync="interval"`` (seconds).
+DEFAULT_FSYNC_INTERVAL_S = 0.5
+
+
+class JournalError(RuntimeError):
+    """Base class for journal failures."""
+
+
+class JournalCorruptError(JournalError):
+    """A record in the middle of the journal failed its checksum."""
+
+
+class JournalReplayError(JournalError):
+    """The journal cannot be applied to the given memory (version gap)."""
+
+
+class JournalRecord(NamedTuple):
+    """One durable ``learn_class``: the memory version *after* applying it."""
+
+    version: int
+    class_id: int
+    features: np.ndarray
+
+
+class LearnJournal:
+    """Append-only, checksummed log of ``learn_class`` updates.
+
+    Single-writer: the coordinator's ``learn_class`` path is already
+    serialised by the server's prototype lock, so the journal does no
+    locking of its own.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: str = "always",
+                 fsync_interval_s: float = DEFAULT_FSYNC_INTERVAL_S):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if fsync_interval_s <= 0:
+            raise ValueError("fsync_interval_s must be positive")
+        self.path = Path(path)
+        self.fsync = fsync
+        self.fsync_interval_s = float(fsync_interval_s)
+        self._last_fsync = 0.0
+        self._closed = False
+        # Validate + position: an existing journal is opened for append (its
+        # records are preserved), anything else gets a fresh header.
+        existing = self.path.exists() and self.path.stat().st_size > 0
+        if existing:
+            # Read-validate so a corrupt file fails at open, not at restore.
+            list(read_journal(self.path))
+            self._file = open(self.path, "ab")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "wb")
+            self._file.write(MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._last_fsync = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def append(self, class_id: int, features: np.ndarray, version: int) -> None:
+        """Durably record one ``learn_class`` before it is applied.
+
+        ``version`` is the memory version *after* the update (i.e.
+        ``memory.version + 1`` at call time) — replay applies a record only
+        when the memory sits exactly one version behind it.
+        """
+        if self._closed:
+            raise JournalError("journal is closed")
+        features = np.ascontiguousarray(features, dtype=np.float32)
+        payload = pickle.dumps(
+            {"version": int(version), "class_id": int(class_id),
+             "features": features},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+        self._file.write(payload)
+        self._file.flush()
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+        elif self.fsync == "interval":
+            now = time.monotonic()
+            if now - self._last_fsync >= self.fsync_interval_s:
+                os.fsync(self._file.fileno())
+                self._last_fsync = now
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.flush()
+            if self.fsync != "never":
+                os.fsync(self._file.fileno())
+        finally:
+            self._file.close()
+
+    def __enter__(self) -> "LearnJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Read / replay path
+# ----------------------------------------------------------------------
+def read_journal(path: Union[str, Path]) -> Iterator[JournalRecord]:
+    """Yield every intact record from ``path``.
+
+    A partial record at the very end of the file (torn write from a crash)
+    is silently discarded; a bad checksum or truncation *before* the end
+    raises :class:`JournalCorruptError`.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < len(MAGIC) or data[:len(MAGIC)] != MAGIC:
+        raise JournalCorruptError(f"{path}: missing journal magic header")
+    stream = io.BytesIO(data)
+    stream.seek(len(MAGIC))
+    size = len(data)
+    while True:
+        offset = stream.tell()
+        header = stream.read(_HEADER.size)
+        if not header:
+            return
+        if len(header) < _HEADER.size:
+            # Torn header at EOF: the crash interrupted the final append.
+            return
+        length, crc = _HEADER.unpack(header)
+        payload = stream.read(length)
+        if len(payload) < length:
+            if stream.tell() >= size:
+                return  # torn payload at EOF
+            raise JournalCorruptError(
+                f"{path}: short record at offset {offset}")
+        if zlib.crc32(payload) != crc:
+            if stream.tell() >= size:
+                # The torn tail can also manifest as a half-written payload
+                # whose declared length happened to fit: same crash, same
+                # treatment — but only for the *last* record.
+                return
+            raise JournalCorruptError(
+                f"{path}: checksum mismatch at offset {offset}")
+        record = pickle.loads(payload)
+        yield JournalRecord(version=int(record["version"]),
+                           class_id=int(record["class_id"]),
+                           features=np.asarray(record["features"],
+                                               dtype=np.float32))
+
+
+def replay(path: Union[str, Path], memory) -> List[JournalRecord]:
+    """Apply journalled updates to ``memory``; return the applied records.
+
+    Records at or below the memory's current version are skipped (already
+    applied — replay is idempotent), a record exactly one version ahead is
+    applied via ``memory.update_class`` (bit-identical arithmetic to the
+    original call), and a larger gap means the journal does not match this
+    memory and raises :class:`JournalReplayError`.
+    """
+    applied: List[JournalRecord] = []
+    for record in read_journal(path):
+        if record.version <= memory.version:
+            continue
+        if record.version != memory.version + 1:
+            raise JournalReplayError(
+                f"journal record v{record.version} cannot follow memory "
+                f"v{memory.version}: missing intermediate updates (was the "
+                f"journal written against a different memory?)")
+        memory.update_class(record.class_id, record.features)
+        if memory.version != record.version:
+            raise JournalReplayError(
+                f"replaying class {record.class_id} moved the memory to "
+                f"v{memory.version}, journal expected v{record.version}")
+        applied.append(record)
+    return applied
+
+
+__all__ = [
+    "LearnJournal", "JournalRecord", "JournalError", "JournalCorruptError",
+    "JournalReplayError", "read_journal", "replay", "FSYNC_POLICIES",
+    "DEFAULT_FSYNC_INTERVAL_S", "MAGIC",
+]

@@ -21,11 +21,17 @@ and exposes the deploy-time API of the model — ``predict`` /
   with a typed :class:`ServerOverloaded` instead of queueing unboundedly,
   and a per-shard in-flight budget backpressures the batcher so no single
   shard's queue grows without bound.
-* **Fault tolerance** — the engine's liveness watchdog detects a dead
-  worker process, fails that shard's pending futures fast with
+* **Fault tolerance** — the engine's liveness watchdog detects a dead (or,
+  with ``hang_silence_s``, heartbeat-silent) worker process, fails that
+  shard's pending futures fast with
   :class:`~repro.serve.sharded.RemoteWorkerError`, and routing steers new
-  batches around the corpse; surviving shards keep answering ``predict``,
-  ``submit`` and ``stats``.
+  batches around the corpse while the engine's supervisor respawns it with
+  backoff, resyncs its prototype state, and rejoins it — up to a
+  ``max_respawns`` crash-loop budget, past which the shard degrades
+  permanently.  Surviving shards keep answering ``predict``, ``submit``
+  and ``stats`` throughout.  With ``journal_path`` set, every
+  ``learn_class`` is write-ahead journalled and :meth:`Server.restore`
+  rebuilds the exact explicit memory after a full restart.
 * **Online learning** — :meth:`learn_class` embeds the shots through the
   shards, updates the coordinator's explicit memory, and broadcasts the new
   prototype state to every worker; staleness is tracked through the
@@ -45,7 +51,10 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..obs.trace import Span, Tracer
+from .journal import DEFAULT_FSYNC_INTERVAL_S, LearnJournal, replay
 from .sharded import (
+    DEFAULT_MAX_RESPAWNS,
+    DEFAULT_RESPAWN_RESET_S,
     DEFAULT_START_METHOD,
     WATCHDOG_INTERVAL_S,
     ShardedEngine,
@@ -126,6 +135,13 @@ class Server:
                  stats_timeout_s: float = DEFAULT_STATS_TIMEOUT_S,
                  watchdog_interval_s: float = WATCHDOG_INTERVAL_S,
                  ema_halflife_s: float = DEFAULT_EMA_HALFLIFE_S,
+                 max_respawns: int = DEFAULT_MAX_RESPAWNS,
+                 respawn_backoff=None,
+                 respawn_reset_s: float = DEFAULT_RESPAWN_RESET_S,
+                 hang_silence_s: Optional[float] = None,
+                 journal_path=None,
+                 journal_fsync: str = "always",
+                 journal_fsync_interval_s: float = DEFAULT_FSYNC_INTERVAL_S,
                  chaos=None):
         """Args beyond the model/pool shape:
 
@@ -165,6 +181,32 @@ class Server:
         ema_halflife_s: idle half-life of the SLO latency estimate (see
             :mod:`repro.serve.stats` — a stale slow-burst reading decays
             instead of shedding a healthy server forever).
+        max_respawns: per-shard crash-loop budget of the engine's
+            supervisor — how many times a failed worker is respawned
+            (within ``respawn_reset_s`` of uptime) before the shard is
+            given up into permanent degraded mode.  0 disables respawn:
+            the pre-supervisor behaviour, typed errors at the corpse and
+            survivors serving.
+        respawn_backoff: optional
+            :class:`~repro.serve.backoff.BackoffSchedule` waited out
+            before each respawn attempt (capped exponential with jitter
+            by default).
+        respawn_reset_s: uptime after which a shard's crash-loop attempt
+            counter resets (only rapid death cycles burn the budget).
+        hang_silence_s: optional heartbeat-silence threshold; a worker
+            whose heartbeat stops advancing this long while still alive by
+            ``is_alive()`` (SIGSTOP, swap death) is SIGKILLed and handed
+            to the respawn path.  ``None`` (default) disables hang
+            detection.
+        journal_path: optional path of a write-ahead ``learn_class``
+            journal (see :mod:`repro.serve.journal`): every learned class
+            is durably appended *before* the in-memory update, and
+            :meth:`restore` replays the file into a fresh server's memory
+            bit-for-bit.  ``None`` (default) keeps learning memory-only.
+        journal_fsync: journal durability policy — ``"always"`` (default;
+            every ``learn_class`` survives power loss), ``"interval"``
+            (fsync at most once per ``journal_fsync_interval_s``), or
+            ``"never"`` (survives process death, not power loss).
         chaos: optional fault-injection hook forwarded to the engine (see
             :class:`~repro.serve.sharded.ShardedEngine` and
             :mod:`repro.scenarios.chaos`).
@@ -175,6 +217,13 @@ class Server:
         self.tracer = Tracer(sample_rate=trace_sample,
                              exporter=trace_exporter, process="coordinator")
         self.stats_timeout_s = stats_timeout_s
+        self.stats = ServeStats(ema_halflife_s=ema_halflife_s)
+        # The journal opens before the engine: learn_class durability must
+        # not depend on how far pool startup got.
+        self.journal = LearnJournal(
+            journal_path, fsync=journal_fsync,
+            fsync_interval_s=journal_fsync_interval_s) \
+            if journal_path is not None else None
         snapshot = snapshot_model(model, micro_batch=self.micro_batch)
         self.engine = ShardedEngine(
             snapshot, num_workers=num_workers, start_method=start_method,
@@ -182,6 +231,9 @@ class Server:
             use_shared_memory=use_shared_memory,
             ring_slots=ring_slots, slot_bytes=slot_bytes,
             watchdog_interval_s=watchdog_interval_s,
+            max_respawns=max_respawns, respawn_backoff=respawn_backoff,
+            respawn_reset_s=respawn_reset_s, hang_silence_s=hang_silence_s,
+            recovery_listener=self.stats.observe_recovery_event,
             tracer=self.tracer, chaos=chaos)
         self.max_batch = max_batch or self.micro_batch
         self.max_latency_s = max_latency_s
@@ -190,7 +242,6 @@ class Server:
                   * num_workers)
         self.latency_slo_s = latency_slo_s
         self.max_inflight_batches = max_inflight_batches
-        self.stats = ServeStats(ema_halflife_s=ema_halflife_s)
         self._proto_version = snapshot.prototypes.version
         self._proto_lock = threading.Lock()
         # The coordinator-side predictor (FCR projection + prototype GEMM)
@@ -289,16 +340,58 @@ class Server:
         Mirrors ``OFSCIL.learn_class`` exactly (same feature path, same
         activation-memory update), then pushes the refreshed prototype state
         to every worker replica.
+
+        With a journal configured, the projected features are appended to it
+        *before* the in-memory update (write-ahead): a crash at any later
+        point — including mid-broadcast — leaves a journal from which
+        :meth:`restore` rebuilds the exact post-update memory, and a crash
+        before the append leaves memory and journal consistently without
+        the class.
         """
         theta_a = self.extract_backbone_features(
             np.asarray(images, dtype=np.float32))
         with self._predictor_lock:
             theta_p = self.predictor.project(theta_a)
+            if self.journal is not None:
+                self.journal.append(int(class_id), theta_p,
+                                    self.model.memory.version + 1)
             prototype = self.model.memory.update_class(int(class_id), theta_p)
         self.model.activation_memory[int(class_id)] = \
             theta_a.mean(axis=0).astype(np.float32)
         self.sync_prototypes()
         return prototype
+
+    def restore(self, path=None) -> int:
+        """Replay a ``learn_class`` journal into this server's memory.
+
+        Applies every journal record the memory has not seen (replay is
+        idempotent: records at or below the current version are skipped),
+        re-running the identical ``update_class`` arithmetic on the
+        identical float32 feature bits — prototypes, per-class counts and
+        version all match the pre-crash memory bit-for-bit.  Finishes with
+        a forced prototype broadcast so every worker replica serves the
+        restored state.
+
+        ``path`` defaults to this server's own journal; passing an explicit
+        path restores from a previous incarnation's journal into a server
+        that journals elsewhere (or not at all).
+
+        The journal covers the :class:`ExplicitMemory` only — predictions
+        depend on nothing else.  The activation-memory side channel (raw
+        ``theta_a`` means, used by fine-tuning) is not journalled, since it
+        is not reconstructible from the projected features.
+
+        Returns the number of records applied.
+        """
+        if path is None:
+            if self.journal is None:
+                raise ValueError("no journal to restore from: the server "
+                                 "has no journal_path and none was given")
+            path = self.journal.path
+        with self._predictor_lock:
+            applied = replay(path, self.model.memory)
+        self.sync_prototypes(force=True)
+        return len(applied)
 
     # ------------------------------------------------------------------
     # Asynchronous single-sample API (dynamic batching)
@@ -555,6 +648,8 @@ class Server:
         report = self.stats.as_dict()
         report["num_workers"] = self.num_workers
         report["live_workers"] = self.engine.live_workers
+        report["restart_counts"] = self.engine.restart_counts
+        report["gave_up_workers"] = self.engine.gave_up_workers
         report["inflight_per_worker"] = self.engine.inflight_per_worker()
         report["max_pending"] = self.max_pending
         report["latency_slo_s"] = self.latency_slo_s
@@ -595,6 +690,10 @@ class Server:
         # EngineClosedError, which the resolve callbacks forward to the
         # per-request futures — nothing a caller holds can block forever.
         self.engine.close(timeout=timeout)
+        # Journal after the engine: no learn_class can be in flight once
+        # the pool is down, so the final fsync covers every applied update.
+        if self.journal is not None:
+            self.journal.close()
         # Flush and close the span exporter last: spans for the failing
         # futures above are ended by their done callbacks, and a buffered
         # JSONL exporter that is never flushed silently loses the tail of

@@ -10,12 +10,34 @@ slot descriptors, error strings), while batch and result tensors cross the
 process boundary as zero-copy NumPy views with explicit slot accounting.
 
 Nothing is shared between shards, so no lock exists that a hard-killed
-worker (OOM, SIGKILL) could die holding: the old single shared result queue
-let one dead writer wedge every surviving shard's replies.  A liveness
-watchdog polls the worker processes; when one dies it fails that shard's
-pending futures fast with :class:`RemoteWorkerError`, reclaims the shard's
-ring slots, and routing (least-loaded live worker) steers around the corpse
-— surviving shards keep answering.
+worker (OOM, SIGKILL) could die holding — a dead shard's failure domain is
+exactly its own channels.  A liveness watchdog polls the worker processes;
+when one dies it fails that shard's pending futures fast with
+:class:`RemoteWorkerError`, reclaims the shard's ring slots, and routing
+(least-loaded live worker) steers around the corpse — surviving shards keep
+answering.
+
+Dead shards are not just routed around: a **supervisor** respawns them.
+The watchdog hands a failed shard to a supervisor thread that waits out a
+capped exponential backoff (:class:`~repro.serve.backoff.BackoffSchedule`,
+jittered so a correlated multi-shard crash does not respawn in lockstep),
+re-creates the shard's queues and shared-memory rings from scratch (a
+corpse may have died mid-write with its ring slots in arbitrary states),
+spawns a fresh process from the same plan snapshot, resyncs it to the
+*current* prototype version through the same version-gated path broadcasts
+take, and only then rejoins it to least-loaded routing.  A worker that
+keeps dying exhausts its crash-loop budget (``max_respawns`` within
+``respawn_reset_s`` of uptime) and the shard degrades permanently — the
+pre-supervisor behaviour: typed errors at the corpse, survivors serving.
+
+The watchdog also escalates **hangs**: each worker stamps a heartbeat
+counter into a shared value from a dedicated thread, so a shard that is
+alive by ``is_alive()`` but frozen in practice (SIGSTOP, swap death, a
+stuck syscall) is declared failed after ``hang_silence_s`` of heartbeat
+silence, SIGKILLed, and handed to the same respawn path.  Hang detection
+is opt-in (``hang_silence_s=None`` disables it): the right threshold is
+workload-dependent, and a paused-on-purpose shard must not be shot by
+default.
 
 Workers default to the ``spawn`` start method: it exercises the snapshot's
 picklability end-to-end (``fork`` would silently inherit live state) and
@@ -39,6 +61,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .backoff import BackoffSchedule
 from .snapshot import ModelSnapshot, PrototypeState
 from .transport import (
     DEFAULT_RING_SLOTS,
@@ -59,6 +82,25 @@ DEFAULT_START_METHOD = "spawn"
 #: can linger before failing with :class:`RemoteWorkerError` — milliseconds,
 #: not the two-minute request timeout.
 WATCHDOG_INTERVAL_S = 0.2
+
+#: Default per-worker crash-loop budget: how many times the supervisor
+#: respawns a shard (within one ``respawn_reset_s`` uptime window) before
+#: giving up into degraded mode.  0 disables respawn entirely.
+DEFAULT_MAX_RESPAWNS = 2
+
+#: A worker that stays up this long has its crash-loop attempt counter
+#: reset: only *rapid* death cycles count against the budget, a shard that
+#: served for a minute and then hit a one-off OOM deserves a fresh budget.
+DEFAULT_RESPAWN_RESET_S = 30.0
+
+#: Poll interval of the supervisor thread waiting out respawn backoffs.
+_SUPERVISOR_POLL_S = 0.02
+
+#: Heartbeat-silence grace before the first stamp: a spawning worker pays
+#: interpreter startup + replica restore before its heartbeat thread runs,
+#: which must not read as a hang (the effective threshold is the larger of
+#: this and ``hang_silence_s``).
+_STARTUP_HEARTBEAT_GRACE_S = 10.0
 
 #: Poll interval of the per-worker collector threads (they must notice
 #: ``close()`` even when their worker will never answer again).
@@ -118,14 +160,35 @@ class ShardedEngine:
                  ring_slots: int = DEFAULT_RING_SLOTS,
                  slot_bytes: int = DEFAULT_SLOT_BYTES,
                  watchdog_interval_s: float = WATCHDOG_INTERVAL_S,
+                 max_respawns: int = DEFAULT_MAX_RESPAWNS,
+                 respawn_backoff: Optional[BackoffSchedule] = None,
+                 respawn_reset_s: float = DEFAULT_RESPAWN_RESET_S,
+                 hang_silence_s: Optional[float] = None,
+                 recovery_listener=None,
                  tracer=None, chaos=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if watchdog_interval_s <= 0:
             raise ValueError("watchdog_interval_s must be positive")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if hang_silence_s is not None and hang_silence_s <= 0:
+            raise ValueError("hang_silence_s must be positive (None to "
+                             "disable hang detection)")
         self.snapshot = snapshot
         self.micro_batch = snapshot.micro_batch
         self.watchdog_interval_s = watchdog_interval_s
+        self.max_respawns = max_respawns
+        self.respawn_reset_s = respawn_reset_s
+        self.hang_silence_s = hang_silence_s
+        #: Backoff waited out between a shard's failure and its respawn.
+        self.respawn_backoff = respawn_backoff if respawn_backoff is not None \
+            else BackoffSchedule()
+        #: Optional callable receiving one dict per recovery lifecycle event
+        #: (``worker_failed`` / ``respawn_scheduled`` / ``hang_escalated`` /
+        #: ``respawned`` / ``gave_up``) — the server wires its stats
+        #: instruments here; exceptions it raises are swallowed.
+        self._recovery_listener = recovery_listener
         #: Optional :class:`~repro.obs.trace.Tracer`: the adoption point for
         #: spans shipped back from workers, and the author of the synthetic
         #: ``worker.execute`` spans of requests whose worker died on them.
@@ -137,11 +200,22 @@ class ShardedEngine:
         #: default) costs one attribute check per result.
         self._chaos = chaos
         context = mp.get_context(start_method)
+        # The supervisor re-creates a failed shard from scratch, so the
+        # spawn-time configuration must outlive __init__.
+        self._context = context
+        self._use_shared_memory = use_shared_memory
+        self._ring_slots = ring_slots
+        self._slot_bytes = slot_bytes
+        self._blas_threads = blas_threads_per_worker
+        self._startup_timeout = startup_timeout
         self._request_queues = []
         self._result_queues = []
         self._request_rings: List[Optional[SlotRing]] = []
         self._result_rings: List[Optional[SlotRing]] = []
         self._processes = []
+        #: Per-worker heartbeat counters (shared values stamped from a
+        #: dedicated thread inside each worker; single writer, so no lock).
+        self._heartbeats = []
         #: ticket -> (future, worker index); strictly per-worker bookkeeping
         #: so a dead shard's futures can be failed without touching the rest.
         self._pending: Dict[int, Tuple[Future, int]] = {}
@@ -152,6 +226,31 @@ class ShardedEngine:
         self._trace_ctx: Dict[int, Tuple[tuple, float]] = {}
         self._inflight = [0] * num_workers
         self._dead = [False] * num_workers
+        #: A respawned shard is *resyncing* until it acked the current
+        #: prototype version: not dead (targeted submits work — the resync
+        #: itself uses them) but excluded from routing and broadcasts, so
+        #: no client request can reach a replica with stale prototypes.
+        self._resyncing = [False] * num_workers
+        #: Shards whose crash-loop budget is exhausted (terminal).
+        self._gave_up = [False] * num_workers
+        self._respawn_attempts = [0] * num_workers
+        self._restarts = [0] * num_workers
+        now = time.monotonic()
+        self._spawned_at = [now] * num_workers
+        #: First-failure timestamp per shard, cleared on successful rejoin —
+        #: recovery latency spans detection to serving again, across every
+        #: backoff + retry in between.
+        self._failed_at: List[Optional[float]] = [None] * num_workers
+        #: Last observed heartbeat stamp and when it last changed.
+        self._hb_seen: List[Tuple[int, float]] = [(0, now)] * num_workers
+        #: worker index -> monotonic due time of its scheduled respawn.
+        self._respawn_due: Dict[int, float] = {}
+        #: Newest prototype state pushed through :meth:`set_prototypes`; the
+        #: supervisor resyncs a respawned shard from it.  Updated under
+        #: ``_lock`` *before* the broadcast, so a respawn racing a broadcast
+        #: either sees the new state here or is live in time to receive the
+        #: broadcast itself (never neither).
+        self._latest_prototypes: Optional[PrototypeState] = snapshot.prototypes
         self._lock = threading.Lock()
         self._tickets = itertools.count()
         self._round_robin = itertools.count()
@@ -159,41 +258,68 @@ class ShardedEngine:
         self._stop = threading.Event()
         with _blas_threads_env(blas_threads_per_worker):
             for worker_id in range(num_workers):
-                request_queue = context.Queue()
-                result_queue = context.Queue()
                 request_ring = SlotRing(ring_slots, slot_bytes) \
                     if use_shared_memory else None
                 result_ring = SlotRing(ring_slots, slot_bytes) \
                     if use_shared_memory else None
-                process = context.Process(
-                    target=worker_main,
-                    args=(worker_id, snapshot, request_queue, result_queue,
-                          request_ring.spec() if request_ring else None,
-                          result_ring.spec() if result_ring else None),
-                    daemon=True, name=f"repro-serve-worker-{worker_id}")
-                process.start()
+                (request_queue, result_queue, heartbeat,
+                 process) = self._make_worker(worker_id, request_ring,
+                                              result_ring)
                 self._request_queues.append(request_queue)
                 self._result_queues.append(result_queue)
                 self._request_rings.append(request_ring)
                 self._result_rings.append(result_ring)
+                self._heartbeats.append(heartbeat)
                 self._processes.append(process)
         self._collectors = []
         for worker_id in range(num_workers):
-            collector = threading.Thread(
-                target=self._collect, args=(worker_id,),
-                name=f"repro-serve-collector-{worker_id}", daemon=True)
-            collector.start()
-            self._collectors.append(collector)
+            self._collectors.append(self._start_collector(worker_id))
         self._watchdog = threading.Thread(target=self._watch,
                                           name="repro-serve-watchdog",
                                           daemon=True)
         self._watchdog.start()
+        self._supervisor = threading.Thread(target=self._supervise,
+                                            name="repro-serve-supervisor",
+                                            daemon=True)
+        self._supervisor.start()
         # Block until every worker finished importing + restoring its replica
         # (spawn pays the interpreter startup here, not on the first request).
         # A worker that dies during startup fails its ping fast through the
         # watchdog instead of running out the timeout; a pool that cannot
         # bring up *every* worker is a startup failure, not a degraded pool.
         self.broadcast("ping", timeout=startup_timeout, require_all=True)
+
+    # ------------------------------------------------------------------
+    # Worker construction (shared by __init__ and the supervisor)
+    # ------------------------------------------------------------------
+    def _make_worker(self, worker_id: int, request_ring: Optional[SlotRing],
+                     result_ring: Optional[SlotRing]):
+        """Spawn one worker process with fresh control queues and heartbeat.
+
+        The caller owns placing the returned channel objects into the
+        per-worker tables (append at startup, in-place replace on respawn).
+        """
+        request_queue = self._context.Queue()
+        result_queue = self._context.Queue()
+        # 'Q' (unsigned 64-bit) never wraps at ~20 stamps/s; lock-free is
+        # safe because the worker's heartbeat thread is the only writer.
+        heartbeat = self._context.Value("Q", 0, lock=False)
+        process = self._context.Process(
+            target=worker_main,
+            args=(worker_id, self.snapshot, request_queue, result_queue,
+                  request_ring.spec() if request_ring else None,
+                  result_ring.spec() if result_ring else None,
+                  heartbeat),
+            daemon=True, name=f"repro-serve-worker-{worker_id}")
+        process.start()
+        return request_queue, result_queue, heartbeat, process
+
+    def _start_collector(self, worker_id: int) -> threading.Thread:
+        collector = threading.Thread(
+            target=self._collect, args=(worker_id,),
+            name=f"repro-serve-collector-{worker_id}", daemon=True)
+        collector.start()
+        return collector
 
     # ------------------------------------------------------------------
     @property
@@ -208,10 +334,26 @@ class ShardedEngine:
 
     @property
     def live_workers(self) -> List[int]:
-        """Indices of shards the watchdog still considers alive."""
+        """Indices of shards that are routable: alive by the watchdog and
+        not mid-resync after a respawn (a resyncing replica exists but must
+        not answer client traffic until it holds the current prototypes)."""
         with self._lock:
             return [index for index in range(self.num_workers)
-                    if not self._dead[index]]
+                    if not self._dead[index] and not self._resyncing[index]]
+
+    @property
+    def restart_counts(self) -> List[int]:
+        """Completed supervisor respawns (rejoined and serving) per shard."""
+        with self._lock:
+            return list(self._restarts)
+
+    @property
+    def gave_up_workers(self) -> List[int]:
+        """Shards whose crash-loop budget is exhausted — permanently
+        degraded; the supervisor will not touch them again."""
+        with self._lock:
+            return [index for index in range(self.num_workers)
+                    if self._gave_up[index]]
 
     def inflight_per_worker(self) -> List[int]:
         """Outstanding (submitted, unresolved) work items per shard."""
@@ -225,7 +367,7 @@ class ShardedEngine:
         with self._lock:
             counts = [self._inflight[index]
                       for index in range(self.num_workers)
-                      if not self._dead[index]]
+                      if not self._dead[index] and not self._resyncing[index]]
         return min(counts) if counts else 0
 
     # ------------------------------------------------------------------
@@ -276,7 +418,10 @@ class ShardedEngine:
                 item = result_queue.get(timeout=_COLLECT_POLL_S)
             except queue_module.Empty:
                 continue
-            except (EOFError, OSError):      # channel torn down under us
+            except (EOFError, OSError, ValueError):
+                # Channel torn down under us: engine close, or the
+                # supervisor retiring this shard's channels before its
+                # replacement (ValueError is what a closed Queue raises).
                 break
             if self._chaos is not None:
                 # Fault injection: the hook may return a corrupted frame
@@ -326,24 +471,82 @@ class ShardedEngine:
 
     def _watch(self) -> None:
         """Liveness watchdog: fail a dead shard's futures fast, reclaim its
-        transport slots, and leave routing to steer around it."""
+        transport slots, escalate heartbeat-silent shards, and hand every
+        failure to the supervisor for a backed-off respawn."""
         while not self._stop.wait(self.watchdog_interval_s):
             if self._closed:
                 return
-            for index, process in enumerate(self._processes):
+            # Snapshot: the supervisor replaces process handles in place.
+            for index, process in list(enumerate(self._processes)):
                 with self._lock:
                     dead = self._dead[index]
-                if not dead and not process.is_alive():
+                if dead:
+                    continue
+                if not process.is_alive():
                     self._fail_worker(
                         index,
                         f"worker {index} process died "
                         f"(exit code {process.exitcode})")
+                    continue
+                self._check_heartbeat(index, process)
+
+    def _check_heartbeat(self, index: int, process) -> None:
+        """Track a shard's heartbeat; with ``hang_silence_s`` set, escalate
+        one that is alive by ``is_alive()`` but whose heartbeat stopped
+        advancing: SIGKILL it (delivered even to a SIGSTOPped process) and
+        fail it into the normal respawn path."""
+        heartbeat = self._heartbeats[index]
+        if heartbeat is None:  # pragma: no cover - heartbeats always exist
+            return
+        now = time.monotonic()
+        stamp = int(heartbeat.value)
+        last_stamp, changed_at = self._hb_seen[index]
+        if stamp != last_stamp:
+            self._hb_seen[index] = (stamp, now)
+            return
+        if self.hang_silence_s is None:
+            return
+        # Before the first stamp the worker is still importing/restoring its
+        # replica — give it the startup grace, not the steady-state budget.
+        threshold = self.hang_silence_s if stamp else \
+            max(self.hang_silence_s, _STARTUP_HEARTBEAT_GRACE_S)
+        silence = now - changed_at
+        if silence <= threshold:
+            return
+        self._emit({"event": "hang_escalated", "worker": index,
+                    "silence_s": silence})
+        try:
+            process.kill()
+        except Exception:  # noqa: BLE001 - already exiting is fine
+            pass
+        self._fail_worker(
+            index,
+            f"worker {index} heartbeat silent for {silence:.2f}s "
+            f"(> {threshold:g}s): alive by is_alive() but not making "
+            f"progress; escalated with SIGKILL")
+
+    def _emit(self, event: dict) -> None:
+        """Deliver one recovery lifecycle event to the listener, which must
+        never be able to take down a watchdog/supervisor thread."""
+        listener = self._recovery_listener
+        if listener is None:
+            return
+        try:
+            listener(dict(event))
+        except Exception:  # noqa: BLE001 - listener bugs stay theirs
+            pass
 
     def _fail_worker(self, index: int, reason: str) -> None:
         with self._lock:
             if self._dead[index]:
                 return
             self._dead[index] = True
+            self._resyncing[index] = False
+            if self._failed_at[index] is None:
+                # First failure of this outage: recovery latency is measured
+                # from here to the successful rejoin, across every backoff
+                # and failed retry in between.
+                self._failed_at[index] = time.monotonic()
             doomed = [(ticket, future) for ticket, (future, owner)
                       in self._pending.items() if owner == index]
             doomed_traces = []
@@ -374,6 +577,179 @@ class ShardedEngine:
                 future.set_exception(error)
             except InvalidStateError:
                 pass
+        self._emit({"event": "worker_failed", "worker": index,
+                    "reason": reason})
+        self._schedule_respawn(index)
+
+    # ------------------------------------------------------------------
+    # Supervisor: backed-off respawn of failed shards
+    # ------------------------------------------------------------------
+    def _schedule_respawn(self, index: int) -> None:
+        """Charge one crash against the shard's budget and either queue a
+        backed-off respawn or give the shard up for good."""
+        if self._closed or self._stop.is_set():
+            return
+        with self._lock:
+            if self._gave_up[index]:
+                return
+            now = time.monotonic()
+            if now - self._spawned_at[index] > self.respawn_reset_s:
+                # The previous incarnation was stably up: this is a fresh
+                # outage, not the next lap of a crash loop.
+                self._respawn_attempts[index] = 0
+            self._respawn_attempts[index] += 1
+            attempt = self._respawn_attempts[index]
+            if attempt > self.max_respawns:
+                self._gave_up[index] = True
+                self._failed_at[index] = None
+                gave_up = True
+                delay = 0.0
+            else:
+                gave_up = False
+                delay = self.respawn_backoff.delay(attempt)
+                self._respawn_due[index] = now + delay
+        if gave_up:
+            self._emit({"event": "gave_up", "worker": index,
+                        "attempts": attempt - 1,
+                        "max_respawns": self.max_respawns})
+        else:
+            self._emit({"event": "respawn_scheduled", "worker": index,
+                        "attempt": attempt, "delay_s": delay})
+
+    def _supervise(self) -> None:
+        """Supervisor thread: run due respawns (serially — respawning is
+        rare and a spawn is expensive; one at a time keeps the bookkeeping
+        trivially race-free against itself)."""
+        while not self._stop.wait(_SUPERVISOR_POLL_S):
+            if self._closed:
+                return
+            now = time.monotonic()
+            with self._lock:
+                due = [index for index, when in self._respawn_due.items()
+                       if when <= now]
+                for index in due:
+                    del self._respawn_due[index]
+            for index in due:
+                self._respawn(index)
+
+    def _respawn(self, index: int) -> None:
+        """Replace a dead shard: fresh channels, fresh rings, fresh process,
+        resynced state — then rejoin it to routing.
+
+        Nothing of the corpse is reused.  Its queues may hold torn frames,
+        its rings may have slots claimed by a write that never finished, and
+        its kernel mappings pin the old segments; teardown + re-create is
+        both simpler and the only defensible correctness story.
+        """
+        if self._closed or self._stop.is_set():
+            return
+        with self._lock:
+            if self._gave_up[index] or not self._dead[index]:
+                return
+            attempt = self._respawn_attempts[index]
+        old_process = self._processes[index]
+        old_process.join(timeout=5.0)
+        if old_process.is_alive():  # pragma: no cover - SIGKILL straggler
+            old_process.kill()
+            old_process.join(timeout=5.0)
+        # Closing the old queues pops the shard's collector thread out of
+        # its blocking get (OSError) — the new incarnation gets its own.
+        for old_queue in (self._request_queues[index],
+                          self._result_queues[index]):
+            try:
+                old_queue.close()
+                old_queue.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover - already down
+                pass
+        old_request_ring = self._request_rings[index]
+        old_result_ring = self._result_rings[index]
+        request_ring = old_request_ring.renew() \
+            if old_request_ring is not None else None
+        result_ring = old_result_ring.renew() \
+            if old_result_ring is not None else None
+        try:
+            with _blas_threads_env(self._blas_threads):
+                (request_queue, result_queue, heartbeat,
+                 process) = self._make_worker(index, request_ring,
+                                              result_ring)
+        except Exception as exc:  # noqa: BLE001 - spawn itself failed
+            self._schedule_respawn(index)
+            self._emit({"event": "respawn_failed", "worker": index,
+                        "attempt": attempt,
+                        "reason": f"{type(exc).__name__}: {exc}"})
+            return
+        if self._closed:
+            # close() raced us past the entry check: the fresh process must
+            # not outlive the engine (close() iterated the old handle).
+            process.kill()
+            process.join(timeout=5.0)
+            return
+        self._request_queues[index] = request_queue
+        self._result_queues[index] = result_queue
+        self._request_rings[index] = request_ring
+        self._result_rings[index] = result_ring
+        self._heartbeats[index] = heartbeat
+        self._processes[index] = process
+        now = time.monotonic()
+        with self._lock:
+            self._spawned_at[index] = now
+            self._hb_seen[index] = (0, now)
+            # Resyncing: targeted submits (the resync itself) work, routing
+            # and broadcasts skip the shard until it holds current state.
+            self._resyncing[index] = True
+            self._dead[index] = False
+        self._collectors.append(self._start_collector(index))
+        try:
+            self.submit("ping", None, worker=index).result(
+                timeout=self._startup_timeout)
+            self._resync_prototypes(index)
+        except Exception as exc:  # noqa: BLE001 - died again during resync
+            reason = (f"worker {index} respawn failed during resync "
+                      f"({type(exc).__name__}: {exc})")
+            with self._lock:
+                needs_fail = not self._dead[index]
+            if needs_fail:
+                try:
+                    process.kill()
+                except Exception:  # noqa: BLE001
+                    pass
+                # Re-enters _schedule_respawn: the budget, not recursion
+                # depth, bounds how often this can go around.
+                self._fail_worker(index, reason)
+            return
+        with self._lock:
+            self._restarts[index] += 1
+            failed_at = self._failed_at[index]
+            self._failed_at[index] = None
+        latency = None if failed_at is None else time.monotonic() - failed_at
+        self._emit({"event": "respawned", "worker": index,
+                    "attempt": attempt, "recovery_latency_s": latency})
+
+    def _resync_prototypes(self, index: int) -> None:
+        """Bring a respawned shard to the *current* prototype version, then
+        mark it live.
+
+        The loop closes the respawn/broadcast race: a concurrent
+        :meth:`set_prototypes` updates ``_latest_prototypes`` under the lock
+        *before* snapshotting the live set.  Either it runs before our
+        re-read (we send the newer state ourselves) or after we flipped
+        ``_resyncing`` off under the same lock (the broadcast reaches the
+        shard directly).  A version acked below the latest re-sends.
+        """
+        while True:
+            with self._lock:
+                state = self._latest_prototypes
+            if state is None:
+                with self._lock:
+                    self._resyncing[index] = False
+                return
+            self.submit("set_prototypes", state, worker=index).result(
+                timeout=self._startup_timeout)
+            with self._lock:
+                if (self._latest_prototypes is None
+                        or self._latest_prototypes.version == state.version):
+                    self._resyncing[index] = False
+                    return
 
     # ------------------------------------------------------------------
     def submit(self, kind: str, payload=None,
@@ -405,7 +781,7 @@ class ShardedEngine:
                     raise WorkerDiedError(f"worker {index} is dead")
             else:
                 live = [i for i in range(self.num_workers)
-                        if not self._dead[i]]
+                        if not self._dead[i] and not self._resyncing[i]]
                 if not live:
                     raise RemoteWorkerError("no live workers left in the "
                                             "pool")
@@ -550,7 +926,17 @@ class ShardedEngine:
         executed all previously enqueued items and every later item sees
         the new prototypes.  Prototype states are control frames: they
         cross as pickle, never through the tensor rings.
+
+        The state is recorded as the pool's latest *before* broadcasting
+        (under the engine lock): a shard the supervisor is resyncing right
+        now is excluded from the broadcast's live set, and the resync loop
+        re-reads the latest state until its acked version matches — so the
+        shard rejoins with these prototypes either way.
         """
+        with self._lock:
+            if (self._latest_prototypes is None
+                    or state.version >= self._latest_prototypes.version):
+                self._latest_prototypes = state
         return self.broadcast("set_prototypes", state, timeout=timeout)
 
     def stats(self, timeout: float = DEFAULT_TIMEOUT) -> List[dict]:
@@ -600,6 +986,22 @@ class ShardedEngine:
                 # A future that will never resolve (dead worker) must not
                 # linger in the pending table until close().
                 self._discard_future(future)
+        # Coordinator-side recovery annotations: visible on healthy and
+        # degraded records alike, so operators can tell "this shard died
+        # once and was respawned" from "this shard never blinked" — and the
+        # heartbeat age doubles as the hang-detection signal surfaced.
+        now = time.monotonic()
+        with self._lock:
+            recovery = [(self._restarts[i], self._gave_up[i],
+                         self._resyncing[i], now - self._hb_seen[i][1])
+                        for i in range(self.num_workers)]
+        for index, record in enumerate(records):
+            if isinstance(record, dict):
+                restarts, gave_up, resyncing, hb_age = recovery[index]
+                record["restarts"] = restarts
+                record["gave_up"] = gave_up
+                record["resyncing"] = resyncing
+                record["heartbeat_age_s"] = hb_age
         return records
 
     # ------------------------------------------------------------------
@@ -634,6 +1036,7 @@ class ShardedEngine:
             collector.join(timeout=5.0)
         self._watchdog.join(timeout=5.0)
         with self._lock:
+            self._respawn_due.clear()
             pending = [future for future, _ in self._pending.values()]
             self._pending.clear()
             self._trace_ctx.clear()
@@ -644,6 +1047,9 @@ class ShardedEngine:
                 future.set_exception(error)
             except InvalidStateError:
                 pass
+        # Joined after the pending sweep: a supervisor blocked mid-resync on
+        # a future is released by the sweep, not by a timeout.
+        self._supervisor.join(timeout=5.0)
         for q in (*self._request_queues, *self._result_queues):
             q.close()
             q.cancel_join_thread()

@@ -16,6 +16,11 @@ instrument                          meaning
 ``serve.max_queue_depth``           peak admission-queue depth
 ``serve.batch_latency_s``           dispatch→resolution latency histogram
 ``serve.batch_size``                exact coalesced-batch-size histogram
+``serve.worker_failures_total``     shards declared failed by the watchdog
+``serve.worker_restarts_total``     supervisor respawns that rejoined
+``serve.hang_escalations_total``    heartbeat-silent shards SIGKILLed
+``serve.respawns_abandoned_total``  shards given up after the crash budget
+``serve.recovery_latency_s``        failure-detected→serving-again histogram
 ==================================  ========================================
 
 The batch-latency percentiles come from the fixed-bucket histogram through
@@ -57,6 +62,12 @@ BATCH_LATENCY_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
     0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
 
+#: Bucket upper bounds (seconds) of ``serve.recovery_latency_s``: recovery
+#: spans watchdog detection through backoff, respawn (interpreter startup +
+#: replica restore) and prototype resync — tenths of a second to minutes.
+RECOVERY_LATENCY_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
 
 class ServeStats:
     """Instrumented counters for one :class:`~repro.serve.server.Server`.
@@ -87,6 +98,17 @@ class ServeStats:
         self._batch_latency = self.registry.histogram(
             "serve.batch_latency_s", BATCH_LATENCY_BUCKETS)
         self._batch_sizes = self.registry.int_histogram("serve.batch_size")
+        self._worker_failures = self.registry.counter(
+            "serve.worker_failures_total")
+        self._worker_restarts = self.registry.counter(
+            "serve.worker_restarts_total")
+        self._hang_escalations = self.registry.counter(
+            "serve.hang_escalations_total")
+        self._respawns_abandoned = self.registry.counter(
+            "serve.respawns_abandoned_total")
+        self._recovery_latency = self.registry.histogram(
+            "serve.recovery_latency_s", RECOVERY_LATENCY_BUCKETS)
+        self._last_recovery_latency_s: Optional[float] = None
         self.started_at = time.perf_counter()
         self._ema_lock = threading.Lock()
         self._ema_batch_latency_s = 0.0
@@ -112,6 +134,25 @@ class ServeStats:
 
     def observe_shed(self) -> None:
         self._shed.inc()
+
+    def observe_recovery_event(self, event: dict) -> None:
+        """Instrument one engine recovery lifecycle event (the server wires
+        this as the engine's ``recovery_listener``).  Unknown event kinds
+        are ignored so the stats layer never constrains the engine."""
+        kind = event.get("event")
+        if kind == "worker_failed":
+            self._worker_failures.inc()
+        elif kind == "hang_escalated":
+            self._hang_escalations.inc()
+        elif kind == "gave_up":
+            self._respawns_abandoned.inc()
+        elif kind == "respawned":
+            self._worker_restarts.inc()
+            latency = event.get("recovery_latency_s")
+            if latency is not None:
+                self._recovery_latency.observe(float(latency))
+                with self._ema_lock:
+                    self._last_recovery_latency_s = float(latency)
 
     def observe_batch_latency(self, seconds: float) -> None:
         self._batch_latency.observe(seconds)
@@ -187,4 +228,9 @@ class ServeStats:
             "ema_batch_latency_s": self.ema_batch_latency_s,
             "elapsed_s": self.elapsed_s,
             "samples_per_s": self.samples_per_s,
+            "worker_failures": int(self._worker_failures.value),
+            "worker_restarts": int(self._worker_restarts.value),
+            "hang_escalations": int(self._hang_escalations.value),
+            "respawns_abandoned": int(self._respawns_abandoned.value),
+            "last_recovery_latency_s": self._last_recovery_latency_s,
         }

@@ -48,6 +48,7 @@ at the caller as :class:`~repro.serve.sharded.RemoteWorkerError`.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional, Sequence, Tuple
 
@@ -63,6 +64,11 @@ from ..runtime.kernels import (
 )
 from .snapshot import ModelSnapshot, PrototypeState
 from .transport import SlotRing, pack_payload, payload_trace, unpack_payload
+
+#: Heartbeat stamp period.  The coordinator's hang detector compares
+#: stamps across watchdog ticks, so this only needs to be comfortably
+#: faster than any sane ``hang_silence_s``, not precise.
+_HEARTBEAT_PERIOD_S = 0.05
 
 
 class _WorkerState:
@@ -190,14 +196,29 @@ class _WorkerState:
 
 def worker_main(worker_id: int, snapshot: ModelSnapshot, request_queue,
                 result_queue, request_ring_spec=None,
-                result_ring_spec=None) -> None:
+                result_ring_spec=None, heartbeat=None) -> None:
     """Entry point of a worker process (must stay importable for spawn).
 
     ``request_ring_spec`` / ``result_ring_spec`` are
     :meth:`~repro.serve.transport.SlotRing.spec` tuples of the
     coordinator-owned shared-memory rings; ``None`` (the default, and what
     the in-process tests pass) runs the loop on pure queue transport.
+
+    ``heartbeat`` is an optional shared unsigned counter this process stamps
+    from a dedicated daemon thread — the coordinator's hang detector reads
+    it to tell a frozen process (SIGSTOP, swap death) from a busy one.  The
+    thread starts *before* the replica restore below, so the stamp proves
+    "this process is scheduled and executing", the earliest thing worth
+    proving; a separate startup grace covers the restore window before the
+    first stamp.  This worker is the value's only writer.
     """
+    if heartbeat is not None:
+        def _beat() -> None:
+            while True:
+                heartbeat.value += 1
+                time.sleep(_HEARTBEAT_PERIOD_S)
+        threading.Thread(target=_beat, daemon=True,
+                         name=f"repro-serve-heartbeat-{worker_id}").start()
     request_ring = SlotRing.attach(request_ring_spec) \
         if request_ring_spec is not None else None
     result_ring = SlotRing.attach(result_ring_spec) \

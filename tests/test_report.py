@@ -6,9 +6,11 @@ import pytest
 from repro.report import (
     ExperimentRecord,
     append_bench_record,
+    append_keyed_bench_record,
     dict_rows_to_table,
     format_table,
     load_bench,
+    load_keyed_bench,
     load_records,
     relative_error,
     save_records,
@@ -108,3 +110,52 @@ class TestBenchHistory:
         path.write_text("{not json")
         data = append_bench_record(path, {"run": 1})
         assert data["history"] == [{"run": 1}]
+
+
+class TestKeyedBenchMalformedInputs:
+    """The keyed helpers normalise every on-disk malformation to a usable
+    shape — a half-written artefact file must never take the scenario
+    matrix (or its latency-floor gate) down with a parse error."""
+
+    def test_truncated_file_normalises_to_empty(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text('{"kill_shard": {"latest": {"run": 1}, "hist')
+        assert load_keyed_bench(path) == {}
+        # ...and appending over the wreckage starts a fresh trend.
+        data = append_keyed_bench_record(path, "kill_shard", {"run": 2})
+        assert data["kill_shard"]["history"] == [{"run": 2}]
+
+    def test_missing_history_backfills_from_latest(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text('{"kill_shard": {"latest": {"run": 3}}}')
+        data = load_keyed_bench(path)
+        assert data["kill_shard"]["latest"] == {"run": 3}
+        assert data["kill_shard"]["history"] == []
+        appended = append_keyed_bench_record(path, "kill_shard", {"run": 4})
+        assert appended["kill_shard"]["latest"] == {"run": 4}
+        assert appended["kill_shard"]["history"] == [{"run": 4}]
+
+    def test_missing_latest_backfills_from_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(
+            '{"hang_shard": {"history": [{"run": 1}, {"run": 2}]}}')
+        data = load_keyed_bench(path)
+        assert data["hang_shard"]["latest"] == {"run": 2}
+
+    def test_non_dict_entries_are_dropped(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(
+            '{"good": {"history": [{"run": 1}, "junk", 4, null,'
+            ' {"run": 2}]},'
+            ' "bad": "not a trend", "worse": [1, 2, 3]}')
+        data = load_keyed_bench(path)
+        assert sorted(data) == ["good"]
+        assert data["good"]["history"] == [{"run": 1}, {"run": 2}]
+
+    def test_top_level_non_object_normalises_to_empty(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text('[{"run": 1}]')
+        assert load_keyed_bench(path) == {}
+        path.write_text('"just a string"')
+        assert load_keyed_bench(path) == {}
+        assert load_keyed_bench(tmp_path / "missing.json") == {}

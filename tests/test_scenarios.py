@@ -11,8 +11,9 @@ Three layers of coverage:
 3. **Regressions** — targeted pins for the bugs the scenarios originally
    flushed out: compounding scatter timeouts, broadcast racing worker
    death, the sticky SLO gate (EMA never decayed + approximate admission),
-   trace loss on close, and the shape-poisoned batcher — plus the full
-   scenario matrix itself as a pytest-visible gate.
+   trace loss on close, and the shape-poisoned batcher — plus the
+   per-scenario latency-floor gate and the full scenario matrix itself
+   (recovery scenarios included) as a pytest-visible gate.
 """
 
 import time
@@ -31,7 +32,13 @@ from repro.scenarios import (
     run_scenario,
 )
 from repro.scenarios.loadgen import OP_KINDS
-from repro.scenarios.runner import build_model
+from repro.scenarios.runner import (
+    LATENCY_FLOOR_MIN_HISTORY,
+    ScenarioFailure,
+    apply_latency_floor,
+    build_model,
+    latency_floor_ms,
+)
 from repro.serve import Server, ServerOverloaded, snapshot_prototypes
 from repro.serve.stats import ServeStats
 
@@ -134,7 +141,11 @@ def test_scatter_and_broadcast_survive_worker_death(scenario_model):
     one shared deadline, and broadcast tolerates partial completion."""
     model, shots = scenario_model
     reference = model.runtime_predictor()
-    server = Server(model, num_workers=2, max_latency_s=0.02, micro_batch=8)
+    # Respawn off: this test pins the *degraded-pool* contract (the corpse
+    # stays dead and its absence is visible); the supervised-respawn
+    # lifecycle is pinned by tests/test_serve_recovery.py.
+    server = Server(model, num_workers=2, max_latency_s=0.02, micro_batch=8,
+                    max_respawns=0)
     try:
         queries = np.random.default_rng(21).standard_normal(
             (24, 3, 16, 16)).astype(np.float32)
@@ -260,6 +271,47 @@ def test_keyed_bench_roundtrip_and_limit(tmp_path):
     assert [entry["run"] for entry in data["kill_shard"]["history"]] \
         == [1, 2, 3]
     assert data["hang_shard"]["history"] == [{"run": 0}]
+
+
+# ---------------------------------------------------------------------------
+# Per-scenario latency floors
+# ---------------------------------------------------------------------------
+def trend_entry(p50):
+    return {"counters": {"batch_latency_p50_ms": p50}}
+
+
+class TestLatencyFloors:
+    def test_floor_arms_only_with_enough_positive_history(self):
+        history = [trend_entry(2.0), trend_entry(4.0)]
+        assert latency_floor_ms(history) is None       # below min history
+        history.append(trend_entry(3.0))
+        assert latency_floor_ms(history) == pytest.approx(15.0)  # 5x median
+        # Zero/absent/malformed readings never count toward arming.
+        padded = [trend_entry(0.0), {"counters": {}}, {"no": "counters"},
+                  "junk", trend_entry(True)] + history[:2]
+        assert latency_floor_ms(padded) is None
+
+    def test_median_resists_one_slow_outlier(self):
+        history = [trend_entry(2.0)] * 4 + [trend_entry(200.0)]
+        assert latency_floor_ms(history) == pytest.approx(10.0)
+
+    def test_gate_passes_annotates_and_fails(self):
+        history = [trend_entry(2.0)] * LATENCY_FLOOR_MIN_HISTORY
+        passing = trend_entry(9.9)
+        apply_latency_floor("kill_shard", passing, history)
+        assert passing["latency_floor"] == {
+            "armed": True, "limit_ms": 10.0, "p50_ms": 9.9}
+        with pytest.raises(ScenarioFailure, match="latency floor violated"):
+            apply_latency_floor("kill_shard", trend_entry(10.1), history)
+        # Unarmed trends annotate but never gate.
+        young = trend_entry(1000.0)
+        apply_latency_floor("kill_shard", young, history[:1])
+        assert young["latency_floor"] == {"armed": False}
+        # A record with no measurable p50 passes: absence of a measurement
+        # is not a regression (e.g. restart_replay's second server).
+        unmeasured = {"counters": {}}
+        apply_latency_floor("kill_shard", unmeasured, history)
+        assert unmeasured["latency_floor"]["p50_ms"] is None
 
 
 # ---------------------------------------------------------------------------

@@ -358,17 +358,21 @@ class TestDegradedStats:
         # A shard that dies mid-collection degrades to a flagged record
         # instead of aborting the whole stats call: operators need the
         # surviving shards' counters most exactly when one shard is down.
+        # max_respawns=0 pins the *degraded* stats surface: with the
+        # supervisor on (the default) the corpse would be respawned and
+        # dead_workers would legitimately empty out mid-assert.
         model, shots = make_learned_model(seed=6)
         with Server(model, num_workers=2, micro_batch=4,
-                    max_latency_s=0.05) as server:
+                    max_latency_s=0.05, max_respawns=0) as server:
             server.predict(shots[:8])   # two chunks -> warms both replicas
             victim = server.engine._processes[0]
             # Let the victim's result-queue feeder thread go quiescent
-            # before the hard kill.  With per-worker channels a worker
-            # terminated mid-write can only poison its *own* result queue —
-            # never the survivors' — but its own channel may still deliver a
-            # truncated frame, which is why stats collection degrades per
-            # shard instead of trusting every channel.
+            # before the hard kill.  Channels are fully per-worker, so a
+            # worker terminated mid-write can only poison its *own* result
+            # queue — the survivors' channels are untouchable by the corpse.
+            # Its own channel may still deliver a truncated frame, which is
+            # why stats collection degrades per shard instead of trusting
+            # every channel.
             time.sleep(0.3)
             victim.terminate()
             victim.join(timeout=10)
@@ -379,10 +383,12 @@ class TestDegradedStats:
             assert flagged["worker_id"] == 0
             assert "error" in flagged and flagged["alive"] is False
             assert survivor["worker_id"] == 1
-            # The survivor normally answers with full stats; if the hard
-            # kill did wedge the shared result queue, it degrades to a
+            # The survivor normally answers with full stats; if its own
+            # collection merely missed the deadline it degrades to a
             # flagged-but-alive record — never declared dead, and either
-            # way the call returned partial stats instead of raising.
+            # way the call returned partial stats instead of raising.  (A
+            # hard-killed sibling cannot wedge this shard's channel: no
+            # queue or lock is shared between workers.)
             if "error" in survivor:
                 assert survivor["alive"] is True
                 # Flagged as stale, so the incomplete aggregates are marked.
@@ -398,19 +404,23 @@ class TestDegradedStats:
 # ---------------------------------------------------------------------------
 class TestFaultInjection:
     def test_sigkill_mid_flight_fails_fast_and_survivors_serve(self):
-        # The headline regression of the per-worker transport: before it, a
-        # worker SIGKILLed while writing a result could die holding the
-        # *shared* result queue's write lock, wedging every surviving shard
-        # and leaving the dead shard's callers blocked until their timeout.
-        # Now the dead shard's pending futures must fail fast with
-        # RemoteWorkerError (liveness watchdog, not timeout), the survivors
-        # must keep answering bit-for-bit, and the dead worker's ring slots
-        # must be reclaimed rather than leaked.
+        # The headline regression of the per-worker transport (and the
+        # reason channels are per-worker at all): on the old shared-queue
+        # transport a worker SIGKILLed while writing a result died holding
+        # the one shared write lock and wedged every surviving shard.  With
+        # per-worker channels that failure mode is structurally impossible;
+        # what this test pins is the remaining contract: the dead shard's
+        # pending futures must fail fast with RemoteWorkerError (liveness
+        # watchdog, not timeout), the survivors must keep answering
+        # bit-for-bit, and the dead worker's ring slots must be reclaimed
+        # rather than leaked.  max_respawns=0 keeps the corpse down — the
+        # supervised-respawn path has its own tests (test_serve_recovery).
         model, shots = make_learned_model(seed=7)
         rng = np.random.default_rng(11)
         queries = rng.standard_normal((40, *IMAGE_SHAPE)).astype(np.float32)
         reference = model.runtime_predictor().predict(queries)
-        with Server(model, num_workers=2, max_latency_s=0.05) as server:
+        with Server(model, num_workers=2, max_latency_s=0.05,
+                    max_respawns=0) as server:
             server.predict(queries[:8])            # warm both replicas
             big = rng.standard_normal((64, *IMAGE_SHAPE)).astype(np.float32)
             inflight = [server.engine.submit("backbone", big, worker=0)
