@@ -94,6 +94,31 @@ def plan_layer_specs(plan, input_shape: Tuple[int, int, int] = (3, 32, 32)
                 specs.append(act_spec(f"{step.name}.act", out_c,
                                       (out_h, out_w)))
             shapes[step.output] = (out_c, out_h, out_w)
+        elif step.op == "qconv_add":
+            # Superfused residual tail: cost exactly like the
+            # ``qconv_dequant`` + ``add`` pair it replaced — a conv spec
+            # under the original conv's name, then the residual add.
+            weight = step.arrays["weight"]
+            out_c, c_per_group, kh, kw = weight.shape
+            groups = step.attrs.get("groups", 1)
+            stride = step.attrs.get("stride", 1)
+            padding = step.attrs.get("padding", 0)
+            c, h, w = shape
+            out_h = (h + 2 * padding - kh) // stride + 1
+            out_w = (w + 2 * padding - kw) // stride + 1
+            op_type = "dwconv" if groups == c and groups == out_c else "conv"
+            conv_name = step.attrs.get("conv_name", f"{step.name}.conv")
+            specs.append(LayerSpec(
+                name=conv_name, op_type=op_type, in_channels=c,
+                out_channels=out_c, kernel_size=kh, stride=stride,
+                in_hw=(h, w), out_hw=(out_h, out_w), groups=groups,
+                macs=out_h * out_w * out_c * c_per_group * kh * kw,
+                params=weight.size))
+            if step.attrs.get("act") is not None:
+                specs.append(act_spec(f"{conv_name}.act", out_c,
+                                      (out_h, out_w)))
+            specs.append(add_spec(step.name, out_c, (out_h, out_w)))
+            shapes[step.output] = (out_c, out_h, out_w)
         elif step.op in ("linear", "qlinear"):
             in_features = _flat_features(shape)
             if step.module is not None:

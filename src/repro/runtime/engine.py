@@ -130,6 +130,16 @@ class InferenceEngine:
                        fn=lambda: self.arena_peak_bytes)
         registry.gauge(f"{prefix}.arena_slots", fn=lambda: self.arena_slots)
         registry.gauge(f"{prefix}.plan_steps", fn=lambda: len(self.plan))
+        # Graph-rewrite statistics of the optimized plan (all zero when the
+        # engine runs a raw plan): total rule applications plus the CSE
+        # count, the two aggregate health signals of the rewrite pipeline.
+        registry.gauge(
+            f"{prefix}.opt_rule_applications",
+            fn=lambda: sum(getattr(self.plan, "pass_stats", {}).values()))
+        registry.gauge(
+            f"{prefix}.opt_cse_hits",
+            fn=lambda: getattr(self.plan, "pass_stats", {}).get(
+                "common_subexpression_elimination", 0))
 
     @classmethod
     def for_module(cls, module: Module,

@@ -1,0 +1,423 @@
+"""SSA-style typed graph IR over flat inference plans.
+
+The compiler (:mod:`repro.runtime.compiler`) emits a *flat* plan — a linear
+:class:`~repro.runtime.plan.Step` list over a register file.  That form is
+what the executor wants, but it is a poor substrate for optimization: a pass
+that wants to fuse across a residual branch has to rebuild producer/consumer
+relationships from register names on every sweep, and nothing stops a buggy
+rewrite from orphaning a register until execution fails.
+
+This module promotes the flat plan to a small SSA graph:
+
+* :class:`Value` — one immutable register definition: its register name
+  (preserved bit-for-bit through round-trips, so memory plans and snapshots
+  keyed by register names stay valid), its inferred dtype, the quantization
+  ``scale``/``zero_point`` when the value is int8 codes, the per-sample
+  shape when one has been recorded, and explicit ``producer`` / ``consumers``
+  edges.
+* :class:`Node` — one typed operation: the op, its attrs/arrays, and its
+  input/output :class:`Value` edges.
+* :class:`Graph` — the nodes in topological (= execution) order with
+  :meth:`Graph.from_plan` / :meth:`Graph.to_plan` converters,
+  def-use :meth:`~Graph.validate` invariants, mutation helpers that keep the
+  edge lists consistent, and a Graphviz :meth:`~Graph.to_dot` dump.
+
+Rewrites run through :class:`RewriteRule`: each rule states its legality
+precondition (checked against the live def-use edges immediately before
+every application) and the whole graph re-validates after every rule run, so
+an illegal rewrite fails loudly at optimization time instead of silently
+corrupting the plan.  The rules themselves live in
+:mod:`repro.runtime.rewrites`.
+
+Round-tripping is lossless by construction: ``Graph.from_plan(plan)
+.to_plan()`` reproduces the step sequence — same ops, same register names,
+same attrs, the same array *objects* — so a graph built and immediately
+lowered executes bit-identically to the original plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .plan import InferencePlan, Step
+
+
+class GraphInvariantError(RuntimeError):
+    """A def-use invariant of the SSA graph does not hold."""
+
+
+# ---------------------------------------------------------------------------
+# Values and nodes
+# ---------------------------------------------------------------------------
+@dataclass(eq=False)
+class Value:
+    """One SSA register definition.
+
+    ``consumers`` holds one entry per *consuming edge*: a node reading this
+    value at two input positions appears twice, so ``len(consumers)`` (plus
+    one if the value is the graph output) is the exact use count the
+    single-use fusion preconditions need.
+    """
+
+    name: str                                 # flat-plan register name
+    dtype: Optional[str] = None               # "float32" | "int8" | None
+    #: quantization scale when the value is int8 codes on a single grid
+    #: (per-channel-quantized conv outputs carry ``None``).
+    scale: Optional[float] = None
+    #: symmetric quantization throughout the runtime — always 0 today, but
+    #: first-class so asymmetric grids have a home in the IR.
+    zero_point: int = 0
+    shape: Optional[Tuple[int, ...]] = None   # per-sample shape, when known
+    producer: Optional["Node"] = None         # None for the graph input
+    consumers: List["Node"] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dtype = self.dtype or "?"
+        scale = f"@{self.scale:g}" if self.scale is not None else ""
+        return f"Value({self.name}: {dtype}{scale})"
+
+
+@dataclass(eq=False)
+class Node:
+    """One typed operation of the graph."""
+
+    op: str
+    name: str
+    inputs: List[Value]
+    output: Value
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    attrs: Dict[str, object] = field(default_factory=dict)
+    module: Optional[object] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ins = ",".join(v.name for v in self.inputs)
+        return f"Node({self.op!r}, {self.name!r}, {ins} -> {self.output.name})"
+
+
+#: Ops whose output lives on the int8 code grid of their ``scale`` attr.
+#: Every one of them clamps to ``[-127, 127]`` (symmetric, -128 excluded),
+#: which is exactly the range the same-scale quantize∘dequantize identity
+#: rewrite needs to be bit-exact.
+_INT8_SCALED_OPS = ("quantize", "qrequantize")
+
+#: Ops whose output dtype (and grid) mirrors their first input: shape-only
+#: or order-only transforms of the incoming codes/values.
+_DTYPE_INHERIT_OPS = ("flatten", "max_pool")
+
+#: Ops producing float32 regardless of input dtype.
+_FLOAT_OPS = ("conv", "linear", "bn", "act", "global_pool", "avg_pool",
+              "dequantize", "requantize", "qconv_dequant", "qlinear",
+              "qglobal_pool")
+
+
+def _infer_value_type(op: str, attrs: Dict[str, object],
+                      inputs: List[Value]) -> Tuple[Optional[str],
+                                                    Optional[float]]:
+    """(dtype, scale) of an op's output, from op semantics + input types."""
+    if op in _INT8_SCALED_OPS:
+        return "int8", float(attrs["scale"])
+    if op == "qconv":                    # per-channel requantized codes
+        return "int8", None
+    if op in ("add", "qconv_add"):
+        out_scale = attrs.get("out_scale")
+        if out_scale is not None:
+            return "int8", float(out_scale)
+        return "float32", None
+    if op in _DTYPE_INHERIT_OPS and inputs:
+        return inputs[0].dtype, inputs[0].scale
+    if op in _FLOAT_OPS:
+        return "float32", None
+    return None, None                    # opaque / unknown
+
+
+# ---------------------------------------------------------------------------
+# Graph
+# ---------------------------------------------------------------------------
+class Graph:
+    """A flat plan as an SSA def-use graph (nodes in execution order)."""
+
+    def __init__(self, name: str, input_value: Value,
+                 optimized: bool = False):
+        self.name = name
+        self.input = input_value
+        self.output: Value = input_value
+        self.nodes: List[Node] = []
+        self.optimized = optimized
+
+    # ------------------------------------------------------------------
+    # Construction / lowering
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_plan(cls, plan: InferencePlan,
+                  shapes: Optional[Dict[str, Tuple[int, ...]]] = None
+                  ) -> "Graph":
+        """Build the SSA graph of ``plan`` (types inferred, edges wired).
+
+        ``shapes`` optionally maps register names to known per-sample shapes
+        (e.g. the record an engine collected on its first chunk) — purely
+        informational, used by :meth:`to_dot` labels.
+
+        Raises:
+            GraphInvariantError: if the plan is not in SSA form (a register
+                redefined, or read before any step defines it).
+        """
+        shapes = shapes or {}
+        graph = cls(plan.name, Value(name=plan.input_register,
+                                     dtype="float32",
+                                     shape=shapes.get(plan.input_register)),
+                    optimized=plan.optimized)
+        values: Dict[str, Value] = {plan.input_register: graph.input}
+        for step in plan.steps:
+            inputs = []
+            for register in step.inputs:
+                value = values.get(register)
+                if value is None:
+                    raise GraphInvariantError(
+                        f"step {step.name!r} reads register {register!r} "
+                        f"before any step defines it")
+                inputs.append(value)
+            if step.output in values:
+                raise GraphInvariantError(
+                    f"step {step.name!r} redefines register "
+                    f"{step.output!r}; plans must be in SSA form")
+            dtype, scale = _infer_value_type(step.op, step.attrs, inputs)
+            output = Value(name=step.output, dtype=dtype, scale=scale,
+                           shape=shapes.get(step.output))
+            node = Node(op=step.op, name=step.name, inputs=inputs,
+                        output=output, arrays=step.arrays, attrs=step.attrs,
+                        module=step.module)
+            output.producer = node
+            for value in inputs:
+                value.consumers.append(node)
+            graph.nodes.append(node)
+            values[step.output] = output
+        out = values.get(plan.output_register)
+        if out is None:
+            raise GraphInvariantError(
+                f"plan output register {plan.output_register!r} is never "
+                f"defined")
+        graph.output = out
+        return graph
+
+    def to_plan(self, optimized: Optional[bool] = None,
+                pass_stats: Optional[Dict[str, int]] = None) -> InferencePlan:
+        """Lower back to a flat plan, preserving register names and arrays."""
+        steps = [Step(op=node.op, name=node.name,
+                      inputs=tuple(v.name for v in node.inputs),
+                      output=node.output.name, arrays=node.arrays,
+                      attrs=node.attrs, module=node.module)
+                 for node in self.nodes]
+        plan = InferencePlan(steps=steps, input_register=self.input.name,
+                             output_register=self.output.name,
+                             name=self.name,
+                             optimized=self.optimized if optimized is None
+                             else optimized)
+        if pass_stats is not None:
+            plan.pass_stats = dict(pass_stats)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Def-use queries and mutation helpers
+    # ------------------------------------------------------------------
+    def use_count(self, value: Value) -> int:
+        """Total reads of ``value``: consuming edges + the graph output."""
+        return len(value.consumers) + (1 if value is self.output else 0)
+
+    def values(self) -> Iterable[Value]:
+        yield self.input
+        for node in self.nodes:
+            yield node.output
+
+    def replace_input(self, node: Node, position: int,
+                      new_value: Value) -> None:
+        """Rewire one consuming edge of ``node`` to read ``new_value``."""
+        old = node.inputs[position]
+        old.consumers.remove(node)
+        node.inputs[position] = new_value
+        new_value.consumers.append(node)
+
+    def redirect_uses(self, old: Value, new: Value) -> None:
+        """Point every consumer of ``old`` (but not the output) at ``new``."""
+        if old is self.output:
+            raise GraphInvariantError(
+                f"cannot redirect the graph output value {old.name!r}; the "
+                f"output register name must survive rewrites")
+        for consumer in list(old.consumers):
+            for position, value in enumerate(consumer.inputs):
+                if value is old:
+                    self.replace_input(consumer, position, new)
+
+    def erase_node(self, node: Node) -> None:
+        """Remove a node whose output nothing reads (legality-checked)."""
+        if self.use_count(node.output) != 0:
+            raise GraphInvariantError(
+                f"cannot erase node {node.name!r}: its output "
+                f"{node.output.name!r} still has "
+                f"{self.use_count(node.output)} use(s)")
+        for value in node.inputs:
+            value.consumers.remove(node)
+        node.inputs = []
+        self.nodes.remove(node)
+
+    def take_over_output(self, node: Node, value: Value) -> None:
+        """Make ``node`` the producer of ``value`` (its old output dies).
+
+        Used by producer-absorbing fusions (``add -> quantize`` fusion makes
+        the add write the quantize's register).  The node's previous output
+        must be dead apart from the consumer being absorbed.
+        """
+        old = node.output
+        if old is self.output:
+            raise GraphInvariantError(
+                f"cannot retarget node {node.name!r}: it produces the graph "
+                f"output {old.name!r}")
+        if old.consumers:
+            raise GraphInvariantError(
+                f"cannot retarget node {node.name!r}: {old.name!r} still has "
+                f"consumers")
+        node.output = value
+        value.producer = node
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every def-use invariant; raise GraphInvariantError if not.
+
+        * nodes are in topological order (inputs defined earlier),
+        * value names are unique (SSA),
+        * producer/consumer edge lists exactly mirror node inputs/outputs,
+        * the graph output is the input or produced by some node.
+        """
+        defined = {id(self.input)}
+        names = {self.input.name}
+        # Reads per value, counting multiplicity (one per consuming edge).
+        reads: Dict[int, Dict[int, int]] = {}
+        for node in self.nodes:
+            for value in node.inputs:
+                if id(value) not in defined:
+                    raise GraphInvariantError(
+                        f"node {node.name!r} reads {value.name!r} before its "
+                        f"definition (topological order violated)")
+                per_value = reads.setdefault(id(value), {})
+                per_value[id(node)] = per_value.get(id(node), 0) + 1
+            if node.output.producer is not node:
+                raise GraphInvariantError(
+                    f"value {node.output.name!r} does not point back at its "
+                    f"producing node {node.name!r}")
+            if node.output.name in names:
+                raise GraphInvariantError(
+                    f"SSA violation: value name {node.output.name!r} defined "
+                    f"twice")
+            names.add(node.output.name)
+            defined.add(id(node.output))
+        if id(self.output) not in defined:
+            raise GraphInvariantError(
+                f"graph output {self.output.name!r} is not defined by any "
+                f"node (nor the graph input)")
+        live = set(map(id, self.nodes))
+        for value in self.values():
+            recorded: Dict[int, int] = {}
+            for consumer in value.consumers:
+                if id(consumer) not in live:
+                    raise GraphInvariantError(
+                        f"value {value.name!r} lists an erased node as a "
+                        f"consumer")
+                recorded[id(consumer)] = recorded.get(id(consumer), 0) + 1
+            if recorded != reads.get(id(value), {}):
+                raise GraphInvariantError(
+                    f"edge inconsistency: consumer list of {value.name!r} "
+                    f"does not match the node input edges reading it")
+
+    # ------------------------------------------------------------------
+    # Debug dump
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        """Graphviz dump: nodes labeled op/name, edges register + dtype."""
+        def edge_label(value: Value) -> str:
+            dtype = value.dtype or "?"
+            label = f"{value.name} {dtype}"
+            if value.scale is not None:
+                label += f"@{value.scale:.4g}"
+            if value.shape is not None:
+                label += " " + "x".join(str(d) for d in value.shape)
+            return label
+
+        def quote(text: str) -> str:
+            return text.replace("\\", "\\\\").replace('"', '\\"')
+
+        ids = {id(self.input): "in"}
+        lines = [f'digraph "{quote(self.name)}" {{',
+                 "  rankdir=TB;",
+                 '  node [shape=box, fontname="monospace"];',
+                 f'  in [label="input\\n{quote(self.input.name)}", '
+                 f"shape=ellipse];"]
+        for index, node in enumerate(self.nodes):
+            ids[id(node.output)] = f"n{index}"
+            lines.append(f'  n{index} [label="{quote(node.op)}\\n'
+                         f'{quote(node.name)}"];')
+        for index, node in enumerate(self.nodes):
+            for value in node.inputs:
+                source = ids.get(id(value))
+                if source is not None:
+                    lines.append(f'  {source} -> n{index} '
+                                 f'[label="{quote(edge_label(value))}"];')
+        sink = ids.get(id(self.output))
+        if sink is not None:
+            lines.append('  out [label="output", shape=ellipse];')
+            lines.append(f'  {sink} -> out '
+                         f'[label="{quote(edge_label(self.output))}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Rewrite rules
+# ---------------------------------------------------------------------------
+class RewriteRule:
+    """A legality-checked local graph rewrite.
+
+    Subclasses document their transformation and implement
+
+    * :meth:`precondition` — the legality check, evaluated against the
+      *live* def-use edges immediately before each application (a prior
+      rewrite in the same sweep may have invalidated an earlier match);
+    * :meth:`rewrite` — the mutation, applied only when the precondition
+      holds; returns True when the graph changed.
+
+    :meth:`run` sweeps the rule over the graph once and re-validates the
+    def-use invariants whenever anything was rewritten, so an illegal
+    rewrite surfaces as :class:`GraphInvariantError` at optimization time.
+    """
+
+    #: stable identifier used in ``pass_stats`` and metrics.
+    name = "rewrite"
+
+    def precondition(self, node: Node, graph: Graph) -> bool:
+        raise NotImplementedError
+
+    def rewrite(self, node: Node, graph: Graph) -> bool:
+        raise NotImplementedError
+
+    def matches(self, graph: Graph) -> List[Node]:
+        """Candidate nodes, in application order (default: program order)."""
+        return list(graph.nodes)
+
+    def run(self, graph: Graph) -> int:
+        """Apply the rule everywhere it is legal; return application count."""
+        applied = 0
+        live = set(map(id, graph.nodes))
+        for node in self.matches(graph):
+            if id(node) not in live:          # erased by an earlier rewrite
+                continue
+            if not self.precondition(node, graph):
+                continue
+            if self.rewrite(node, graph):
+                applied += 1
+                live = set(map(id, graph.nodes))
+        if applied:
+            graph.validate()
+        return applied

@@ -1,18 +1,30 @@
 """Post-compile plan optimization and arena memory planning.
 
 The compiler (:mod:`repro.runtime.compiler`) emits a faithful flat plan; this
-module makes it cheap to execute without moving a single output bit:
+module makes it cheap to execute without moving a single output bit.  The
+optimization passes run on the SSA graph IR of :mod:`repro.runtime.ir`: the
+plan is promoted to a typed def-use graph, rewritten by the legality-checked
+rules of :mod:`repro.runtime.rewrites`, and lowered back to a flat plan with
+its register names intact (so arena plans, snapshots and golden fixtures
+keyed by register names stay valid).
 
 * :func:`eliminate_dead_steps` — drop steps whose output no later step (and
   not the plan output) reads.  Pure ops only: ``opaque`` steps may carry
   side effects (forward hooks) and are always kept.
-* :func:`fuse_quantize_chains` — fold single-use ``dequantize`` steps into
-  the residual ``add`` that consumes them, fold a single-use ``add ->
-  quantize`` pair into one int8-producing add, and collapse ``dequantize ->
-  quantize`` / same-scale ``requantize -> quantize`` chains.  Every rewrite
-  replays the arithmetic of the standalone steps (see the fused kernels in
-  :mod:`repro.runtime.kernels`), so optimized plans are bit-identical —
-  the int8 golden fixtures prove it on every CI run.
+* :func:`fuse_quantize_chains` — the four quantize-chain fusions
+  (``dequantize -> add``, ``add -> quantize``, ``dequantize -> quantize``,
+  same-scale ``requantize -> quantize``), each replaying the unfused
+  arithmetic bit for bit.
+* :func:`fold_identities` — bit-exact folding of statically-determined
+  chains: ``act=None`` copies, same-scale ``quantize∘dequantize``
+  round-trips of typed int8 codes, and standalone activations absorbed into
+  their producer's empty ``act`` slot.
+* :func:`eliminate_common_subexpressions` — merge pure nodes computing the
+  identical value across residual branches.
+* :func:`superfuse_residual_adds` — the int8 residual superfusion
+  ``qconv_dequant -> add [-> requantize]`` into one ``qconv_add`` step.
+* :func:`optimize_plan` — the full pipeline; the resulting plan carries the
+  per-rule application counts in ``plan.pass_stats``.
 * :func:`plan_memory` — a liveness-based arena planner: every step output is
   assigned to one of a small set of reusable slots such that no two
   simultaneously-live registers ever share one.  The executor
@@ -31,12 +43,21 @@ the batch dimension for every op in the plan vocabulary.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .plan import InferencePlan, Step
+from .ir import Graph
+from .plan import InferencePlan
+from .rewrites import (
+    FOLD_RULES,
+    FUSION_RULES,
+    CommonSubexpressionElimination,
+    DeadNodeElimination,
+    QConvAddSuperfusion,
+    run_pipeline,
+)
 
 #: Ops whose output is a reshaped view of their input: the planner aliases
 #: the output onto the input's storage instead of assigning a slot.
@@ -44,22 +65,16 @@ ALIAS_OPS = ("flatten",)
 
 
 # ---------------------------------------------------------------------------
-# Optimization passes
+# Optimization passes (flat-plan façade over the graph rules)
 # ---------------------------------------------------------------------------
-def _use_counts(plan: InferencePlan) -> Dict[str, int]:
-    """Number of reads per register, counting the plan output as one read."""
-    counts: Dict[str, int] = {}
-    for step in plan.steps:
-        for register in step.inputs:
-            counts[register] = counts.get(register, 0) + 1
-    counts[plan.output_register] = counts.get(plan.output_register, 0) + 1
-    return counts
-
-
-def _rebuild(plan: InferencePlan, steps: List[Step]) -> InferencePlan:
-    return InferencePlan(steps=steps, input_register=plan.input_register,
-                         output_register=plan.output_register, name=plan.name,
-                         optimized=plan.optimized)
+def _run_rules(plan: InferencePlan, rule_classes) -> InferencePlan:
+    """Run graph rules over ``plan``; return ``plan`` itself when nothing
+    applied (callers and tests rely on the no-op identity)."""
+    graph = Graph.from_plan(plan)
+    applied = sum(rule_cls().run(graph) for rule_cls in rule_classes)
+    if not applied:
+        return plan
+    return graph.to_plan()
 
 
 def eliminate_dead_steps(plan: InferencePlan) -> InferencePlan:
@@ -69,15 +84,7 @@ def eliminate_dead_steps(plan: InferencePlan) -> InferencePlan:
     forward hooks may observe or mutate state, so eliminating them could
     change semantics even when their output is unused.
     """
-    live = {plan.output_register}
-    kept_reversed: List[Step] = []
-    for step in reversed(plan.steps):
-        if step.op == "opaque" or step.output in live:
-            kept_reversed.append(step)
-            live.update(step.inputs)
-    if len(kept_reversed) == len(plan.steps):
-        return plan
-    return _rebuild(plan, list(reversed(kept_reversed)))
+    return _run_rules(plan, (DeadNodeElimination,))
 
 
 def fuse_quantize_chains(plan: InferencePlan) -> InferencePlan:
@@ -96,76 +103,46 @@ def fuse_quantize_chains(plan: InferencePlan) -> InferencePlan:
       dropped (``round(round(x/s)*s/s) == round(x/s)`` exactly for int8
       code magnitudes).
     """
-    steps = list(plan.steps)
-    counts = _use_counts(plan)
-    producer = {step.output: index for index, step in enumerate(steps)}
-    removed: set = set()
+    return _run_rules(plan, FUSION_RULES)
 
-    # Fold single-use dequantize steps into the adds that consume them.
-    for index, step in enumerate(steps):
-        if step.op != "add":
-            continue
-        inputs = list(step.inputs)
-        attrs = dict(step.attrs)
-        changed = False
-        for position, register in enumerate(inputs):
-            source = producer.get(register)
-            if source is None or source in removed:
-                continue
-            feeder = steps[source]
-            if feeder.op == "dequantize" and counts.get(register, 0) == 1:
-                inputs[position] = feeder.inputs[0]
-                attrs[f"in_scale_{position}"] = feeder.attrs["scale"]
-                removed.add(source)
-                changed = True
-        if changed:
-            steps[index] = replace(step, inputs=tuple(inputs), attrs=attrs)
 
-    # Fuse quantize steps into their producers / collapse chains.
-    for index, step in enumerate(steps):
-        if step.op != "quantize" or index in removed:
-            continue
-        register = step.inputs[0]
-        source = producer.get(register)
-        if source is None or source in removed \
-                or counts.get(register, 0) != 1:
-            continue
-        feeder = steps[source]
-        if feeder.op == "add":
-            attrs = dict(feeder.attrs)
-            attrs["out_scale"] = step.attrs["scale"]
-            steps[source] = replace(feeder, output=step.output, attrs=attrs)
-            producer[step.output] = source
-            removed.add(index)
-        elif feeder.op == "dequantize":
-            steps[index] = Step(
-                op="qrequantize", name=step.name, inputs=feeder.inputs,
-                output=step.output,
-                attrs={"in_scale": feeder.attrs["scale"],
-                       "scale": step.attrs["scale"]})
-            producer[step.output] = index
-            removed.add(source)
-        elif feeder.op == "requantize" \
-                and feeder.attrs["scale"] == step.attrs["scale"]:
-            steps[index] = replace(step, inputs=feeder.inputs)
-            removed.add(source)
+def fold_identities(plan: InferencePlan) -> InferencePlan:
+    """Fold statically-determined identity chains (bit-exact subset only).
 
-    if not removed:
-        return plan
-    return _rebuild(plan, [step for index, step in enumerate(steps)
-                           if index not in removed])
+    ``act=None`` copy steps forward their input; same-scale
+    ``quantize(dequantize(q))`` round-trips of *typed* int8 codes forward
+    the original codes; standalone activations fold into their producer's
+    empty ``act`` slot.  Rewrites that would be algebraically tempting but
+    not bit-exact in float32 (conv+BN re-folding, requantize chains at
+    different scales) are deliberately not performed.
+    """
+    return _run_rules(plan, FOLD_RULES)
+
+
+def eliminate_common_subexpressions(plan: InferencePlan) -> InferencePlan:
+    """Merge pure steps computing the identical value (see
+    :class:`~repro.runtime.rewrites.CommonSubexpressionElimination`)."""
+    return _run_rules(plan, (CommonSubexpressionElimination,))
+
+
+def superfuse_residual_adds(plan: InferencePlan) -> InferencePlan:
+    """Fuse ``qconv_dequant -> add`` residual joins into ``qconv_add`` steps
+    (see :class:`~repro.runtime.rewrites.QConvAddSuperfusion`)."""
+    return _run_rules(plan, (QConvAddSuperfusion,))
 
 
 def optimize_plan(plan: InferencePlan) -> InferencePlan:
-    """Run every optimization pass; idempotent on already-optimized plans."""
+    """Run the full graph pipeline; idempotent on already-optimized plans.
+
+    The returned plan's ``pass_stats`` maps each rewrite rule to its
+    application count (threaded into ``plan_stats`` and the engine's
+    metrics gauges).
+    """
     if plan.optimized:
         return plan
-    optimized = eliminate_dead_steps(fuse_quantize_chains(
-        eliminate_dead_steps(plan)))
-    return InferencePlan(steps=list(optimized.steps),
-                         input_register=plan.input_register,
-                         output_register=plan.output_register,
-                         name=plan.name, optimized=True)
+    graph = Graph.from_plan(plan)
+    stats = run_pipeline(graph)
+    return graph.to_plan(optimized=True, pass_stats=stats)
 
 
 # ---------------------------------------------------------------------------

@@ -32,7 +32,7 @@ class Step:
                                   # max_pool | avg_pool | flatten | opaque |
                                   # quantize | dequantize | requantize |
                                   # qrequantize | qconv | qconv_dequant |
-                                  # qlinear | qglobal_pool
+                                  # qlinear | qglobal_pool | qconv_add
     name: str                     # human-readable layer name (for debugging)
     inputs: Tuple[str, ...]       # register names read by the step
     output: str                   # register name written by the step
@@ -60,6 +60,9 @@ class InferencePlan:
     #: set by :func:`repro.runtime.optimizer.optimize_plan`; optimized plans
     #: are not re-optimized when handed to another engine (or a worker).
     optimized: bool = False
+    #: per-rewrite-rule application counts recorded by the graph pipeline
+    #: (``{rule name: times applied}``); empty on raw plans.
+    pass_stats: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self):
         if not self.output_register and self.steps:
@@ -105,7 +108,8 @@ class InferencePlan:
     def num_integer(self) -> int:
         """Number of steps executing on int8 inputs with int32 accumulation."""
         return sum(1 for step in self.steps
-                   if step.op in ("qconv", "qconv_dequant", "qlinear"))
+                   if step.op in ("qconv", "qconv_dequant", "qlinear",
+                                  "qconv_add"))
 
     def storage_bytes(self) -> int:
         """Deployable parameter storage with true per-step dtype accounting.
@@ -119,7 +123,7 @@ class InferencePlan:
         """
         total = 0
         for step in self.steps:
-            if step.op in ("qconv", "qconv_dequant", "qlinear"):
+            if step.op in ("qconv", "qconv_dequant", "qlinear", "qconv_add"):
                 weight = step.arrays["weight"]
                 out_channels = weight.shape[0]
                 total += weight.size                     # int8 weights
@@ -227,6 +231,32 @@ def _execute_step(step: Step, registers: Dict[str, np.ndarray],
             groups=step.attrs.get("groups", 1),
             act=step.attrs.get("act"), cache=cache,
             acc_bound=step.attrs.get("acc_bound"), out=out)
+    if op == "qconv_add":
+        # Residual superfusion: the projection conv's dequantized result
+        # flows straight into the residual add.  Both halves run the exact
+        # kernels of the standalone ``qconv_dequant`` and fused ``add``
+        # steps, so the superfused step is bit-identical by construction;
+        # only the full-size float intermediate register disappears.
+        conv = kernels.fused_qconv_dequant(
+            x, step.arrays["weight"], step.arrays["dequant"],
+            step.arrays.get("bias"),
+            stride=step.attrs.get("stride", 1),
+            padding=step.attrs.get("padding", 0),
+            groups=step.attrs.get("groups", 1),
+            act=step.attrs.get("act"), cache=cache,
+            acc_bound=step.attrs.get("acc_bound"))
+        other = registers[step.inputs[1]]
+        other_scale = step.attrs.get("other_scale")
+        if step.attrs.get("position", 0) == 0:
+            operands = (conv, other)
+            scales = (None, other_scale)
+        else:
+            operands = (other, conv)
+            scales = (other_scale, None)
+        return kernels.fused_add(
+            operands[0], operands[1], in_scale_x=scales[0],
+            in_scale_y=scales[1], act=step.attrs.get("add_act"),
+            out_scale=step.attrs.get("out_scale"), cache=cache, out=out)
     if op == "qlinear":
         return kernels.fused_qlinear(x, step.arrays["weight"],
                                      step.arrays["dequant"],

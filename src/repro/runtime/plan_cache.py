@@ -1,0 +1,154 @@
+"""Keyed cache of compiled (and optimized) inference plans.
+
+Compiling a backbone is cheap-ish; optimizing it and proving accumulator
+bounds is not free, and serving stacks rebuild predictors far more often
+than weights actually change (worker respawns, scenario restarts, repeated
+``plan_stats`` invocations).  :class:`PlanCache` makes recompiles of the
+same configuration near-free: plans are cached under a structural key
+``(component, arch, mode, input_shape, optimize)`` and guarded by a
+*staleness signature* — the same identity snapshot
+:class:`~repro.runtime.predictor.BatchedPredictor` uses to decide when its
+engines are stale (weight array identities, hook counts, quantizer
+thresholds).  A key match with a differing signature is a miss that
+replaces the entry, so two models of the same architecture can never serve
+each other's weights.
+
+The cache is process-local and bounded (LRU).  Plans are shared by
+reference between engines: executed steps never mutate a plan, and the
+arena :class:`~repro.runtime.optimizer.MemoryPlan` is recorded per engine,
+not per plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional
+
+#: Default retained entries; a handful of (arch, mode) pairs per process.
+DEFAULT_CAPACITY = 16
+
+
+def signatures_differ(new: list, old: list) -> bool:
+    """Compare two staleness signatures (list parts by element identity).
+
+    Mirrors the predictor's engine-staleness rule: list-valued parts hold
+    arrays compared with ``is`` (every weight mutation in the codebase
+    rebinds ``param.data``), scalar parts compare by equality.
+    """
+    if not old or len(new) != len(old):
+        return True
+    for new_part, old_part in zip(new, old):
+        if isinstance(new_part, list):
+            if not isinstance(old_part, list) or \
+                    len(new_part) != len(old_part) or \
+                    any(a is not b for a, b in zip(new_part, old_part)):
+                return True
+        elif new_part != old_part:
+            return True
+    return False
+
+
+class PlanCache:
+    """LRU cache of compiled plans keyed by configuration + signature."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0          # key matched, signature stale
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compile(self, key: tuple, signature: list,
+                       compile_fn: Callable[[], object]) -> object:
+        """Return the cached plan for ``key`` or compile and cache one.
+
+        ``signature`` is the staleness snapshot of everything the compiled
+        plan would freeze in; an entry whose stored signature differs is
+        stale and replaced (counted under ``invalidations`` as well as
+        ``misses``).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                stored_signature, plan = entry
+                if not signatures_differ(signature, stored_signature):
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return plan
+                self.invalidations += 1
+            self.misses += 1
+        plan = compile_fn()             # compile outside the lock
+        with self._lock:
+            self._entries[key] = (signature, plan)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    # ------------------------------------------------------------------
+    # A plan cache is process-level infrastructure, not model state:
+    # deep copies of a model (quantization clones the float network, tests
+    # clone predictors) share the live cache instead of duplicating plans,
+    # and pickles (worker snapshots) restart with an empty one — cached
+    # plans may hold live module references that cannot cross processes.
+    def __deepcopy__(self, memo):
+        return self
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state["_entries"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions, "entries": len(self),
+                "hit_rate": round(self.hit_rate, 4)}
+
+    def bind_registry(self, registry, prefix: str = "plan_cache") -> None:
+        """Expose the cache counters as callback gauges in ``registry``."""
+        if registry is None:
+            return
+        registry.gauge(f"{prefix}.hits", fn=lambda: self.hits)
+        registry.gauge(f"{prefix}.misses", fn=lambda: self.misses)
+        registry.gauge(f"{prefix}.entries", fn=lambda: len(self))
+        registry.gauge(f"{prefix}.hit_rate", fn=lambda: self.hit_rate)
+
+
+#: Process-wide default cache (predictors share it unless handed their own).
+_default_cache: Optional[PlanCache] = None
+_default_lock = threading.Lock()
+
+
+def default_plan_cache() -> PlanCache:
+    with _default_lock:
+        global _default_cache
+        if _default_cache is None:
+            _default_cache = PlanCache()
+        return _default_cache

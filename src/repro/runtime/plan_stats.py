@@ -3,7 +3,11 @@
 CI runs this after the fast suite (``python -m repro.runtime.plan_stats``)
 so plan-shape or memory-plan regressions — more steps, fewer fused
 epilogues, more arena slots, a bigger peak — are visible in the job log of
-every push, not only when a perf floor finally trips.
+every push, not only when a perf floor finally trips.  The report includes
+the graph rewrite pipeline's per-rule application counts
+(``pass.<rule_name>`` lines, from the optimized plan's ``pass_stats``) and
+the process plan-cache counters: the probe compiles the same model through
+two predictors, so a healthy cache reports at least one hit.
 
 ``python -m repro.runtime.plan_stats <backbone> int8`` reports the integer
 plan instead: the model is put through the deterministic PTQ recipe (seeded
@@ -11,15 +15,25 @@ init, calibration on the synthetic base session, no QAT stages — the same
 construction the conformance fixtures use), so the int8 step/fusion/arena
 counts of both backbone families are pinned in the job log too.
 
-``--profile`` additionally executes the warm-up batch under a
-:class:`~repro.obs.planprof.PlanProfiler` and appends the per-op profile
-table — wall time, call counts, bytes moved and effective bandwidth per
-compiled step, plus the aggregate per op kind.
+Flags:
+
+``--profile``
+    additionally executes the warm-up batch under a
+    :class:`~repro.obs.planprof.PlanProfiler` and appends the per-op profile
+    table — wall time, call counts, bytes moved and effective bandwidth.
+``--dot``
+    print the optimized plan's SSA graph as Graphviz ``dot`` instead of the
+    stats table (nodes labeled op/name, edges register + dtype + shape);
+    pipe through ``dot -Tsvg`` to render the IR.
+``--assert-max-steps N``
+    exit non-zero if the optimized plan has more than ``N`` steps — the CI
+    gate against rewrite rules silently ceasing to fire.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 
 import numpy as np
 
@@ -50,16 +64,30 @@ def _build_model(backbone: str, mode: str):
 
 def plan_stats(backbone: str = DEFAULT_BACKBONE,
                mode: str = "float32", profile: bool = False) -> dict:
-    """Compile the backbone, serve one batch, and report plan/arena stats."""
+    """Compile the backbone, serve one batch, and report plan/arena stats.
+
+    Builds the engines twice through one :class:`~repro.runtime.plan_cache.
+    PlanCache` — the second predictor must hit — and reports both compile
+    wall times next to the cache counters.
+    """
     from ..models import get_config
+    from .plan_cache import PlanCache
     from .predictor import BatchedPredictor
 
     model = _build_model(backbone, mode)
+    cache = PlanCache()
+    run_mode = getattr(model.config, "runtime_mode", mode)
+    started = time.perf_counter()
     predictor = BatchedPredictor(model,
                                  micro_batch=model.config.feature_batch_size,
-                                 mode=getattr(model.config, "runtime_mode",
-                                              mode),
-                                 profile=profile)
+                                 mode=run_mode, profile=profile,
+                                 plan_cache=cache)
+    predictor.backbone_engine, predictor.fcr_engine
+    compile_cold_ms = (time.perf_counter() - started) * 1e3
+    started = time.perf_counter()
+    recompiled = BatchedPredictor(model, mode=run_mode, plan_cache=cache)
+    recompiled.backbone_engine, recompiled.fcr_engine
+    compile_cached_ms = (time.perf_counter() - started) * 1e3
     size = get_config(backbone).input_size
     # One real batch materialises the recorded-shape memory plan.
     predictor.embed(np.zeros((WARMUP_SAMPLES, 3, size, size),
@@ -69,7 +97,7 @@ def plan_stats(backbone: str = DEFAULT_BACKBONE,
     memory_plan = engine.memory_plan
     peak = memory_plan.peak_bytes(engine.micro_batch)
     unplanned = memory_plan.unplanned_bytes(engine.micro_batch)
-    return {
+    stats = {
         "backbone": backbone,
         "mode": predictor.mode,
         "plan_steps": len(plan),
@@ -81,24 +109,60 @@ def plan_stats(backbone: str = DEFAULT_BACKBONE,
         "peak_reduction": round(1.0 - peak / unplanned, 3) if unplanned else 0.0,
         "micro_batch": engine.micro_batch,
         "num_threads": engine.num_threads,
-        "profiler": predictor.profiler,
+        "compile_cold_ms": round(compile_cold_ms, 2),
+        "compile_cached_ms": round(compile_cached_ms, 2),
     }
+    for rule, count in sorted(plan.pass_stats.items()):
+        stats[f"pass.{rule}"] = count
+    for key, value in cache.stats().items():
+        stats[f"plan_cache.{key}"] = value
+    stats["profiler"] = predictor.profiler
+    stats["_engine"] = engine
+    return stats
+
+
+def plan_dot(backbone: str = DEFAULT_BACKBONE, mode: str = "float32") -> str:
+    """Graphviz dump of the optimized plan's SSA graph (with run shapes)."""
+    from .ir import Graph
+
+    stats = plan_stats(backbone, mode)
+    engine = stats["_engine"]
+    shapes = dict(engine.memory_plan.shapes) if engine.memory_plan else {}
+    return Graph.from_plan(engine.plan, shapes=shapes).to_dot()
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     profile = "--profile" in argv
-    argv = [arg for arg in argv if arg != "--profile"]
+    dot = "--dot" in argv
+    argv = [arg for arg in argv if arg not in ("--profile", "--dot")]
+    max_steps = None
+    if "--assert-max-steps" in argv:
+        index = argv.index("--assert-max-steps")
+        try:
+            max_steps = int(argv[index + 1])
+        except (IndexError, ValueError):
+            print("--assert-max-steps requires an integer", file=sys.stderr)
+            return 2
+        del argv[index:index + 2]
     backbone = argv[0] if argv else DEFAULT_BACKBONE
     mode = argv[1] if len(argv) > 1 else "float32"
+    if dot:
+        print(plan_dot(backbone, mode))
+        return 0
     stats = plan_stats(backbone, mode, profile=profile)
     profiler = stats.pop("profiler")
+    stats.pop("_engine")
     width = max(len(key) for key in stats)
     for key, value in stats.items():
         print(f"{key:<{width}}  {value}")
     if profiler is not None:
         print()
         print(profiler.table())
+    if max_steps is not None and stats["plan_steps"] > max_steps:
+        print(f"plan_steps regression: {stats['plan_steps']} > "
+              f"--assert-max-steps {max_steps}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -105,6 +105,10 @@ class PlanSnapshot:
     name: str
     optimized: bool = False
     memory_plan: Optional[MemoryPlan] = None
+    #: graph-rewrite application counts of the optimized plan; carried so a
+    #: restoring worker's ``opt_rule_applications`` gauges report the same
+    #: pipeline statistics as the coordinator that compiled the plan.
+    pass_stats: Optional[dict] = None
 
     def restore(self) -> InferencePlan:
         """Rebuild an executable plan (arrays are shared, not copied)."""
@@ -112,7 +116,9 @@ class PlanSnapshot:
                              input_register=self.input_register,
                              output_register=self.output_register,
                              name=self.name,
-                             optimized=getattr(self, "optimized", False))
+                             optimized=getattr(self, "optimized", False),
+                             pass_stats=dict(getattr(self, "pass_stats", None)
+                                             or {}))
 
     def restore_memory_plan(self) -> Optional[MemoryPlan]:
         """Arena spec captured with the plan (None on legacy snapshots)."""
@@ -154,7 +160,9 @@ def snapshot_plan(plan: InferencePlan,
     return PlanSnapshot(steps=steps, input_register=plan.input_register,
                         output_register=plan.output_register, name=plan.name,
                         optimized=plan.optimized and not inlined,
-                        memory_plan=memory_plan)
+                        memory_plan=memory_plan,
+                        pass_stats=dict(getattr(plan, "pass_stats", None)
+                                        or {}) if not inlined else None)
 
 
 def _freeze_linear(step: Step) -> Step:

@@ -59,7 +59,7 @@ class TestPlanShape:
         assert "quantize" in ops and "requantize" in ops
         # ...and the conv stack runs on integer kernels.
         assert ops.count("qconv") + ops.count("qconv_dequant") \
-            >= MIN_INTEGER_CONVS[backbone]
+            + ops.count("qconv_add") >= MIN_INTEGER_CONVS[backbone]
         assert POOL_OP[backbone] in ops
         fcr_ops = [step.op for step in predictor.fcr_engine.plan.steps]
         assert fcr_ops == ["quantize", "qlinear"]
@@ -94,7 +94,7 @@ class TestPlanShape:
             for plan in (predictor.backbone_engine.plan,
                          predictor.fcr_engine.plan)
             for step in plan.steps
-            if step.op in ("qconv", "qconv_dequant", "qlinear"))
+            if step.op in ("qconv", "qconv_dequant", "qconv_add", "qlinear"))
         assert plans_bytes > weight_only
 
 
@@ -180,7 +180,8 @@ class TestResNet12Int8:
         ops = [step.op for step in predictor.backbone_engine.plan.steps]
         assert "opaque" not in ops
         assert "qglobal_pool" in ops and "max_pool" in ops
-        assert ops.count("qconv") + ops.count("qconv_dequant") >= 14
+        assert ops.count("qconv") + ops.count("qconv_dequant") \
+            + ops.count("qconv_add") >= 14
 
     def test_chunking_and_optimizer_are_bit_exact(self, resnet12):
         model, _ = resnet12
@@ -317,7 +318,8 @@ class TestDeploymentFromPlan:
         deployed = DeploymentPlan.from_plan(
             plan, input_hw=(config.input_size, config.input_size))
         array_bytes = sum(step.arrays["weight"].size for step in plan.steps
-                          if step.op in ("qconv", "qconv_dequant"))
+                          if step.op in ("qconv", "qconv_dequant",
+                                         "qconv_add"))
         assert deployed.weight_bytes == array_bytes
 
     def test_from_plan_costs_are_usable(self, conformance):

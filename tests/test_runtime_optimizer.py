@@ -22,9 +22,12 @@ from repro.runtime import (
     InferenceEngine,
     compile_backbone,
     compile_module,
+    eliminate_common_subexpressions,
     eliminate_dead_steps,
+    fold_identities,
     fuse_quantize_chains,
     optimize_plan,
+    superfuse_residual_adds,
 )
 from repro.runtime import kernels
 from repro.runtime.plan import InferencePlan, Step
@@ -87,7 +90,9 @@ class TestFloatParity:
         np.testing.assert_array_equal(raw, optimized)
 
     @pytest.mark.parametrize(
-        "passes", [eliminate_dead_steps, fuse_quantize_chains, optimize_plan])
+        "passes", [eliminate_dead_steps, fuse_quantize_chains,
+                   fold_identities, eliminate_common_subexpressions,
+                   superfuse_residual_adds, optimize_plan])
     def test_each_pass_preserves_float_outputs(self, passes, rng):
         model = make_model("mobilenetv2_x4_tiny")
         plan = compile_backbone(model.backbone)
@@ -184,10 +189,17 @@ class TestInt8Fusion:
         optimized = optimize_plan(raw)
         assert optimized.optimized
         assert len(optimized.steps) < len(raw.steps)
-        fused_adds = [step for step in optimized.steps if step.op == "add"
-                      and ("out_scale" in step.attrs
-                           or "in_scale_1" in step.attrs)]
+        # Residual joins either fused their dequantize/quantize neighbours
+        # in place (``add`` with scale attrs) or were superfused with their
+        # producing conv into one ``qconv_add`` step.
+        fused_adds = [step for step in optimized.steps
+                      if (step.op == "add"
+                          and ("out_scale" in step.attrs
+                               or "in_scale_1" in step.attrs))
+                      or step.op == "qconv_add"]
         assert fused_adds, "residual dequantize/quantize chains must fuse"
+        assert any(step.op == "qconv_add" for step in optimized.steps), \
+            "int8 residual tails must superfuse conv + add + requantize"
         # No single-use dequantize feeding an add survives the fusion pass.
         producers = {step.output: step for step in optimized.steps}
         for step in optimized.steps:
@@ -204,8 +216,32 @@ class TestInt8Fusion:
         plan = optimize_plan(compile_backbone(model.backbone, mode="int8"))
         assert optimize_plan(plan) is plan
 
+    def test_optimized_step_counts_are_pinned(self, int8_case):
+        # The recorded step counts per family: regressions here mean a
+        # rewrite rule stopped firing.  CI additionally gates the MobileNetV2
+        # count through ``plan_stats --assert-max-steps``.
+        model, _ = int8_case
+        optimized = optimize_plan(compile_backbone(model.backbone,
+                                                   mode="int8"))
+        pins = {"mobilenetv2_x4_tiny": 32, "resnet20_tiny": 18}
+        pin = pins[model.config.backbone]
+        assert len(optimized.steps) <= pin
+        assert len(optimized.steps) < 35
+        assert optimized.pass_stats.get("qconv_add_superfusion", 0) >= 3
+
+    def test_optimized_plan_records_pass_stats(self, int8_case):
+        model, _ = int8_case
+        optimized = optimize_plan(compile_backbone(model.backbone,
+                                                   mode="int8"))
+        stats = optimized.pass_stats
+        assert stats["dequantize_into_add"] >= 3
+        assert stats["add_quantize_fusion"] >= 3
+        assert sum(stats.values()) > 0
+
     @pytest.mark.parametrize(
-        "passes", [eliminate_dead_steps, fuse_quantize_chains, optimize_plan])
+        "passes", [eliminate_dead_steps, fuse_quantize_chains,
+                   fold_identities, eliminate_common_subexpressions,
+                   superfuse_residual_adds, optimize_plan])
     def test_each_pass_reproduces_the_golden_bits(self, passes, int8_case):
         model, golden = int8_case
         plan = passes(compile_backbone(model.backbone, mode="int8"))

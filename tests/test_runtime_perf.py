@@ -131,6 +131,69 @@ def test_bench_record_is_written_and_valid(bench_model):
     assert data["latest"] == data["history"][-1]
 
 
+#: (arch, mode) pairs whose compile+optimize wall time is recorded in the
+#: bench history — both quantizable families, both numeric modes.
+COMPILE_BENCH_CASES = (
+    ("mobilenetv2_x4_tiny", "float32"),
+    ("mobilenetv2_x4_tiny", "int8"),
+    ("resnet20_tiny", "float32"),
+    ("resnet20_tiny", "int8"),
+)
+
+
+@pytest.mark.parametrize("backbone,mode", COMPILE_BENCH_CASES)
+def test_compile_and_optimize_wall_time_recorded(backbone, mode):
+    """Record compiler + graph-pipeline wall time per (arch, mode).
+
+    Also times a second predictor build through a shared
+    :class:`~repro.runtime.plan_cache.PlanCache` — the cached path must hit
+    and is recorded alongside, documenting what the cache saves.
+    """
+    import sys
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from int8_fixtures import build_quantized_model
+    from repro.runtime import compile_backbone, optimize_plan
+    from repro.runtime.plan_cache import PlanCache
+    from repro.runtime.predictor import BatchedPredictor
+
+    if mode == "int8":
+        model, _report = build_quantized_model(backbone)
+    else:
+        model = OFSCIL.from_registry(backbone,
+                                     OFSCILConfig(backbone=backbone), seed=0)
+    start = time.perf_counter()
+    raw = compile_backbone(model.backbone, mode=mode)
+    compile_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    optimized = optimize_plan(raw)
+    optimize_ms = (time.perf_counter() - start) * 1e3
+    assert optimized.optimized
+    assert len(optimized.steps) <= len(raw.steps)
+
+    cache = PlanCache()
+    first = BatchedPredictor(model, mode=mode, plan_cache=cache)
+    assert first.backbone_engine is not None
+    start = time.perf_counter()
+    second = BatchedPredictor(model, mode=mode, plan_cache=cache)
+    assert second.backbone_engine.plan is first.backbone_engine.plan
+    cached_ms = (time.perf_counter() - start) * 1e3
+    assert cache.hits >= 1
+
+    record = {
+        "kind": "compile_wall_time",
+        "backbone": backbone,
+        "mode": mode,
+        "compile_ms": round(compile_ms, 2),
+        "optimize_ms": round(optimize_ms, 2),
+        "cached_rebuild_ms": round(cached_ms, 2),
+        "raw_steps": len(raw),
+        "optimized_steps": len(optimized),
+        "rule_applications": sum(optimized.pass_stats.values()),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    append_bench_record(BENCH_PATH, record)
+
+
 #: Floor on int8 throughput relative to float32, derived from the recorded
 #: ``int8_vs_float32`` history: the trend sits at 0.63-0.70x (NumPy has no
 #: native int8 GEMM; the exact integer accumulation runs through float BLAS).
